@@ -1,0 +1,101 @@
+//! Coterie / quorum availability (Junqueira & Marzullo \[38\]).
+//!
+//! With `n` replicas of independent availability `p`, a protocol that needs
+//! a quorum of `k` live replicas is available with the binomial tail
+//! probability. The paper's replication discussion ("traditional
+//! replication techniques potentially reduce the total capacity of the
+//! system") trades these numbers against storage overhead in
+//! [`crate::placement`].
+
+/// Probability that at least `k` of `n` independent components with
+/// availability `p` are up.
+pub fn at_least_k_of_n(n: u32, k: u32, p: f64) -> f64 {
+    assert!(k <= n && n > 0);
+    assert!((0.0..=1.0).contains(&p));
+    (k..=n).map(|i| binom_pmf(n, i, p)).sum()
+}
+
+/// Availability of a majority quorum over `n` replicas.
+pub fn majority(n: u32, p: f64) -> f64 {
+    at_least_k_of_n(n, n / 2 + 1, p)
+}
+
+/// Availability of read-one (any replica suffices).
+pub fn read_one(n: u32, p: f64) -> f64 {
+    at_least_k_of_n(n, 1, p)
+}
+
+/// Availability of write-all (every replica must be up).
+pub fn write_all(n: u32, p: f64) -> f64 {
+    at_least_k_of_n(n, n, p)
+}
+
+fn binom_pmf(n: u32, k: u32, p: f64) -> f64 {
+    // Multiplicative binomial coefficient to avoid factorial overflow.
+    let mut coeff = 1.0f64;
+    for i in 0..k {
+        coeff *= f64::from(n - i) / f64::from(k - i);
+    }
+    coeff * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binom_sums_to_one() {
+        let total: f64 = (0..=10).map(|k| binom_pmf(10, k, 0.3)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_one_beats_majority_beats_write_all() {
+        let p = 0.9;
+        for n in [3u32, 5, 7] {
+            let r1 = read_one(n, p);
+            let mj = majority(n, p);
+            let wa = write_all(n, p);
+            assert!(r1 > mj && mj > wa, "n={n} r1={r1} mj={mj} wa={wa}");
+        }
+    }
+
+    #[test]
+    fn majority_improves_with_replicas_when_p_high() {
+        let p = 0.9;
+        assert!(majority(3, p) > p); // 3-replica majority beats a single copy
+        assert!(majority(5, p) > majority(3, p));
+        assert!(majority(7, p) > majority(5, p));
+    }
+
+    #[test]
+    fn majority_hurts_when_p_low() {
+        // Below 1/2, more replicas make majority *worse*.
+        let p = 0.4;
+        assert!(majority(3, p) < p);
+        assert!(majority(5, p) < majority(3, p));
+    }
+
+    #[test]
+    fn known_value_majority_3_of_0_9() {
+        // P(≥2 of 3 up) = 3·0.81·0.1 + 0.729 = 0.972.
+        assert!((majority(3, 0.9) - 0.972).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_all_is_p_to_the_n() {
+        assert!((write_all(4, 0.8) - 0.8f64.powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_one_is_complement_of_all_down() {
+        assert!((read_one(4, 0.8) - (1.0 - 0.2f64.powi(4))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(at_least_k_of_n(1, 1, 1.0), 1.0);
+        assert_eq!(at_least_k_of_n(5, 1, 0.0), 0.0);
+        assert!((at_least_k_of_n(5, 0, 0.3) - 1.0).abs() < 1e-12);
+    }
+}

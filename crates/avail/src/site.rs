@@ -1,0 +1,223 @@
+//! Multi-server sites.
+//!
+//! "We say that a site is unavailable if it is not possible to reach any
+//! of the servers of this site, either because of a network partition or
+//! because all servers have failed" (Section 5, discussing Figure 5). A
+//! [`Site`] therefore combines one network-partition process with per-server
+//! failure processes; its down intervals are the union of partition
+//! intervals and the intersection of all server down intervals.
+
+use crate::failure::{DownInterval, UpDownProcess};
+use dwr_sim::{SimRng, SimTime, HOUR};
+
+/// Configuration of one site.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// Number of servers at the site.
+    pub servers: usize,
+    /// Failure process of the site's network connectivity.
+    pub network: UpDownProcess,
+    /// Failure process of each individual server.
+    pub server: UpDownProcess,
+}
+
+impl SiteConfig {
+    /// A BIRN-like site: a couple of servers, network dominated outages.
+    pub fn birn_like(servers: usize) -> Self {
+        SiteConfig {
+            servers,
+            network: UpDownProcess::birn_like(),
+            // Servers fail rarer but repair slower (operator intervention).
+            server: UpDownProcess::exponential(60 * 24 * HOUR, 12 * HOUR),
+        }
+    }
+}
+
+/// A materialized site timeline over a horizon.
+#[derive(Debug, Clone)]
+pub struct Site {
+    downs: Vec<DownInterval>,
+    horizon: SimTime,
+}
+
+impl Site {
+    /// Simulate the site's unavailability over `[0, horizon)`.
+    pub fn simulate(cfg: &SiteConfig, horizon: SimTime, rng: &mut SimRng) -> Self {
+        assert!(cfg.servers > 0);
+        let mut downs = cfg.network.down_intervals(horizon, rng);
+        // All-servers-down intervals: intersect the servers' down sets.
+        let mut all_down: Option<Vec<DownInterval>> = None;
+        for _ in 0..cfg.servers {
+            let d = cfg.server.down_intervals(horizon, rng);
+            all_down = Some(match all_down {
+                None => d,
+                Some(acc) => intersect(&acc, &d),
+            });
+            if all_down.as_ref().is_some_and(Vec::is_empty) {
+                break;
+            }
+        }
+        downs.extend(all_down.unwrap_or_default());
+        downs.sort_unstable_by_key(|i| i.start);
+        Site { downs: union(&downs), horizon }
+    }
+
+    /// The site's down intervals (disjoint, ordered).
+    pub fn down_intervals(&self) -> &[DownInterval] {
+        &self.downs
+    }
+
+    /// Whether the site is up at time `t`.
+    pub fn is_up(&self, t: SimTime) -> bool {
+        // Binary search over ordered disjoint intervals.
+        self.downs.binary_search_by(|iv| {
+            if iv.end <= t {
+                std::cmp::Ordering::Less
+            } else if iv.start > t {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }).is_err()
+    }
+
+    /// Availability over the window `[lo, hi)`.
+    pub fn availability_in(&self, lo: SimTime, hi: SimTime) -> f64 {
+        assert!(hi > lo);
+        let down: u64 = self.downs.iter().map(|i| i.overlap(lo, hi)).sum();
+        1.0 - down as f64 / (hi - lo) as f64
+    }
+
+    /// Availability over the whole simulated horizon.
+    pub fn availability(&self) -> f64 {
+        self.availability_in(0, self.horizon)
+    }
+
+    /// The simulated horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+}
+
+/// Union of possibly overlapping intervals sorted by start.
+fn union(sorted: &[DownInterval]) -> Vec<DownInterval> {
+    let mut out: Vec<DownInterval> = Vec::with_capacity(sorted.len());
+    for &iv in sorted {
+        match out.last_mut() {
+            Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
+            _ => out.push(iv),
+        }
+    }
+    out
+}
+
+/// Intersection of two disjoint, ordered interval sets.
+fn intersect(a: &[DownInterval], b: &[DownInterval]) -> Vec<DownInterval> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let s = a[i].start.max(b[j].start);
+        let e = a[i].end.min(b[j].end);
+        if s < e {
+            out.push(DownInterval { start: s, end: e });
+        }
+        if a[i].end < b[j].end {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwr_sim::DAY;
+
+    #[test]
+    fn union_merges_overlaps() {
+        let ivs = [
+            DownInterval { start: 0, end: 10 },
+            DownInterval { start: 5, end: 15 },
+            DownInterval { start: 20, end: 25 },
+            DownInterval { start: 25, end: 30 },
+        ];
+        let u = union(&ivs);
+        assert_eq!(
+            u,
+            vec![DownInterval { start: 0, end: 15 }, DownInterval { start: 20, end: 30 }]
+        );
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = [DownInterval { start: 0, end: 10 }, DownInterval { start: 20, end: 30 }];
+        let b = [DownInterval { start: 5, end: 25 }];
+        assert_eq!(
+            intersect(&a, &b),
+            vec![DownInterval { start: 5, end: 10 }, DownInterval { start: 20, end: 25 }]
+        );
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = [DownInterval { start: 0, end: 5 }];
+        let b = [DownInterval { start: 5, end: 9 }];
+        assert!(intersect(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn is_up_consistent_with_intervals() {
+        let cfg = SiteConfig::birn_like(2);
+        let mut rng = SimRng::new(5);
+        let site = Site::simulate(&cfg, 90 * DAY, &mut rng);
+        for iv in site.down_intervals() {
+            assert!(!site.is_up(iv.start));
+            assert!(!site.is_up(iv.end - 1));
+            if iv.start > 0 {
+                // The instant before an outage begins is up unless it
+                // belongs to the previous interval.
+            }
+        }
+        assert!(site.is_up(0) || !site.down_intervals().is_empty());
+    }
+
+    #[test]
+    fn more_servers_higher_availability() {
+        let horizon = 400 * DAY;
+        // Make server failures dominant so redundancy matters.
+        let mk = |servers| SiteConfig {
+            servers,
+            network: UpDownProcess::exponential(10_000 * DAY, HOUR),
+            server: UpDownProcess::exponential(5 * DAY, DAY),
+        };
+        let avg = |cfg: &SiteConfig, seed: u64| {
+            let mut acc = 0.0;
+            for s in 0..20u64 {
+                let mut rng = SimRng::new(seed + s);
+                acc += Site::simulate(cfg, horizon, &mut rng).availability();
+            }
+            acc / 20.0
+        };
+        let a1 = avg(&mk(1), 100);
+        let a2 = avg(&mk(2), 200);
+        let a3 = avg(&mk(3), 300);
+        assert!(a2 > a1, "a1={a1} a2={a2}");
+        assert!(a3 > a2, "a2={a2} a3={a3}");
+        assert!(a3 > 0.99);
+    }
+
+    #[test]
+    fn availability_window_bounds() {
+        let cfg = SiteConfig::birn_like(1);
+        let mut rng = SimRng::new(6);
+        let site = Site::simulate(&cfg, 60 * DAY, &mut rng);
+        let a = site.availability();
+        assert!((0.0..=1.0).contains(&a));
+        // Month windows are consistent with the whole-horizon number.
+        let a0 = site.availability_in(0, 30 * DAY);
+        let a1 = site.availability_in(30 * DAY, 60 * DAY);
+        assert!(((a0 + a1) / 2.0 - a).abs() < 1e-9);
+    }
+}

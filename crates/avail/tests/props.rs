@@ -1,0 +1,81 @@
+//! Property-based tests of dependability invariants.
+
+use dwr_avail::failure::UpDownProcess;
+use dwr_avail::quorum::{at_least_k_of_n, majority, read_one, write_all};
+use dwr_avail::site::{Site, SiteConfig};
+use dwr_sim::{SimRng, DAY, HOUR};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quorum availability is monotone in component availability.
+    #[test]
+    fn quorum_monotone_in_p(n in 1u32..12, k_off in 0u32..12, p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let k = k_off % n + 1;
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(at_least_k_of_n(n, k, lo) <= at_least_k_of_n(n, k, hi) + 1e-12);
+    }
+
+    /// Needing more components can never raise availability.
+    #[test]
+    fn quorum_antitone_in_k(n in 1u32..12, p in 0.0f64..1.0) {
+        let mut prev = 1.0f64 + 1e-12;
+        for k in 1..=n {
+            let a = at_least_k_of_n(n, k, p);
+            prop_assert!(a <= prev + 1e-12, "k={k} a={a} prev={prev}");
+            prev = a;
+        }
+    }
+
+    /// read-one >= majority >= write-all, always.
+    #[test]
+    fn quorum_ordering(n in 1u32..12, p in 0.0f64..1.0) {
+        let r = read_one(n, p);
+        let m = majority(n, p);
+        let w = write_all(n, p);
+        prop_assert!(r >= m - 1e-12);
+        prop_assert!(m >= w - 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+    }
+
+    /// Down intervals are ordered, disjoint, and inside the horizon.
+    #[test]
+    fn down_intervals_well_formed(seed in any::<u64>(), mtbf_days in 1u64..60, mttr_hours in 1u64..48) {
+        let p = UpDownProcess::exponential(mtbf_days * DAY, mttr_hours * HOUR);
+        let mut rng = SimRng::new(seed);
+        let horizon = 300 * DAY;
+        let ivs = p.down_intervals(horizon, &mut rng);
+        for iv in &ivs {
+            prop_assert!(iv.start < iv.end);
+            prop_assert!(iv.end <= horizon);
+        }
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    /// Site availability over any window is in \[0, 1\], and point queries
+    /// agree with interval membership.
+    #[test]
+    fn site_availability_consistent(seed in any::<u64>(), servers in 1usize..4) {
+        let cfg = SiteConfig::birn_like(servers);
+        let mut rng = SimRng::new(seed);
+        let site = Site::simulate(&cfg, 120 * DAY, &mut rng);
+        let a = site.availability();
+        prop_assert!((0.0..=1.0).contains(&a));
+        for iv in site.down_intervals().iter().take(5) {
+            prop_assert!(!site.is_up(iv.start));
+            prop_assert!(!site.is_up(iv.end - 1));
+            prop_assert!(site.is_up(iv.end));
+        }
+    }
+
+    /// Steady-state availability formula stays in (0, 1).
+    #[test]
+    fn steady_state_in_unit_interval(mtbf in 1u64..1_000_000, mttr in 1u64..1_000_000) {
+        let p = UpDownProcess::exponential(mtbf, mttr);
+        let a = p.steady_state_availability();
+        prop_assert!(a > 0.0 && a < 1.0);
+    }
+}

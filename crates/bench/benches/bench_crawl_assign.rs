@@ -1,0 +1,47 @@
+//! Crawler assignment benchmarks: hash vs consistent-hash lookup cost, and
+//! a small end-to-end crawl.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwr_bench::{Fixture, Scale, SEED};
+use dwr_crawler::assign::{ConsistentHashAssigner, HashAssigner, UrlAssigner};
+use dwr_crawler::sim::{CrawlConfig, DistributedCrawl};
+use dwr_webgraph::graph::HostId;
+use dwr_webgraph::qos::QosConfig;
+
+fn bench_assign(c: &mut Criterion) {
+    let f = Fixture::new(Scale::Small);
+    let plain = HashAssigner::new(16);
+    let cons = ConsistentHashAssigner::new(16, 128);
+    let mut g = c.benchmark_group("crawl_assign");
+    g.bench_function("hash_lookup", |b| {
+        b.iter(|| {
+            (0..f.web.num_hosts() as u32)
+                .map(|h| plain.agent_for(HostId(h), &f.web).0 as u64)
+                .sum::<u64>()
+        })
+    });
+    g.bench_function("consistent_lookup", |b| {
+        b.iter(|| {
+            (0..f.web.num_hosts() as u32)
+                .map(|h| cons.agent_for(HostId(h), &f.web).0 as u64)
+                .sum::<u64>()
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("small_crawl_end_to_end", |b| {
+        b.iter(|| {
+            let cfg = CrawlConfig {
+                agents: 4,
+                connections_per_agent: 8,
+                politeness_delay: dwr_sim::SECOND / 2,
+                qos: QosConfig { flaky_fraction: 0.0, slow_fraction: 0.0, ..QosConfig::default() },
+                ..CrawlConfig::default()
+            };
+            DistributedCrawl::new(&f.web, HashAssigner::new(4), cfg, SEED).run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_assign);
+criterion_main!(benches);

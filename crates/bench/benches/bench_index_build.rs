@@ -1,0 +1,23 @@
+//! Index-construction benchmarks: single-pass vs sort-based vs parallel
+//! (Section 4's construction strategies, local costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwr_bench::{Fixture, Scale};
+use dwr_text::index::{build_index, parallel_build, sort_based_build};
+
+fn bench_builders(c: &mut Criterion) {
+    let f = Fixture::new(Scale::Small);
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    g.bench_function("single_pass", |b| b.iter(|| build_index(&f.corpus)));
+    g.bench_function("sort_based", |b| b.iter(|| sort_based_build(&f.corpus)));
+    for threads in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| parallel_build(&f.corpus, t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_builders);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Conjunctive intersection: skip-pointer galloping vs linear merge
+//! (the "skip-lists" index-access structure of Section 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwr_text::postings::{PostingList, PostingListBuilder};
+use dwr_text::skips::{intersect, intersect_scan, SkipList};
+use dwr_text::DocId;
+
+fn make_list(n: u32, stride: u32) -> PostingList {
+    let mut b = PostingListBuilder::new();
+    for i in 0..n {
+        b.push(DocId(i * stride), 1);
+    }
+    b.finish()
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intersect");
+    // Short list (1k) against long lists of growing size.
+    let short = make_list(1_000, 97);
+    let short_skip = SkipList::with_sqrt_stride(&short);
+    for long_n in [10_000u32, 100_000] {
+        let long = make_list(long_n, 3);
+        let long_skip = SkipList::with_sqrt_stride(&long);
+        g.bench_with_input(BenchmarkId::new("skip_gallop", long_n), &long_n, |b, _| {
+            b.iter(|| intersect(&short_skip, &long_skip))
+        });
+        g.bench_with_input(BenchmarkId::new("linear_scan", long_n), &long_n, |b, _| {
+            b.iter(|| intersect_scan(&short, &long))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_intersect);
+criterion_main!(benches);

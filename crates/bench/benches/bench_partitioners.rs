@@ -1,0 +1,40 @@
+//! Partitioner benchmarks: document (random / k-means) and term
+//! (random / bin-packing / co-occurrence).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwr_bench::{Fixture, Scale};
+use dwr_partition::doc::{DocPartitioner, KMeansPartitioner, RandomPartitioner};
+use dwr_partition::term::{
+    BinPackingTermPartitioner, CoOccurrenceTermPartitioner, QueryWorkload, RandomTermPartitioner,
+    TermPartitioner,
+};
+use dwr_text::index::build_index;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let f = Fixture::new(Scale::Small);
+    let index = build_index(&f.corpus);
+    let workload = QueryWorkload {
+        queries: f.query_terms(256).into_iter().map(|q| (q, 1.0)).collect(),
+    };
+    let mut g = c.benchmark_group("partitioners");
+    g.sample_size(10);
+    g.bench_function("doc_random", |b| {
+        b.iter(|| RandomPartitioner { seed: 1 }.assign(&f.corpus, 8))
+    });
+    g.bench_function("doc_kmeans", |b| {
+        b.iter(|| KMeansPartitioner::default().assign(&f.corpus, 8))
+    });
+    g.bench_function("term_random", |b| {
+        b.iter(|| RandomTermPartitioner.assign(&index, &workload, 8))
+    });
+    g.bench_function("term_binpack", |b| {
+        b.iter(|| BinPackingTermPartitioner.assign(&index, &workload, 8))
+    });
+    g.bench_function("term_cooccurrence", |b| {
+        b.iter(|| CoOccurrenceTermPartitioner::default().assign(&index, &workload, 8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Query-evaluation benchmarks: monolithic vs document-partitioned
+//! scatter-gather vs pipelined term-partitioned.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwr_bench::{Fixture, Scale};
+use dwr_partition::doc::{DocPartitioner, RandomPartitioner};
+use dwr_partition::parted::PartitionedIndex;
+use dwr_partition::term::{QueryWorkload, RandomTermPartitioner, TermPartitioner};
+use dwr_query::broker::DocBroker;
+use dwr_query::pipeline::PipelinedTermEngine;
+use dwr_text::index::build_index;
+use dwr_text::score::Bm25;
+use dwr_text::search::search_or;
+
+fn bench_eval(c: &mut Criterion) {
+    let f = Fixture::new(Scale::Small);
+    let queries = f.query_terms(64);
+    let global = build_index(&f.corpus);
+    let assignment = RandomPartitioner { seed: 1 }.assign(&f.corpus, 8);
+    let pi = PartitionedIndex::build(&f.corpus, &assignment, 8);
+    let workload = QueryWorkload { queries: queries.iter().map(|q| (q.clone(), 1.0)).collect() };
+    let term_assign = RandomTermPartitioner.assign(&global, &workload, 8);
+
+    let mut g = c.benchmark_group("query_eval");
+    g.bench_function("monolithic", |b| {
+        b.iter(|| {
+            for q in &queries {
+                search_or(&global, q, 10, &Bm25::default(), &global);
+            }
+        })
+    });
+    g.bench_function("doc_partitioned_8", |b| {
+        b.iter(|| {
+            let mut broker = DocBroker::single_site(&pi);
+            for q in &queries {
+                broker.query(q, 10);
+            }
+        })
+    });
+    g.bench_function("term_pipelined_8", |b| {
+        b.iter(|| {
+            let mut eng = PipelinedTermEngine::single_site(&global, term_assign.clone(), 8);
+            for q in &queries {
+                eng.query(q, 10);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Experiment **E5**: term-partition load balancing (Moffat et al. \[21\],
+//! Lucchese et al. \[22\]) and the doc-vs-term throughput comparison.
+//!
+//! "This work shows that the performance of a term partitioned system
+//! benefits from this strategy since it is able to distribute the load on
+//! each server more evenly. Experimental results show that the document
+//! partitioned system achieves higher throughput than the term partitioned
+//! system, even when considering the performance benefits due to the even
+//! distribution of load."
+//!
+//! Run: `cargo run -p dwr-bench --bin exp_binpack` (use --release)
+
+use dwr_bench::{Fixture, Scale, SEED};
+use dwr_partition::doc::{DocPartitioner, RandomPartitioner};
+use dwr_partition::parted::PartitionedIndex;
+use dwr_partition::term::{
+    evaluate_term_partition, BinPackingTermPartitioner, CoOccurrenceTermPartitioner,
+    QueryWorkload, RandomTermPartitioner, TermPartitioner,
+};
+use dwr_query::broker::DocBroker;
+use dwr_query::pipeline::PipelinedTermEngine;
+use dwr_sim::stats::Imbalance;
+use dwr_sim::SimRng;
+use dwr_text::index::build_index;
+
+const SERVERS: usize = 8;
+
+fn main() {
+    println!("E5. Term-partition load balancing and doc-vs-term throughput, {SERVERS} servers.\n");
+    let f = Fixture::new(Scale::Medium);
+    let global = build_index(&f.corpus);
+
+    // Weighted workload from the query model's popularity law.
+    let mut rng = SimRng::new(SEED ^ 0xB19);
+    let mut counts = std::collections::HashMap::new();
+    for _ in 0..20_000 {
+        *counts.entry(f.queries.sample(&mut rng)).or_insert(0u64) += 1;
+    }
+    let workload = QueryWorkload {
+        queries: counts
+            .iter()
+            .map(|(&q, &c)| {
+                let terms =
+                    f.queries.query(q).terms.iter().map(|t| dwr_text::TermId(t.0)).collect();
+                (terms, c as f64)
+            })
+            .collect(),
+    };
+
+    println!("(a) term-partition balance under the query workload:");
+    println!(
+        "  {:<16} {:>10} {:>8} {:>14} {:>14}",
+        "partitioner", "max/mean", "gini", "servers/query", "1-server quer."
+    );
+    let evaluate = |name: &str, assignment: &std::collections::HashMap<u32, u32>| {
+        let e = evaluate_term_partition(&global, &workload, assignment, SERVERS);
+        let im = Imbalance::of(&e.load);
+        println!(
+            "  {:<16} {:>10.2} {:>8.3} {:>14.2} {:>13.1}%",
+            name,
+            im.max_over_mean,
+            im.gini,
+            e.avg_servers_per_query,
+            100.0 * e.single_server_fraction
+        );
+    };
+    evaluate("random", &RandomTermPartitioner.assign(&global, &workload, SERVERS));
+    evaluate("bin-packing", &BinPackingTermPartitioner.assign(&global, &workload, SERVERS));
+    evaluate(
+        "co-occurrence",
+        &CoOccurrenceTermPartitioner::default().assign(&global, &workload, SERVERS),
+    );
+
+    // (b) Throughput comparison: process the same stream through both
+    // architectures; throughput proxy = total work / busiest server.
+    println!("\n(b) doc-partitioned vs term-partitioned throughput (same 3k-query stream):");
+    let stream: Vec<Vec<dwr_text::TermId>> = (0..3_000)
+        .map(|_| {
+            let q = f.queries.sample(&mut rng);
+            f.queries.query(q).terms.iter().map(|t| dwr_text::TermId(t.0)).collect()
+        })
+        .collect();
+
+    let assignment = RandomPartitioner { seed: SEED }.assign(&f.corpus, SERVERS);
+    let pi = PartitionedIndex::build(&f.corpus, &assignment, SERVERS);
+    let mut broker = DocBroker::single_site(&pi);
+    for q in &stream {
+        broker.query(q, 10);
+    }
+    let doc_busy = broker.busy_time().to_vec();
+
+    let report = |name: &str, busy: &[f64]| {
+        let total: f64 = busy.iter().sum();
+        let max = busy.iter().cloned().fold(0.0, f64::max);
+        // Homogeneous hardware: the busiest server gates throughput.
+        let throughput = stream.len() as f64 / (max / 1e6);
+        println!(
+            "  {:<28} busiest {:>8.1}s of {:>8.1}s total -> {:>8.0} q/s sustainable",
+            name,
+            max / 1e6,
+            total / 1e6,
+            throughput
+        );
+    };
+    report("doc-partitioned (random)", &doc_busy);
+
+    for (name, assignment) in [
+        ("term pipelined (random)", RandomTermPartitioner.assign(&global, &workload, SERVERS)),
+        ("term pipelined (bin-pack)", BinPackingTermPartitioner.assign(&global, &workload, SERVERS)),
+    ] {
+        let mut eng = PipelinedTermEngine::single_site(&global, assignment, SERVERS);
+        for q in &stream {
+            eng.query(q, 10);
+        }
+        report(name, eng.busy_time());
+    }
+    println!("\npaper shape: bin-packing evens term-partition load (max/mean -> ~1) and");
+    println!("co-occurrence additionally cuts servers/query. Document partitioning beats");
+    println!("the plain term system on throughput, while the balanced term system can");
+    println!("reach it or edge past — exactly Webber et al.'s finding that doc is");
+    println!("'still better' than naive term partitioning but balancing makes 'even");
+    println!("higher values' possible.");
+}

@@ -1,0 +1,70 @@
+//! Experiment **E11**: incremental query processing — completeness vs
+//! deadline (Section 5, communication).
+//!
+//! "The faster query processors provide an initial set of results. Other
+//! remote query processors provide additional results with a higher
+//! latency and users continuously obtain new results."
+//!
+//! Run: `cargo run -p dwr-bench --bin exp_incremental` (use --release)
+
+use dwr_bench::{bar, Fixture, Scale, SEED};
+use dwr_partition::doc::{DocPartitioner, RandomPartitioner};
+use dwr_partition::parted::PartitionedIndex;
+use dwr_query::broker::GlobalHit;
+use dwr_query::incremental::{completeness_at, PartitionArrival};
+use dwr_sim::{SimRng, MILLISECOND};
+use dwr_text::score::Bm25;
+use dwr_text::search::search_or;
+
+const PARTS: usize = 8;
+
+fn main() {
+    println!("E11. Incremental results: completeness of the top-10 vs deadline.");
+    println!("{PARTS} partitions: 4 local (LAN, ~2-10 ms), 4 remote (WAN, ~60-200 ms).\n");
+    let f = Fixture::new(Scale::Medium);
+    let assignment = RandomPartitioner { seed: SEED }.assign(&f.corpus, PARTS);
+    let pi = PartitionedIndex::build(&f.corpus, &assignment, PARTS);
+    let mut rng = SimRng::new(SEED ^ 0x17C);
+    let deadlines: Vec<u64> =
+        vec![5, 10, 20, 50, 100, 150, 250].into_iter().map(|ms| ms * MILLISECOND).collect();
+    let mut acc = vec![0f64; deadlines.len()];
+    let queries = 200;
+    for _ in 0..queries {
+        let q = f.queries.sample(&mut rng);
+        let terms: Vec<dwr_text::TermId> =
+            f.queries.query(q).terms.iter().map(|t| dwr_text::TermId(t.0)).collect();
+        // Per-partition hits with a latency: local partitions fast,
+        // remote ones slow.
+        let arrivals: Vec<PartitionArrival> = (0..PARTS)
+            .map(|p| {
+                let idx = pi.part(p);
+                let hits: Vec<GlobalHit> = search_or(idx, &terms, 10, &Bm25::default(), idx)
+                    .into_iter()
+                    .map(|h| GlobalHit { doc: pi.to_global(p, h.doc), score: h.score })
+                    .collect();
+                let at = if p < PARTS / 2 {
+                    rng.range_u64(2 * MILLISECOND, 10 * MILLISECOND)
+                } else {
+                    rng.range_u64(60 * MILLISECOND, 200 * MILLISECOND)
+                };
+                PartitionArrival { at, hits }
+            })
+            .collect();
+        for (i, &d) in deadlines.iter().enumerate() {
+            acc[i] += completeness_at(&arrivals, d, 10);
+        }
+    }
+
+    println!("  {:>10} {:>14}", "deadline", "completeness");
+    for (i, &d) in deadlines.iter().enumerate() {
+        let c = acc[i] / queries as f64;
+        println!(
+            "  {:>8}ms {:>13.1}%  |{}",
+            d / MILLISECOND,
+            100.0 * c,
+            bar(c, 1.0, 40)
+        );
+    }
+    println!("\npaper shape: roughly half the final answer is available at LAN latency;");
+    println!("the tail waits for the WAN partitions — the case for serving incrementally.");
+}

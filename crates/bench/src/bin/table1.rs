@@ -1,0 +1,8 @@
+//! Regenerate **Table 1**: main modules × key issues, with pointers to the
+//! modules of this repository implementing each cell.
+//!
+//! Run: `cargo run -p dwr-bench --bin table1`
+
+fn main() {
+    print!("{}", dwr_core::taxonomy::render_table1());
+}

@@ -1,0 +1,261 @@
+//! The end-to-end laboratory: web → crawl → partition → index → query.
+//!
+//! [`SearchEngineLab`] runs the complete life cycle of a distributed Web
+//! search engine on a synthetic Web, wiring every subsystem crate
+//! together. It is both the top-level public API (the quickstart example
+//! uses nothing else) and the integration substrate for cross-crate tests.
+
+use dwr_crawler::assign::ConsistentHashAssigner;
+use dwr_crawler::sim::{CrawlConfig, CrawlReport, DistributedCrawl};
+use dwr_partition::doc::{DocPartitioner, RandomPartitioner};
+use dwr_partition::parted::{corpus_from_web, Corpus, PartitionedIndex};
+use dwr_query::broker::GlobalHit;
+use dwr_query::cache::LruCache;
+use dwr_query::engine::{DistributedEngine, EngineStats, Served};
+use dwr_querylog::arrival::DiurnalProfile;
+use dwr_querylog::log::QueryLog;
+use dwr_querylog::model::QueryModel;
+use dwr_sim::{SimTime, HOUR};
+use dwr_text::TermId;
+use dwr_webgraph::content::ContentModel;
+use dwr_webgraph::generate::{generate_web, WebConfig};
+use dwr_webgraph::SyntheticWeb;
+
+/// Configuration of a full laboratory run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Synthetic web parameters.
+    pub web: WebConfig,
+    /// Crawl parameters.
+    pub crawl: CrawlConfig,
+    /// Number of index partitions / query processors.
+    pub partitions: usize,
+    /// Replicas per partition.
+    pub replicas: usize,
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Distinct queries in the universe.
+    pub query_universe: usize,
+    /// Length of the simulated query stream.
+    pub stream_horizon: SimTime,
+    /// Mean arrival rate of queries, per second.
+    pub query_qps: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            web: WebConfig::tiny(),
+            crawl: CrawlConfig::default(),
+            partitions: 4,
+            replicas: 2,
+            cache_capacity: 256,
+            query_universe: 1_000,
+            stream_horizon: HOUR,
+            query_qps: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Report of an end-to-end run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Crawl outcome.
+    pub crawl: CrawlReport,
+    /// Documents actually indexed (crawled pages only).
+    pub indexed_docs: usize,
+    /// Query-serving counters.
+    pub serving: EngineStats,
+    /// Result-cache hit ratio over the stream.
+    pub cache_hit_ratio: f64,
+    /// Queries in the stream.
+    pub queries_served: u64,
+}
+
+/// The assembled laboratory.
+pub struct SearchEngineLab {
+    web: SyntheticWeb,
+    content: ContentModel,
+    corpus: Corpus,
+    index: PartitionedIndex,
+    query_model: QueryModel,
+    crawl_report: CrawlReport,
+    cfg: EngineConfig,
+}
+
+impl SearchEngineLab {
+    /// Build the laboratory: generates the web, crawls it, and indexes the
+    /// crawled documents into a document-partitioned index.
+    ///
+    /// Pages the crawler failed to reach are indexed as empty documents
+    /// (they exist in the id space but match nothing), mirroring a real
+    /// engine whose index only covers its crawl.
+    pub fn build(cfg: EngineConfig) -> Self {
+        let web = generate_web(&cfg.web, cfg.seed);
+        let content = ContentModel::small(cfg.web.num_topics);
+
+        // Crawl.
+        let assigner = ConsistentHashAssigner::new(cfg.crawl.agents, 64);
+        let crawl_report =
+            DistributedCrawl::new(&web, assigner, cfg.crawl.clone(), cfg.seed).run();
+
+        // Corpus of *crawled* pages; uncrawled pages are empty docs.
+        // Re-run the crawl cheaply is not possible (report only), so we
+        // approximate coverage: the fetched count tells us how many pages
+        // made it; we index the full corpus when coverage is high. For
+        // faithful accounting we zero out a deterministic sample of
+        // (1 - coverage) pages.
+        let mut corpus = corpus_from_web(&web, &content, cfg.seed);
+        let missing = corpus.len() - crawl_report.fetched_pages.min(corpus.len() as u64) as usize;
+        if missing > 0 {
+            let mut rng = dwr_sim::SimRng::new(cfg.seed).fork_named("uncrawled");
+            let holes = rng.sample_indices(corpus.len(), missing);
+            for h in holes {
+                corpus[h].clear();
+            }
+        }
+
+        // Partition + index.
+        let assignment = RandomPartitioner { seed: cfg.seed }.assign(&corpus, cfg.partitions);
+        let index = PartitionedIndex::build(&corpus, &assignment, cfg.partitions);
+
+        // Query universe.
+        let query_model =
+            QueryModel::generate(&content, cfg.query_universe, 0.8, 0.9, cfg.seed ^ 0xABCD);
+
+        SearchEngineLab { web, content, corpus, index, query_model, crawl_report, cfg }
+    }
+
+    /// The synthetic web.
+    pub fn web(&self) -> &SyntheticWeb {
+        &self.web
+    }
+
+    /// The content model.
+    pub fn content(&self) -> &ContentModel {
+        &self.content
+    }
+
+    /// The indexed corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The partitioned index.
+    pub fn index(&self) -> &PartitionedIndex {
+        &self.index
+    }
+
+    /// The query model.
+    pub fn query_model(&self) -> &QueryModel {
+        &self.query_model
+    }
+
+    /// The crawl report of the build phase.
+    pub fn crawl_report(&self) -> &CrawlReport {
+        &self.crawl_report
+    }
+
+    /// Answer a single ad-hoc query (no cache), top-k global hits.
+    pub fn search(&self, terms: &[TermId], k: usize) -> Vec<GlobalHit> {
+        let mut broker = dwr_query::broker::DocBroker::single_site(&self.index);
+        broker.query(terms, k).hits
+    }
+
+    /// Serve a realistic query stream through the full engine (cache +
+    /// replicated partitions) and report.
+    pub fn serve_stream(&self) -> EngineReport {
+        let profiles = vec![DiurnalProfile {
+            mean_qps: self.cfg.query_qps,
+            amplitude: 0.6,
+            phase: 0.0,
+        }];
+        let log = QueryLog::generate(
+            &self.query_model,
+            &profiles,
+            self.cfg.stream_horizon,
+            None,
+            self.cfg.seed ^ 0xBEEF,
+        );
+        let cache = LruCache::new(self.cfg.cache_capacity);
+        let mut engine = DistributedEngine::new(&self.index, cache, self.cfg.replicas);
+        let mut served = 0u64;
+        for rec in log.records() {
+            let q = self.query_model.query(rec.query);
+            let terms: Vec<TermId> = q.terms.iter().map(|t| TermId(t.0)).collect();
+            let (_, outcome) = engine.query(&terms, 10);
+            debug_assert!(!matches!(outcome, Served::Failed));
+            served += 1;
+        }
+        EngineReport {
+            crawl: self.crawl_report.clone(),
+            indexed_docs: self.corpus.iter().filter(|d| !d.is_empty()).count(),
+            serving: engine.stats(),
+            cache_hit_ratio: engine.cache_stats().hit_ratio(),
+            queries_served: served,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> EngineConfig {
+        let mut web = WebConfig::tiny();
+        web.num_pages = 600;
+        web.num_hosts = 30;
+        EngineConfig {
+            web,
+            crawl: CrawlConfig {
+                agents: 2,
+                connections_per_agent: 8,
+                politeness_delay: dwr_sim::SECOND / 2,
+                ..CrawlConfig::default()
+            },
+            partitions: 3,
+            replicas: 2,
+            cache_capacity: 64,
+            query_universe: 200,
+            stream_horizon: HOUR / 2,
+            query_qps: 0.5,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn end_to_end_builds_and_serves() {
+        let lab = SearchEngineLab::build(small_cfg());
+        assert!(lab.crawl_report().coverage > 0.4);
+        let report = lab.serve_stream();
+        assert!(report.queries_served > 0);
+        assert!(report.indexed_docs > 0);
+        assert_eq!(
+            report.serving.full + report.serving.cache_hits + report.serving.degraded,
+            report.queries_served
+        );
+        // Zipf query stream must produce cache hits.
+        assert!(report.cache_hit_ratio > 0.1, "hit ratio {}", report.cache_hit_ratio);
+    }
+
+    #[test]
+    fn search_returns_ranked_hits() {
+        let lab = SearchEngineLab::build(small_cfg());
+        let q = lab.query_model().query(dwr_querylog::model::QueryId(0));
+        let terms: Vec<TermId> = q.terms.iter().map(|t| TermId(t.0)).collect();
+        let hits = lab.search(&terms, 10);
+        assert!(hits.len() <= 10);
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = SearchEngineLab::build(small_cfg());
+        let b = SearchEngineLab::build(small_cfg());
+        assert_eq!(a.crawl_report().fetched_pages, b.crawl_report().fetched_pages);
+        assert_eq!(a.index().sizes(), b.index().sizes());
+    }
+}

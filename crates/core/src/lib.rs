@@ -1,0 +1,19 @@
+//! # dwr-core — the assembled distributed Web retrieval laboratory
+//!
+//! Everything the other crates provide, wired end-to-end:
+//!
+//! * [`taxonomy`](mod@taxonomy) — Table 1 of the paper as data: the module × issue
+//!   matrix with the exact entries the paper lists;
+//! * [`engine`] — the full life cycle: generate a synthetic Web → crawl it
+//!   with distributed agents → partition and index the crawled documents →
+//!   serve a query stream through caches, collection selection and
+//!   replicated partitions, reporting the metrics every experiment needs.
+//!
+//! See `DESIGN.md` at the repository root for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub mod engine;
+pub mod taxonomy;
+
+pub use engine::{EngineConfig, EngineReport, SearchEngineLab};
+pub use taxonomy::{taxonomy, Issue, Module, TaxonomyEntry};

@@ -1,0 +1,271 @@
+//! Per-agent crawl frontier with hard politeness.
+//!
+//! "De facto standards of operation state that a crawler should not open
+//! more than one connection at a time to each Web server, and should wait
+//! several seconds between repeated accesses" \[4\]. The frontier enforces
+//! both: a host is *busy* while one of its pages is being fetched, and
+//! after completion it only becomes eligible again `politeness_delay`
+//! later. Hosts are kept in a ready-heap keyed by eligibility time.
+
+use dwr_sim::{SimTime, SECOND};
+use dwr_webgraph::graph::{HostId, PageId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// The frontier of one crawling agent.
+#[derive(Debug)]
+pub struct Frontier {
+    /// Per-host FIFO of pages to fetch.
+    queues: HashMap<HostId, VecDeque<PageId>>,
+    /// Hosts with pending pages, keyed by next-eligible time. A host is in
+    /// the heap iff it has pages and is not busy.
+    ready: BinaryHeap<Reverse<(SimTime, HostId)>>,
+    /// Hosts currently fetching (politeness: at most one connection).
+    busy: HashSet<HostId>,
+    /// Earliest next access per host.
+    next_allowed: HashMap<HostId, SimTime>,
+    /// Pages ever enqueued (URL-seen test).
+    seen: HashSet<PageId>,
+    /// Minimum delay between accesses to one host.
+    politeness_delay: SimTime,
+    pending: usize,
+}
+
+impl Frontier {
+    /// Create a frontier with the given inter-access delay (the paper's
+    /// "several seconds"; default experiments use 2 s).
+    pub fn new(politeness_delay: SimTime) -> Self {
+        Frontier {
+            queues: HashMap::new(),
+            ready: BinaryHeap::new(),
+            busy: HashSet::new(),
+            next_allowed: HashMap::new(),
+            seen: HashSet::new(),
+            politeness_delay,
+            pending: 0,
+        }
+    }
+
+    /// A 2-second-politeness frontier.
+    pub fn with_default_politeness() -> Self {
+        Self::new(2 * SECOND)
+    }
+
+    /// Enqueue a page if its URL has not been seen before.
+    /// Returns whether it was fresh.
+    pub fn offer(&mut self, host: HostId, page: PageId, now: SimTime) -> bool {
+        if !self.seen.insert(page) {
+            return false;
+        }
+        let q = self.queues.entry(host).or_default();
+        let was_empty = q.is_empty();
+        q.push_back(page);
+        self.pending += 1;
+        if was_empty && !self.busy.contains(&host) {
+            let at = self.next_allowed.get(&host).copied().unwrap_or(0).max(now);
+            self.ready.push(Reverse((at, host)));
+        }
+        true
+    }
+
+    /// Whether the page's URL has been seen by this agent.
+    pub fn has_seen(&self, page: PageId) -> bool {
+        self.seen.contains(&page)
+    }
+
+    /// Forget a page from the seen set (used when ownership moves away so
+    /// the new owner counts it; rarely needed by callers).
+    pub fn mark_seen(&mut self, page: PageId) {
+        self.seen.insert(page);
+    }
+
+    /// Number of pages waiting (not in flight).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Pop the next fetchable page at `now`.
+    ///
+    /// * `Ok((host, page))` — fetch this now; the host becomes busy.
+    /// * `Err(Some(t))` — nothing eligible yet; earliest eligibility is `t`.
+    /// * `Err(None)` — frontier has no pending pages at all.
+    pub fn next_fetch(&mut self, now: SimTime) -> Result<(HostId, PageId), Option<SimTime>> {
+        loop {
+            let Some(&Reverse((at, host))) = self.ready.peek() else {
+                return Err(None);
+            };
+            // Stale heap entries (host emptied or became busy) are skipped.
+            let valid = !self.busy.contains(&host)
+                && self.queues.get(&host).is_some_and(|q| !q.is_empty());
+            if !valid {
+                self.ready.pop();
+                continue;
+            }
+            if at > now {
+                return Err(Some(at));
+            }
+            self.ready.pop();
+            let q = self.queues.get_mut(&host).expect("validated above");
+            let page = q.pop_front().expect("validated above");
+            self.pending -= 1;
+            self.busy.insert(host);
+            return Ok((host, page));
+        }
+    }
+
+    /// Report a fetch completion (success or permanent failure) at `now`:
+    /// frees the host and starts its politeness interval.
+    pub fn complete(&mut self, host: HostId, now: SimTime) {
+        let was_busy = self.busy.remove(&host);
+        assert!(was_busy, "complete() for a host that was not busy");
+        let at = now + self.politeness_delay;
+        self.next_allowed.insert(host, at);
+        if self.queues.get(&host).is_some_and(|q| !q.is_empty()) {
+            self.ready.push(Reverse((at, host)));
+        }
+    }
+
+    /// Re-queue a page after a transient failure; it goes to the back of
+    /// its host's queue and the host gets an extra back-off before the next
+    /// attempt. The host must currently be busy with this fetch.
+    pub fn retry_later(&mut self, host: HostId, page: PageId, now: SimTime, backoff: SimTime) {
+        let was_busy = self.busy.remove(&host);
+        assert!(was_busy, "retry_later() for a host that was not busy");
+        self.queues.entry(host).or_default().push_back(page);
+        self.pending += 1;
+        let at = now + self.politeness_delay + backoff;
+        self.next_allowed.insert(host, at);
+        self.ready.push(Reverse((at, host)));
+    }
+
+    /// Remove and return all pending pages (used when this agent crashes
+    /// and its work is redistributed). Seen set is dropped with the agent.
+    pub fn drain(&mut self) -> Vec<(HostId, PageId)> {
+        let mut out = Vec::with_capacity(self.pending);
+        for (&host, q) in &mut self.queues {
+            while let Some(p) = q.pop_front() {
+                out.push((host, p));
+            }
+        }
+        self.pending = 0;
+        self.ready.clear();
+        // Deterministic order for the reassignment path.
+        out.sort_unstable_by_key(|&(h, p)| (h, p));
+        out
+    }
+
+    /// Whether any host is mid-fetch.
+    pub fn has_busy(&self) -> bool {
+        !self.busy.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H1: HostId = HostId(1);
+    const H2: HostId = HostId(2);
+
+    #[test]
+    fn offer_dedupes() {
+        let mut f = Frontier::new(SECOND);
+        assert!(f.offer(H1, PageId(1), 0));
+        assert!(!f.offer(H1, PageId(1), 0));
+        assert_eq!(f.pending(), 1);
+    }
+
+    #[test]
+    fn one_connection_per_host() {
+        let mut f = Frontier::new(SECOND);
+        f.offer(H1, PageId(1), 0);
+        f.offer(H1, PageId(2), 0);
+        let (h, p) = f.next_fetch(0).expect("first fetch");
+        assert_eq!((h, p), (H1, PageId(1)));
+        // Second page of same host is blocked while busy.
+        assert_eq!(f.next_fetch(0), Err(None));
+        f.complete(H1, 10);
+        // Politeness: not before 10 + 1s.
+        assert_eq!(f.next_fetch(10), Err(Some(10 + SECOND)));
+        let (h2, p2) = f.next_fetch(10 + SECOND).expect("after politeness");
+        assert_eq!((h2, p2), (H1, PageId(2)));
+    }
+
+    #[test]
+    fn different_hosts_fetch_concurrently() {
+        let mut f = Frontier::new(SECOND);
+        f.offer(H1, PageId(1), 0);
+        f.offer(H2, PageId(2), 0);
+        let a = f.next_fetch(0).expect("host 1");
+        let b = f.next_fetch(0).expect("host 2");
+        assert_ne!(a.0, b.0);
+    }
+
+    #[test]
+    fn politeness_interval_enforced_between_accesses() {
+        let mut f = Frontier::new(2 * SECOND);
+        f.offer(H1, PageId(1), 0);
+        f.offer(H1, PageId(2), 0);
+        let _ = f.next_fetch(0).unwrap();
+        f.complete(H1, 5 * SECOND);
+        match f.next_fetch(5 * SECOND) {
+            Err(Some(t)) => assert_eq!(t, 7 * SECOND),
+            other => panic!("expected wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_backs_off() {
+        let mut f = Frontier::new(SECOND);
+        f.offer(H1, PageId(1), 0);
+        let _ = f.next_fetch(0).unwrap();
+        f.retry_later(H1, PageId(1), 0, 10 * SECOND);
+        assert_eq!(f.pending(), 1);
+        match f.next_fetch(0) {
+            Err(Some(t)) => assert_eq!(t, 11 * SECOND),
+            other => panic!("expected backoff, got {other:?}"),
+        }
+        let (_, p) = f.next_fetch(11 * SECOND).unwrap();
+        assert_eq!(p, PageId(1));
+    }
+
+    #[test]
+    fn drain_returns_everything_pending() {
+        let mut f = Frontier::new(SECOND);
+        f.offer(H1, PageId(1), 0);
+        f.offer(H1, PageId(2), 0);
+        f.offer(H2, PageId(3), 0);
+        let _ = f.next_fetch(0).unwrap(); // one in flight, not drained
+        let drained = f.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn empty_frontier_reports_none() {
+        let mut f = Frontier::new(SECOND);
+        assert_eq!(f.next_fetch(100), Err(None));
+    }
+
+    #[test]
+    #[should_panic(expected = "not busy")]
+    fn complete_requires_busy() {
+        let mut f = Frontier::new(SECOND);
+        f.complete(H1, 0);
+    }
+
+    #[test]
+    fn fifo_within_host() {
+        let mut f = Frontier::new(0);
+        for i in 0..5 {
+            f.offer(H1, PageId(i), 0);
+        }
+        let mut order = Vec::new();
+        for _ in 0..5 {
+            let (_, p) = f.next_fetch(1_000_000).unwrap();
+            order.push(p.0);
+            f.complete(H1, 1_000_000);
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # dwr-crawler — distributed crawling (Section 3)
+//!
+//! A distributed crawler "operates simultaneous crawling agents (...) the
+//! same agent is responsible for all the content of a set of Web servers"
+//! — and its design questions are exactly the paper's Table 1 row:
+//!
+//! * **Partitioning** ([`assign`]) — URL/host assignment: plain hashing,
+//!   consistent hashing with replicated virtual buckets (UbiCrawler \[6\]),
+//!   and geographic assignment \[13\]. Metrics: balance and how many hosts
+//!   move when an agent joins or leaves.
+//! * **Communication** ([`exchange`]) — batched URL exchanges between
+//!   agents, with suppression of the most-cited URLs ("agents do not need
+//!   to exchange URLs found very frequently" thanks to the power-law
+//!   in-degree \[5\]).
+//! * **Dependability** ([`sim`]) — agent crashes mid-crawl; the consistent
+//!   hash reassigns the dead agent's hosts with minimal disruption, and
+//!   the crawl completes with bounded duplicate work.
+//! * **External factors** ([`sim`], via `dwr-webgraph`'s DNS and QoS
+//!   models) — DNS caching, slow servers, transient failures and retry,
+//!   and the hard politeness invariant: *never more than one open
+//!   connection per server* plus a minimum delay between accesses.
+//! * **Re-crawling** ([`recrawl`]) — freshness-driven revisit scheduling
+//!   against the web's change process, with server cooperation and growth.
+//! * **Prioritization** ([`priority`]) — citation-count frontier ordering
+//!   ("prioritize high-quality objects"; Section 6's open problem).
+
+pub mod assign;
+pub mod exchange;
+pub mod frontier;
+pub mod priority;
+pub mod recrawl;
+pub mod sim;
+
+pub use assign::{AgentId, ConsistentHashAssigner, GeoAssigner, HashAssigner, UrlAssigner};
+pub use sim::{CrawlConfig, CrawlReport, DistributedCrawl};

@@ -1,0 +1,685 @@
+//! The distributed crawl simulation.
+//!
+//! Event-driven execution of a full distributed crawl over a
+//! [`SyntheticWeb`]: agents with bounded connection pools fetch pages
+//! through the QoS model (slow servers, transient failures, retries),
+//! resolve hosts through per-agent DNS caches, enforce per-host politeness
+//! via [`Frontier`], route discovered URLs with a pluggable
+//! [`UrlAssigner`], exchange non-local URLs in batches, and optionally
+//! survive an agent crash mid-crawl (the dependability scenario of
+//! Section 3).
+
+use crate::assign::{AgentId, UrlAssigner};
+use crate::exchange::{ExchangeBuffers, ExchangeStats};
+use crate::frontier::Frontier;
+use dwr_sim::event::{EventQueue, SimTime};
+use dwr_sim::net::Link;
+use dwr_sim::{SimRng, SECOND};
+use dwr_webgraph::dns::{DnsCache, DnsServer, DnsStats};
+use dwr_webgraph::graph::{HostId, PageId};
+use dwr_webgraph::qos::{FetchOutcome, QosConfig, QosModel};
+use dwr_webgraph::sitemap::{RobotsPolicy, SitemapIndex};
+use dwr_webgraph::SyntheticWeb;
+use std::collections::{HashMap, HashSet};
+
+/// Crawl parameters.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Number of crawling agents.
+    pub agents: u32,
+    /// Concurrent connections per agent ("several hundred TCP connections"
+    /// in production; smaller here for simulation speed).
+    pub connections_per_agent: usize,
+    /// Minimum delay between accesses to one host.
+    pub politeness_delay: SimTime,
+    /// URL-exchange batch size.
+    pub batch_size: usize,
+    /// Seed every agent with the `k` most-cited URLs (0 disables
+    /// suppression).
+    pub most_cited_seed: usize,
+    /// Link model for inter-agent messages.
+    pub link: Link,
+    /// Transient-failure retries before a URL is abandoned.
+    pub max_retries: u32,
+    /// Connection-timeout charged to a failed fetch attempt.
+    pub failure_timeout: SimTime,
+    /// Periodic exchange flush interval.
+    pub flush_interval: SimTime,
+    /// Server QoS configuration.
+    pub qos: QosConfig,
+    /// Crash this agent at this time, redistributing its work.
+    pub crash: Option<(AgentId, SimTime)>,
+    /// Initial seed pages (page 0 of the first `seeds` hosts).
+    pub seeds: usize,
+    /// Fraction of hosts with a restrictive robots.txt.
+    pub robots_restrictive_fraction: f64,
+    /// Fraction of pages such hosts disallow.
+    pub robots_disallow_fraction: f64,
+    /// Fraction of hosts publishing sitemaps: one fetch from such a host
+    /// discovers every page it serves (the sitemaps.org cooperation).
+    pub sitemap_fraction: f64,
+    /// Extra fetch latency when the agent's region differs from the
+    /// host's (the geographic-crawling cost of \[13\]).
+    pub cross_region_penalty: SimTime,
+    /// Region of each agent (empty = all agents in region 0).
+    pub agent_regions: Vec<u16>,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            agents: 4,
+            connections_per_agent: 16,
+            politeness_delay: 2 * SECOND,
+            batch_size: 50,
+            most_cited_seed: 0,
+            link: Link::wan(),
+            max_retries: 3,
+            failure_timeout: 5 * SECOND,
+            flush_interval: 10 * SECOND,
+            qos: QosConfig::default(),
+            crash: None,
+            seeds: 8,
+            robots_restrictive_fraction: 0.0,
+            robots_disallow_fraction: 0.0,
+            sitemap_fraction: 0.0,
+            cross_region_penalty: 0,
+            agent_regions: Vec::new(),
+        }
+    }
+}
+
+/// Result of a simulated crawl.
+#[derive(Debug, Clone)]
+pub struct CrawlReport {
+    /// Distinct pages fetched at least once.
+    pub fetched_pages: u64,
+    /// Fetches of pages already fetched before (crash recovery cost).
+    pub duplicate_fetches: u64,
+    /// All fetch attempts, including failures.
+    pub attempts: u64,
+    /// Attempts that hit a transient failure.
+    pub transient_failures: u64,
+    /// URLs abandoned after exhausting retries.
+    pub abandoned: u64,
+    /// Fraction of all pages fetched.
+    pub coverage: f64,
+    /// Simulated completion time.
+    pub makespan: SimTime,
+    /// Successful fetches per agent.
+    pub per_agent_fetches: Vec<u64>,
+    /// Aggregated URL-exchange traffic.
+    pub exchange: ExchangeStats,
+    /// Aggregated DNS cache statistics.
+    pub dns: DnsStats,
+    /// Total bytes downloaded.
+    pub bytes_downloaded: u64,
+    /// Discovered URLs skipped because robots.txt disallows them.
+    pub robots_skipped: u64,
+    /// Pages the robots policies permit fetching.
+    pub allowed_pages: u64,
+    /// Fraction of *allowed* pages fetched.
+    pub coverage_allowed: f64,
+    /// Pages first discovered through a sitemap rather than a link.
+    pub sitemap_discoveries: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A free connection slot of `agent` looks for work.
+    TryFetch { agent: u32 },
+    /// A fetch attempt finished.
+    FetchDone { agent: u32, host: HostId, page: PageId, outcome: FetchOutcome },
+    /// A URL-exchange batch arrives.
+    Deliver { to: u32, urls: Vec<PageId> },
+    /// Periodic buffer flush.
+    FlushTick,
+    /// Agent crash.
+    Crash { agent: u32 },
+}
+
+struct AgentState {
+    frontier: Frontier,
+    exchange: ExchangeBuffers,
+    dns: DnsCache,
+    idle_slots: usize,
+    dead: bool,
+    fetches: u64,
+    /// Pages currently being fetched by this agent. Needed at crash time:
+    /// their FetchDone events will be ignored, so the coordinator must
+    /// re-allocate them (and the work accounting must not leak).
+    in_flight: Vec<(HostId, PageId)>,
+}
+
+/// The crawl simulator. Construct, then [`DistributedCrawl::run`].
+pub struct DistributedCrawl<'w, A: UrlAssigner> {
+    web: &'w SyntheticWeb,
+    assigner: A,
+    cfg: CrawlConfig,
+    rng: SimRng,
+}
+
+impl<'w, A: UrlAssigner> DistributedCrawl<'w, A> {
+    /// Create a simulator over `web` with the given assignment policy.
+    pub fn new(web: &'w SyntheticWeb, assigner: A, cfg: CrawlConfig, seed: u64) -> Self {
+        assert!(cfg.agents > 0 && cfg.connections_per_agent > 0);
+        DistributedCrawl { web, assigner, cfg, rng: SimRng::new(seed) }
+    }
+
+    /// Run the crawl to completion and report.
+    ///
+    /// Work accounting invariant: a URL is *outstanding* from the moment
+    /// it enters a frontier or an exchange buffer until it is fetched,
+    /// abandoned, or deduplicated away. The flush timer keeps ticking while
+    /// anything is outstanding, so buffered URLs can never be stranded.
+    pub fn run(mut self) -> CrawlReport {
+        let n = self.cfg.agents as usize;
+        let mut qos = QosModel::new(
+            self.web.num_hosts(),
+            self.cfg.qos,
+            self.rng.fork_named("qos").next_u64(),
+        );
+        let known: HashSet<PageId> =
+            self.web.most_cited(self.cfg.most_cited_seed).into_iter().collect();
+        let robots = RobotsPolicy::generate(
+            self.web,
+            self.cfg.robots_restrictive_fraction,
+            self.cfg.robots_disallow_fraction,
+            self.rng.fork_named("robots").next_u64(),
+        );
+        let sitemaps = SitemapIndex::generate(
+            self.web,
+            self.cfg.sitemap_fraction,
+            self.rng.fork_named("sitemaps").next_u64(),
+        );
+        let allowed_pages = robots.allowed_count(self.web) as u64;
+        let mut robots_skipped = 0u64;
+        let mut sitemap_discoveries = 0u64;
+        let mut sitemap_served: HashSet<HostId> = HashSet::new();
+
+        let mut agents: Vec<AgentState> = (0..n)
+            .map(|i| AgentState {
+                frontier: Frontier::new(self.cfg.politeness_delay),
+                exchange: ExchangeBuffers::new(self.cfg.batch_size, known.clone()),
+                dns: DnsCache::new(
+                    DnsServer::typical(self.rng.fork(i as u64).fork_named("dns")),
+                    3_600 * SECOND,
+                    10_000,
+                ),
+                idle_slots: self.cfg.connections_per_agent,
+                dead: false,
+                fetches: 0,
+                in_flight: Vec::new(),
+            })
+            .collect();
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut fetched: HashSet<PageId> = HashSet::new();
+        let mut retry_count: HashMap<PageId, u32> = HashMap::new();
+        let mut duplicates = 0u64;
+        let mut attempts = 0u64;
+        let mut failures = 0u64;
+        let mut abandoned = 0u64;
+        let mut bytes = 0u64;
+        let mut outstanding: i64 = 0;
+        let mut flush_scheduled = true;
+
+        // Seed: the first page of the first `seeds` hosts plus the
+        // most-cited set (which every agent knows from a previous crawl).
+        let mut seed_pages: Vec<PageId> = (0..self.cfg.seeds.min(self.web.num_hosts()))
+            .map(|h| self.web.pages_of_host(HostId(h as u32))[0])
+            .collect();
+        seed_pages.extend(known.iter().copied());
+        seed_pages.sort_unstable();
+        seed_pages.dedup();
+        for p in seed_pages {
+            if !robots.allowed(p, self.web) {
+                robots_skipped += 1;
+                continue;
+            }
+            let host = self.web.page(p).host;
+            let owner = self.assigner.agent_for(host, self.web);
+            if agents[owner.0 as usize].frontier.offer(host, p, 0) {
+                outstanding += 1;
+            }
+        }
+        for (i, a) in agents.iter_mut().enumerate() {
+            for _ in 0..a.idle_slots {
+                queue.schedule_at(0, Event::TryFetch { agent: i as u32 });
+            }
+            a.idle_slots = 0;
+        }
+        if let Some((agent, at)) = self.cfg.crash {
+            queue.schedule_at(at, Event::Crash { agent: agent.0 });
+        }
+        queue.schedule_at(self.cfg.flush_interval, Event::FlushTick);
+
+        let mut link_rng = self.rng.fork_named("link");
+
+        while let Some((now, ev)) = queue.pop() {
+            match ev {
+                Event::TryFetch { agent } => {
+                    let a = &mut agents[agent as usize];
+                    if a.dead {
+                        continue;
+                    }
+                    match a.frontier.next_fetch(now) {
+                        Ok((host, page)) => {
+                            a.in_flight.push((host, page));
+                            let dns_latency = a.dns.resolve(host, now);
+                            attempts += 1;
+                            let region_penalty = match self.cfg.agent_regions.get(agent as usize) {
+                                Some(&r) if r != self.web.host(host).region => {
+                                    self.cfg.cross_region_penalty
+                                }
+                                _ => 0,
+                            };
+                            let (outcome, duration) =
+                                match qos.fetch(host, u64::from(self.web.page(page).size_bytes)) {
+                                    FetchOutcome::Ok(t) => (FetchOutcome::Ok(t), t),
+                                    FetchOutcome::TransientFailure => {
+                                        (FetchOutcome::TransientFailure, self.cfg.failure_timeout)
+                                    }
+                                };
+                            queue.schedule_at(
+                                now + dns_latency + duration + region_penalty,
+                                Event::FetchDone { agent, host, page, outcome },
+                            );
+                        }
+                        Err(Some(at)) => queue.schedule_at(at, Event::TryFetch { agent }),
+                        Err(None) => a.idle_slots += 1,
+                    }
+                }
+                Event::FetchDone { agent, host, page, outcome } => {
+                    if agents[agent as usize].dead {
+                        // Agent vanished mid-fetch; the crash handler
+                        // already redistributed its queued work, and the
+                        // in-flight page was accounted there.
+                        continue;
+                    }
+                    agents[agent as usize]
+                        .in_flight
+                        .retain(|&(h, p)| (h, p) != (host, page));
+                    match outcome {
+                        FetchOutcome::Ok(_) => {
+                            agents[agent as usize].frontier.complete(host, now);
+                            agents[agent as usize].fetches += 1;
+                            outstanding -= 1;
+                            bytes += u64::from(self.web.page(page).size_bytes);
+                            if !fetched.insert(page) {
+                                duplicates += 1;
+                            }
+                            // First successful contact with a sitemap host
+                            // discovers every allowed page it serves.
+                            if sitemaps.has(host) && sitemap_served.insert(host) {
+                                let a = &mut agents[agent as usize];
+                                for &p in self.web.pages_of_host(host) {
+                                    if !robots.allowed(p, self.web) {
+                                        continue;
+                                    }
+                                    if a.frontier.offer(host, p, now) {
+                                        outstanding += 1;
+                                        sitemap_discoveries += 1;
+                                        if a.idle_slots > 0 {
+                                            a.idle_slots -= 1;
+                                            queue.schedule_at(now, Event::TryFetch { agent });
+                                        }
+                                    }
+                                }
+                            }
+                            let links: Vec<PageId> = self.web.outlinks(page).to_vec();
+                            for target in links {
+                                if !robots.allowed(target, self.web) {
+                                    robots_skipped += 1;
+                                    continue;
+                                }
+                                let t_host = self.web.page(target).host;
+                                let owner = self.assigner.agent_for(t_host, self.web);
+                                if owner.0 == agent {
+                                    let a = &mut agents[agent as usize];
+                                    if a.frontier.offer(t_host, target, now) {
+                                        outstanding += 1;
+                                        if a.idle_slots > 0 {
+                                            a.idle_slots -= 1;
+                                            queue.schedule_at(now, Event::TryFetch { agent });
+                                        }
+                                    }
+                                } else {
+                                    let a = &mut agents[agent as usize];
+                                    let suppressed_before = a.exchange.stats().suppressed;
+                                    let maybe_batch = a.exchange.offer(owner, target);
+                                    if a.exchange.stats().suppressed == suppressed_before {
+                                        // Entered the exchange system.
+                                        outstanding += 1;
+                                    }
+                                    if let Some(batch) = maybe_batch {
+                                        let lat = self.cfg.link.transfer_time_jittered(
+                                            crate::exchange::BYTES_PER_MESSAGE
+                                                + batch.len() as u64
+                                                    * crate::exchange::BYTES_PER_URL,
+                                            &mut link_rng,
+                                        );
+                                        queue.schedule_at(
+                                            now + lat,
+                                            Event::Deliver { to: owner.0, urls: batch },
+                                        );
+                                    }
+                                }
+                            }
+                            queue.schedule_at(now, Event::TryFetch { agent });
+                        }
+                        FetchOutcome::TransientFailure => {
+                            failures += 1;
+                            let count = retry_count.entry(page).or_insert(0);
+                            *count += 1;
+                            if *count <= self.cfg.max_retries {
+                                let backoff = qos.retry_backoff();
+                                agents[agent as usize]
+                                    .frontier
+                                    .retry_later(host, page, now, backoff);
+                            } else {
+                                agents[agent as usize].frontier.complete(host, now);
+                                abandoned += 1;
+                                outstanding -= 1;
+                            }
+                            queue.schedule_at(now, Event::TryFetch { agent });
+                        }
+                    }
+                }
+                Event::Deliver { to, urls } => {
+                    for url in urls {
+                        let host = self.web.page(url).host;
+                        // If the addressee died, the current assignment
+                        // owns these URLs now.
+                        let owner = if agents[to as usize].dead {
+                            self.assigner.agent_for(host, self.web)
+                        } else {
+                            AgentId(to)
+                        };
+                        let a = &mut agents[owner.0 as usize];
+                        if a.frontier.offer(host, url, now) {
+                            if a.idle_slots > 0 {
+                                a.idle_slots -= 1;
+                                queue.schedule_at(now, Event::TryFetch { agent: owner.0 });
+                            }
+                        } else {
+                            // Known URL: the work item evaporates.
+                            outstanding -= 1;
+                        }
+                    }
+                }
+                Event::FlushTick => {
+                    flush_scheduled = false;
+                    for agent_state in agents.iter_mut() {
+                        if agent_state.dead {
+                            continue;
+                        }
+                        let flushes = agent_state.exchange.flush_all();
+                        for (dest, batch) in flushes {
+                            let lat = self.cfg.link.transfer_time_jittered(
+                                crate::exchange::BYTES_PER_MESSAGE
+                                    + batch.len() as u64 * crate::exchange::BYTES_PER_URL,
+                                &mut link_rng,
+                            );
+                            queue.schedule_at(
+                                now + lat,
+                                Event::Deliver { to: dest.0, urls: batch },
+                            );
+                        }
+                    }
+                    if outstanding > 0 {
+                        queue.schedule_at(now + self.cfg.flush_interval, Event::FlushTick);
+                        flush_scheduled = true;
+                    }
+                }
+                Event::Crash { agent } => {
+                    let orphans: Vec<PageId> = {
+                        let a = &mut agents[agent as usize];
+                        if a.dead {
+                            continue;
+                        }
+                        a.dead = true;
+                        a.idle_slots = 0;
+                        let mut urls: Vec<PageId> =
+                            a.frontier.drain().into_iter().map(|(_, p)| p).collect();
+                        // In-flight fetches are lost with the agent; their
+                        // FetchDone events will be ignored, so re-allocate
+                        // the pages here (keeps `outstanding` accurate).
+                        urls.extend(a.in_flight.drain(..).map(|(_, p)| p));
+                        // Undelivered outgoing buffers are re-allocated by
+                        // the coordinator as well.
+                        let dests: Vec<AgentId> =
+                            (0..n as u32).map(AgentId).filter(|d| d.0 != agent).collect();
+                        for dest in dests {
+                            urls.extend(a.exchange.recall(dest));
+                        }
+                        urls
+                    };
+                    self.assigner.remove_agent(AgentId(agent));
+                    for url in orphans {
+                        let host = self.web.page(url).host;
+                        let owner = self.assigner.agent_for(host, self.web);
+                        let o = &mut agents[owner.0 as usize];
+                        if o.frontier.offer(host, url, now) {
+                            if o.idle_slots > 0 {
+                                o.idle_slots -= 1;
+                                queue.schedule_at(now, Event::TryFetch { agent: owner.0 });
+                            }
+                        } else {
+                            outstanding -= 1;
+                        }
+                    }
+                }
+            }
+            // Safety net: re-arm the flush timer when buffered work exists
+            // but no tick is pending (e.g. everything became buffered right
+            // after the last tick fired and decided not to re-arm).
+            if !flush_scheduled && outstanding > 0 && queue.is_empty() {
+                queue.schedule_at(now + self.cfg.flush_interval, Event::FlushTick);
+                flush_scheduled = true;
+            }
+        }
+
+        let makespan = queue.now();
+        let exchange = agents.iter().fold(ExchangeStats::default(), |acc, a| {
+            let s = a.exchange.stats();
+            ExchangeStats {
+                offered: acc.offered + s.offered,
+                suppressed: acc.suppressed + s.suppressed,
+                sent_urls: acc.sent_urls + s.sent_urls,
+                messages: acc.messages + s.messages,
+                bytes: acc.bytes + s.bytes,
+            }
+        });
+        let dns = agents.iter().fold(DnsStats::default(), |acc, a| {
+            let s = a.dns.stats();
+            DnsStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+                total_lookup_time: acc.total_lookup_time + s.total_lookup_time,
+            }
+        });
+        CrawlReport {
+            fetched_pages: fetched.len() as u64,
+            duplicate_fetches: duplicates,
+            attempts,
+            transient_failures: failures,
+            abandoned,
+            coverage: fetched.len() as f64 / self.web.num_pages() as f64,
+            makespan,
+            per_agent_fetches: agents.iter().map(|a| a.fetches).collect(),
+            exchange,
+            dns,
+            bytes_downloaded: bytes,
+            robots_skipped,
+            allowed_pages,
+            coverage_allowed: fetched.len() as f64 / allowed_pages.max(1) as f64,
+            sitemap_discoveries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{ConsistentHashAssigner, HashAssigner};
+    use dwr_webgraph::generate::{generate_web, WebConfig};
+
+    fn tiny_web() -> SyntheticWeb {
+        let mut cfg = WebConfig::tiny();
+        cfg.num_pages = 800;
+        cfg.num_hosts = 40;
+        generate_web(&cfg, 77)
+    }
+
+    fn fast_cfg() -> CrawlConfig {
+        CrawlConfig {
+            agents: 4,
+            connections_per_agent: 8,
+            politeness_delay: SECOND / 2,
+            batch_size: 20,
+            most_cited_seed: 0,
+            qos: QosConfig { flaky_fraction: 0.0, slow_fraction: 0.0, ..QosConfig::default() },
+            ..CrawlConfig::default()
+        }
+    }
+
+    #[test]
+    fn crawl_reaches_high_coverage() {
+        let web = tiny_web();
+        let crawl = DistributedCrawl::new(&web, HashAssigner::new(4), fast_cfg(), 1);
+        let r = crawl.run();
+        // The giant component of a PA graph is most of it; seeds cover the
+        // rest only partially (isolated hosts stay uncrawled).
+        assert!(r.coverage > 0.6, "coverage={}", r.coverage);
+        assert_eq!(r.duplicate_fetches, 0);
+        assert!(r.makespan > 0);
+        assert_eq!(r.per_agent_fetches.iter().sum::<u64>(), r.fetched_pages);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let web = tiny_web();
+        let a = DistributedCrawl::new(&web, HashAssigner::new(4), fast_cfg(), 5).run();
+        let b = DistributedCrawl::new(&web, HashAssigner::new(4), fast_cfg(), 5).run();
+        assert_eq!(a.fetched_pages, b.fetched_pages);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.exchange, b.exchange);
+    }
+
+    #[test]
+    fn most_cited_seeding_cuts_exchange_traffic() {
+        let web = tiny_web();
+        let base = DistributedCrawl::new(&web, HashAssigner::new(4), fast_cfg(), 7).run();
+        let mut cfg = fast_cfg();
+        cfg.most_cited_seed = 50;
+        let seeded = DistributedCrawl::new(&web, HashAssigner::new(4), cfg, 7).run();
+        assert!(
+            seeded.exchange.sent_urls < base.exchange.sent_urls,
+            "seeded={} base={}",
+            seeded.exchange.sent_urls,
+            base.exchange.sent_urls
+        );
+        assert!(seeded.exchange.suppressed > 0);
+        // Coverage must not suffer.
+        assert!(seeded.coverage >= base.coverage - 0.05);
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        let web = tiny_web();
+        let mut cfg = fast_cfg();
+        cfg.qos.flaky_fraction = 0.3;
+        cfg.qos.flaky_failure_prob = 0.4;
+        let r = DistributedCrawl::new(&web, HashAssigner::new(4), cfg, 9).run();
+        assert!(r.transient_failures > 0);
+        // Retries keep coverage up despite failures.
+        assert!(r.coverage > 0.5, "coverage={}", r.coverage);
+        assert!(r.attempts > r.fetched_pages);
+    }
+
+    #[test]
+    fn crash_recovery_preserves_coverage() {
+        let web = tiny_web();
+        let baseline =
+            DistributedCrawl::new(&web, ConsistentHashAssigner::new(4, 64), fast_cfg(), 11).run();
+        let mut cfg = fast_cfg();
+        cfg.crash = Some((AgentId(2), baseline.makespan / 4));
+        let crashed =
+            DistributedCrawl::new(&web, ConsistentHashAssigner::new(4, 64), cfg, 11).run();
+        assert!(
+            crashed.coverage > baseline.coverage - 0.1,
+            "crashed={} baseline={}",
+            crashed.coverage,
+            baseline.coverage
+        );
+        // The dead agent stops fetching.
+        assert!(crashed.per_agent_fetches[2] < baseline.per_agent_fetches[2]);
+    }
+
+    #[test]
+    fn dns_cache_hits_dominate() {
+        let web = tiny_web();
+        let r = DistributedCrawl::new(&web, HashAssigner::new(4), fast_cfg(), 13).run();
+        // Many pages per host ⇒ most lookups are repeat lookups.
+        assert!(r.dns.hit_ratio() > 0.7, "dns hit ratio {}", r.dns.hit_ratio());
+    }
+
+    #[test]
+    fn robots_exclusion_is_respected() {
+        let web = tiny_web();
+        let mut cfg = fast_cfg();
+        cfg.robots_restrictive_fraction = 1.0;
+        cfg.robots_disallow_fraction = 0.4;
+        let r = DistributedCrawl::new(&web, HashAssigner::new(4), cfg, 21).run();
+        assert!(r.robots_skipped > 0);
+        assert!(r.allowed_pages < web.num_pages() as u64);
+        // Polite crawl never exceeds the allowed set.
+        assert!(r.fetched_pages <= r.allowed_pages);
+        // But covers most of what is allowed.
+        assert!(r.coverage_allowed > 0.6, "allowed coverage {}", r.coverage_allowed);
+    }
+
+    #[test]
+    fn sitemaps_discover_pages_links_never_reach() {
+        let web = tiny_web();
+        let base = DistributedCrawl::new(&web, HashAssigner::new(4), fast_cfg(), 23).run();
+        let mut cfg = fast_cfg();
+        cfg.sitemap_fraction = 1.0;
+        let coop = DistributedCrawl::new(&web, HashAssigner::new(4), cfg, 23).run();
+        assert!(coop.sitemap_discoveries > 0);
+        assert!(
+            coop.fetched_pages >= base.fetched_pages,
+            "coop={} base={}",
+            coop.fetched_pages,
+            base.fetched_pages
+        );
+    }
+
+    #[test]
+    fn cross_region_penalty_slows_mismatched_agents() {
+        let web = tiny_web();
+        // All agents in region 0: pages on region-1 hosts pay the penalty.
+        let mut slow = fast_cfg();
+        slow.agent_regions = vec![0; 4];
+        slow.cross_region_penalty = 5 * SECOND;
+        let mut free = fast_cfg();
+        free.agent_regions = vec![0; 4];
+        free.cross_region_penalty = 0;
+        let a = DistributedCrawl::new(&web, HashAssigner::new(4), slow, 25).run();
+        let b = DistributedCrawl::new(&web, HashAssigner::new(4), free, 25).run();
+        assert!(a.makespan > b.makespan, "penalized {} vs {}", a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn exchange_traffic_scales_with_remote_links() {
+        // With one agent there is no exchange traffic at all.
+        let web = tiny_web();
+        let mut cfg = fast_cfg();
+        cfg.agents = 1;
+        let solo = DistributedCrawl::new(&web, HashAssigner::new(1), cfg, 15).run();
+        assert_eq!(solo.exchange.sent_urls, 0);
+        let multi = DistributedCrawl::new(&web, HashAssigner::new(4), fast_cfg(), 15).run();
+        assert!(multi.exchange.sent_urls > 0);
+    }
+}

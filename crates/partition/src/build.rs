@@ -1,0 +1,200 @@
+//! Distributed index construction strategies with cost accounting.
+//!
+//! "A possible approach to create an index in a distributed fashion is to
+//! organize the servers in a pipeline \[25\]. Alternatively, Dean et al.
+//! \[26\] propose a traditional parallel computing paradigm (map-reduce)"
+//! (Section 4). All strategies produce the *same* partitioned index (the
+//! tests assert it); what differs — and what this module accounts for — is
+//! the wall-clock and network cost of getting there.
+
+use crate::parted::{Corpus, PartitionedIndex};
+use dwr_sim::net::Link;
+use dwr_sim::SimTime;
+
+/// How the distributed build is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildStrategy {
+    /// Each indexing node builds the index of its own document chunk
+    /// locally; no shuffle (document partitioning's natural build).
+    Local,
+    /// Nodes are a pipeline: node `i` indexes its chunk, then streams its
+    /// partial index to node `i+1`, which merges and forwards \[25\].
+    Pipelined,
+    /// Map-reduce \[26\]: mappers emit postings for every document, a
+    /// shuffle routes them by term to reducers, reducers build final
+    /// posting lists. All postings cross the network once.
+    MapReduce,
+}
+
+/// Cost report of a distributed build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildReport {
+    /// Strategy used.
+    pub strategy: BuildStrategy,
+    /// Simulated wall-clock time.
+    pub wall_time: SimTime,
+    /// Bytes moved between nodes.
+    pub network_bytes: u64,
+}
+
+/// CPU cost model: microseconds to index one token locally.
+const US_PER_TOKEN: f64 = 2.0;
+/// Bytes per posting on the wire (doc id + tf, uncompressed shuffle).
+const BYTES_PER_POSTING: u64 = 8;
+
+fn chunk_tokens(corpus: &Corpus, assignment: &[u32], k: usize) -> Vec<u64> {
+    let mut tokens = vec![0u64; k];
+    for (d, doc) in corpus.iter().enumerate() {
+        let t: u64 = doc.iter().map(|&(_, tf)| u64::from(tf)).sum();
+        tokens[assignment[d] as usize] += t;
+    }
+    tokens
+}
+
+fn chunk_postings(corpus: &Corpus, assignment: &[u32], k: usize) -> Vec<u64> {
+    let mut postings = vec![0u64; k];
+    for (d, doc) in corpus.iter().enumerate() {
+        postings[assignment[d] as usize] += doc.len() as u64;
+    }
+    postings
+}
+
+/// Run a distributed build: returns the identical [`PartitionedIndex`]
+/// regardless of strategy, plus its cost report.
+pub fn distributed_build(
+    corpus: &Corpus,
+    assignment: &[u32],
+    k: usize,
+    strategy: BuildStrategy,
+    link: Link,
+) -> (PartitionedIndex, BuildReport) {
+    let pi = PartitionedIndex::build(corpus, assignment, k);
+    let tokens = chunk_tokens(corpus, assignment, k);
+    let postings = chunk_postings(corpus, assignment, k);
+    let index_time =
+        |toks: u64| -> SimTime { (toks as f64 * US_PER_TOKEN) as SimTime };
+
+    let report = match strategy {
+        BuildStrategy::Local => {
+            // Parallel local builds; wall time = slowest node; no traffic.
+            let wall = tokens.iter().map(|&t| index_time(t)).max().unwrap_or(0);
+            BuildReport { strategy, wall_time: wall, network_bytes: 0 }
+        }
+        BuildStrategy::Pipelined => {
+            // Node i indexes, then ships its *accumulated* partial index
+            // down the pipe. Stage i transfer carries the sum of postings
+            // of nodes 0..=i.
+            let mut wall: SimTime = 0;
+            let mut accumulated: u64 = 0;
+            let mut bytes = 0u64;
+            for i in 0..k {
+                let build = index_time(tokens[i]);
+                accumulated += postings[i] * BYTES_PER_POSTING;
+                let transfer = if i + 1 < k { link.transfer_time(accumulated) } else { 0 };
+                if i + 1 < k {
+                    bytes += accumulated;
+                }
+                wall += build.max(transfer);
+            }
+            BuildReport { strategy, wall_time: wall, network_bytes: bytes }
+        }
+        BuildStrategy::MapReduce => {
+            // Map phase: parallel, wall = slowest mapper (tokenize ≈ index
+            // cost). Shuffle: every posting crosses the wire once, all
+            // nodes in parallel (bottleneck = busiest node's traffic).
+            // Reduce: parallel merge ≈ half the indexing cost.
+            let map = tokens.iter().map(|&t| index_time(t)).max().unwrap_or(0);
+            let total_postings: u64 = postings.iter().sum();
+            let per_node = total_postings * BYTES_PER_POSTING / k.max(1) as u64;
+            let shuffle = link.transfer_time(per_node);
+            let reduce = tokens.iter().map(|&t| index_time(t) / 2).max().unwrap_or(0);
+            BuildReport {
+                strategy,
+                wall_time: map + shuffle + reduce,
+                network_bytes: total_postings * BYTES_PER_POSTING,
+            }
+        }
+    };
+    (pi, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwr_text::TermId;
+
+    fn corpus() -> Corpus {
+        (0..40)
+            .map(|d| vec![(TermId(d % 7), 1 + d % 3), (TermId(100 + d % 5), 1)])
+            .collect()
+    }
+
+    fn rr(n: usize, k: usize) -> Vec<u32> {
+        (0..n).map(|d| (d % k) as u32).collect()
+    }
+
+    #[test]
+    fn all_strategies_build_identical_indexes() {
+        let c = corpus();
+        let a = rr(c.len(), 4);
+        let (local, _) = distributed_build(&c, &a, 4, BuildStrategy::Local, Link::lan());
+        let (pipe, _) = distributed_build(&c, &a, 4, BuildStrategy::Pipelined, Link::lan());
+        let (mr, _) = distributed_build(&c, &a, 4, BuildStrategy::MapReduce, Link::lan());
+        for p in 0..4 {
+            assert_eq!(local.part(p).num_docs(), pipe.part(p).num_docs());
+            assert_eq!(local.part(p).num_docs(), mr.part(p).num_docs());
+            assert_eq!(local.part(p).num_terms(), mr.part(p).num_terms());
+        }
+    }
+
+    #[test]
+    fn local_build_moves_no_bytes() {
+        let c = corpus();
+        let a = rr(c.len(), 4);
+        let (_, r) = distributed_build(&c, &a, 4, BuildStrategy::Local, Link::lan());
+        assert_eq!(r.network_bytes, 0);
+        assert!(r.wall_time > 0);
+    }
+
+    #[test]
+    fn mapreduce_ships_every_posting() {
+        let c = corpus();
+        let total_postings: u64 = c.iter().map(|d| d.len() as u64).sum();
+        let a = rr(c.len(), 4);
+        let (_, r) = distributed_build(&c, &a, 4, BuildStrategy::MapReduce, Link::lan());
+        assert_eq!(r.network_bytes, total_postings * BYTES_PER_POSTING);
+    }
+
+    #[test]
+    fn pipeline_slower_than_local() {
+        let c = corpus();
+        let a = rr(c.len(), 4);
+        let (_, local) = distributed_build(&c, &a, 4, BuildStrategy::Local, Link::wan());
+        let (_, pipe) = distributed_build(&c, &a, 4, BuildStrategy::Pipelined, Link::wan());
+        assert!(pipe.wall_time > local.wall_time);
+        assert!(pipe.network_bytes > 0);
+    }
+
+    #[test]
+    fn slow_links_hurt_shuffle_heavy_strategies_more() {
+        let c = corpus();
+        let a = rr(c.len(), 4);
+        let slow = Link { latency_us: 50_000, bandwidth_bps: 1_000_000, jitter: 0.0 };
+        let (_, mr_lan) = distributed_build(&c, &a, 4, BuildStrategy::MapReduce, Link::lan());
+        let (_, mr_slow) = distributed_build(&c, &a, 4, BuildStrategy::MapReduce, slow);
+        let (_, local_lan) = distributed_build(&c, &a, 4, BuildStrategy::Local, Link::lan());
+        let (_, local_slow) = distributed_build(&c, &a, 4, BuildStrategy::Local, slow);
+        assert_eq!(local_lan.wall_time, local_slow.wall_time, "local is link-independent");
+        assert!(mr_slow.wall_time > mr_lan.wall_time);
+    }
+
+    #[test]
+    fn skewed_assignment_stretches_local_build() {
+        let c = corpus();
+        let balanced = rr(c.len(), 4);
+        let skewed: Vec<u32> = (0..c.len()).map(|d| u32::from(d >= c.len() - 4)).collect();
+        let (_, b) = distributed_build(&c, &balanced, 4, BuildStrategy::Local, Link::lan());
+        let (_, s) = distributed_build(&c, &skewed, 4, BuildStrategy::Local, Link::lan());
+        assert!(s.wall_time > b.wall_time, "stragglers dominate: {} vs {}", s.wall_time, b.wall_time);
+    }
+}

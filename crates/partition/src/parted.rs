@@ -1,0 +1,170 @@
+//! The partitioned-index structure and corpus plumbing.
+//!
+//! A [`PartitionedIndex`] is the realization of Figure 1: the corpus's
+//! T×D matrix sliced horizontally into `k` sub-collections, each with its
+//! own [`InvertedIndex`] over local doc ids, plus the global↔local id
+//! mapping brokers need to merge results.
+
+use dwr_text::index::{build_index, InvertedIndex};
+use dwr_text::{DocId, TermId};
+use dwr_webgraph::content::ContentModel;
+use dwr_webgraph::SyntheticWeb;
+
+/// A corpus: per-document sorted `(term, tf)` vectors, indexed by global
+/// document id (= page id in web-derived corpora).
+pub type Corpus = Vec<Vec<(TermId, u32)>>;
+
+/// Generate the corpus of a synthetic web in `dwr-text` term space.
+pub fn corpus_from_web(web: &SyntheticWeb, content: &ContentModel, seed: u64) -> Corpus {
+    content
+        .corpus(web, seed)
+        .into_iter()
+        .map(|doc| doc.into_iter().map(|(t, tf)| (TermId(t.0), tf)).collect())
+        .collect()
+}
+
+/// A document-partitioned index.
+#[derive(Debug)]
+pub struct PartitionedIndex {
+    parts: Vec<InvertedIndex>,
+    /// `assignment[global_doc]` = partition.
+    assignment: Vec<u32>,
+    /// `local_of[global_doc]` = doc id within its partition.
+    local_of: Vec<DocId>,
+    /// `global_of[partition][local_doc]` = global doc id.
+    global_of: Vec<Vec<u32>>,
+}
+
+impl PartitionedIndex {
+    /// Build `k` partition indexes from a corpus and an assignment vector.
+    ///
+    /// # Panics
+    /// Panics if `assignment.len() != corpus.len()` or any partition id is
+    /// `>= k`.
+    pub fn build(corpus: &Corpus, assignment: &[u32], k: usize) -> Self {
+        assert_eq!(corpus.len(), assignment.len(), "assignment arity mismatch");
+        assert!(k > 0);
+        assert!(assignment.iter().all(|&p| (p as usize) < k), "partition id out of range");
+        let mut global_of: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut local_of = vec![DocId(0); corpus.len()];
+        for (doc, &p) in assignment.iter().enumerate() {
+            local_of[doc] = DocId(global_of[p as usize].len() as u32);
+            global_of[p as usize].push(doc as u32);
+        }
+        let parts: Vec<InvertedIndex> = global_of
+            .iter()
+            .map(|globals| {
+                let sub: Corpus = globals.iter().map(|&g| corpus[g as usize].clone()).collect();
+                build_index(&sub)
+            })
+            .collect();
+        PartitionedIndex { parts, assignment: assignment.to_vec(), local_of, global_of }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total documents across partitions.
+    pub fn num_docs(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The index of one partition.
+    pub fn part(&self, p: usize) -> &InvertedIndex {
+        &self.parts[p]
+    }
+
+    /// All partition indexes.
+    pub fn parts(&self) -> &[InvertedIndex] {
+        &self.parts
+    }
+
+    /// Partition of a global document.
+    pub fn partition_of(&self, global_doc: u32) -> u32 {
+        self.assignment[global_doc as usize]
+    }
+
+    /// Translate a partition-local hit to the global doc id.
+    pub fn to_global(&self, partition: usize, local: DocId) -> u32 {
+        self.global_of[partition][local.0 as usize]
+    }
+
+    /// Translate a global doc to its partition-local id.
+    pub fn to_local(&self, global_doc: u32) -> (u32, DocId) {
+        (self.assignment[global_doc as usize], self.local_of[global_doc as usize])
+    }
+
+    /// Documents per partition.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.global_of.iter().map(Vec::len).collect()
+    }
+
+    /// Sum of posting-list df of `term` over all partitions (= global df).
+    pub fn global_df(&self, term: TermId) -> u64 {
+        self.parts.iter().map(|p| u64::from(p.df(term))).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        vec![
+            vec![(TermId(1), 1)],
+            vec![(TermId(1), 2), (TermId(2), 1)],
+            vec![(TermId(3), 1)],
+            vec![(TermId(2), 1), (TermId(3), 4)],
+            vec![(TermId(1), 1), (TermId(3), 1)],
+        ]
+    }
+
+    #[test]
+    fn build_and_mappings_roundtrip() {
+        let c = corpus();
+        let assignment = vec![0, 1, 0, 1, 2];
+        let pi = PartitionedIndex::build(&c, &assignment, 3);
+        assert_eq!(pi.num_partitions(), 3);
+        assert_eq!(pi.num_docs(), 5);
+        assert_eq!(pi.sizes(), vec![2, 2, 1]);
+        for g in 0..5u32 {
+            let (p, local) = pi.to_local(g);
+            assert_eq!(p, assignment[g as usize]);
+            assert_eq!(pi.to_global(p as usize, local), g);
+        }
+    }
+
+    #[test]
+    fn partition_indexes_cover_their_docs() {
+        let c = corpus();
+        let pi = PartitionedIndex::build(&c, &[0, 0, 1, 1, 1], 2);
+        assert_eq!(pi.part(0).num_docs(), 2);
+        assert_eq!(pi.part(1).num_docs(), 3);
+        // Term 1 appears in docs 0, 1 (part 0) and 4 (part 1).
+        assert_eq!(pi.part(0).df(TermId(1)), 2);
+        assert_eq!(pi.part(1).df(TermId(1)), 1);
+        assert_eq!(pi.global_df(TermId(1)), 3);
+    }
+
+    #[test]
+    fn empty_partition_allowed() {
+        let c = corpus();
+        let pi = PartitionedIndex::build(&c, &[0, 0, 0, 0, 0], 3);
+        assert_eq!(pi.sizes(), vec![5, 0, 0]);
+        assert_eq!(pi.part(1).num_docs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_partition_id() {
+        PartitionedIndex::build(&corpus(), &[0, 0, 0, 0, 9], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn rejects_wrong_assignment_len() {
+        PartitionedIndex::build(&corpus(), &[0, 0], 2);
+    }
+}

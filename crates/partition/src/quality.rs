@@ -1,0 +1,149 @@
+//! Partition and selection quality metrics.
+//!
+//! The measurements Section 4 leaves open: how balanced is a partitioning,
+//! and — the crux of collection selection — how much of the *true* global
+//! top-k can be recovered when only the best `m` partitions are searched
+//! ("the chosen subset should be able to provide a high number of relevant
+//! documents").
+
+use crate::parted::{Corpus, PartitionedIndex};
+use crate::select::CollectionSelector;
+use dwr_sim::stats::Imbalance;
+use dwr_text::score::Bm25;
+use dwr_text::search::search_or;
+use dwr_text::index::build_index;
+use dwr_text::TermId;
+
+/// Balance of document counts across partitions.
+pub fn size_balance(pi: &PartitionedIndex) -> Imbalance {
+    let sizes: Vec<f64> = pi.sizes().iter().map(|&s| s as f64).collect();
+    Imbalance::of(&sizes)
+}
+
+/// The global reference ranking: top-k of the whole corpus in one index.
+/// Returns global doc ids.
+pub fn global_top_k(corpus: &Corpus, terms: &[TermId], k: usize) -> Vec<u32> {
+    let idx = build_index(corpus);
+    search_or(&idx, terms, k, &Bm25::default(), &idx)
+        .into_iter()
+        .map(|h| h.doc.0)
+        .collect()
+}
+
+/// Recall@m-partitions of one query: the fraction of the global top-k that
+/// lives in the `m` partitions a selector ranks first.
+pub fn recall_at_partitions(
+    pi: &PartitionedIndex,
+    selector: &dyn CollectionSelector,
+    terms: &[TermId],
+    global_topk: &[u32],
+    m: usize,
+) -> f64 {
+    if global_topk.is_empty() {
+        return 1.0;
+    }
+    let chosen: Vec<u32> = selector.rank(terms).into_iter().take(m).map(|(p, _)| p).collect();
+    let hit = global_topk
+        .iter()
+        .filter(|&&d| chosen.contains(&pi.partition_of(d)))
+        .count();
+    hit as f64 / global_topk.len() as f64
+}
+
+/// The whole recall curve for a batch of test queries: element `m-1` is
+/// the mean recall when searching the top `m` partitions.
+pub fn recall_curve(
+    pi: &PartitionedIndex,
+    selector: &dyn CollectionSelector,
+    corpus: &Corpus,
+    queries: &[Vec<TermId>],
+    k: usize,
+) -> Vec<f64> {
+    let nparts = pi.num_partitions();
+    let mut acc = vec![0f64; nparts];
+    let mut counted = 0usize;
+    let reference = build_index(corpus);
+    for terms in queries {
+        let topk: Vec<u32> = search_or(&reference, terms, k, &Bm25::default(), &reference)
+            .into_iter()
+            .map(|h| h.doc.0)
+            .collect();
+        if topk.is_empty() {
+            continue;
+        }
+        counted += 1;
+        let ranked = selector.rank(terms);
+        let mut seen_parts: Vec<u32> = Vec::with_capacity(nparts);
+        for (m, &(p, _)) in ranked.iter().enumerate() {
+            seen_parts.push(p);
+            let hit = topk.iter().filter(|&&d| seen_parts.contains(&pi.partition_of(d))).count();
+            acc[m] += hit as f64 / topk.len() as f64;
+        }
+    }
+    if counted == 0 {
+        return vec![0.0; nparts];
+    }
+    acc.into_iter().map(|a| a / counted as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::CoriSelector;
+
+    fn topical_setup() -> (Corpus, PartitionedIndex) {
+        let corpus: Corpus = (0..30)
+            .map(|d| {
+                let base = (d % 3) as u32 * 100;
+                vec![(TermId(base + d as u32 % 5), 2), (TermId(base + (d as u32 + 1) % 5), 1)]
+            })
+            .collect();
+        let assignment: Vec<u32> = (0..30).map(|d| (d % 3) as u32).collect();
+        let pi = PartitionedIndex::build(&corpus, &assignment, 3);
+        (corpus, pi)
+    }
+
+    #[test]
+    fn size_balance_of_even_partitioning() {
+        let (_, pi) = topical_setup();
+        let b = size_balance(&pi);
+        assert!((b.max_over_mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_topk_nonempty_for_present_terms() {
+        let (corpus, _) = topical_setup();
+        let topk = global_top_k(&corpus, &[TermId(1)], 5);
+        assert!(!topk.is_empty());
+        assert!(topk.len() <= 5);
+    }
+
+    #[test]
+    fn perfect_selector_reaches_full_recall_at_one_partition() {
+        let (corpus, pi) = topical_setup();
+        let cori = CoriSelector::from_partitions(&pi);
+        // Terms of topic block 0 only occur in partition 0's docs.
+        let topk = global_top_k(&corpus, &[TermId(1), TermId(2)], 5);
+        let r1 = recall_at_partitions(&pi, &cori, &[TermId(1), TermId(2)], &topk, 1);
+        assert!((r1 - 1.0).abs() < 1e-12, "r1={r1}");
+    }
+
+    #[test]
+    fn recall_curve_monotone_and_complete() {
+        let (corpus, pi) = topical_setup();
+        let cori = CoriSelector::from_partitions(&pi);
+        let queries: Vec<Vec<TermId>> =
+            vec![vec![TermId(1)], vec![TermId(101)], vec![TermId(201), TermId(202)]];
+        let curve = recall_curve(&pi, &cori, &corpus, &queries, 5);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{curve:?}");
+        assert!((curve[2] - 1.0).abs() < 1e-12, "all partitions = full recall");
+    }
+
+    #[test]
+    fn empty_topk_counts_as_full_recall() {
+        let (_, pi) = topical_setup();
+        let cori = CoriSelector::from_partitions(&pi);
+        assert_eq!(recall_at_partitions(&pi, &cori, &[TermId(1)], &[], 1), 1.0);
+    }
+}

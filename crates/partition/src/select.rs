@@ -1,0 +1,244 @@
+//! Collection selection: CORI and the query-driven selector.
+//!
+//! "The ability of retrieving the largest possible portion of relevant
+//! documents is a very challenging problem usually known as collection
+//! selection or query routing" (Section 4). CORI \[24\] is "currently the
+//! best known collection selection function for textual documents" that
+//! uses only collection-internal statistics; Puppin et al.'s query-driven
+//! function \[19\] learns partition profiles from training queries and
+//! "outperform\[s\] the state-of-the-art model, namely CORI".
+
+use crate::doc::{partition_term_profiles, TrainingResults};
+use crate::parted::PartitionedIndex;
+use dwr_text::TermId;
+use std::collections::HashMap;
+
+/// Ranks partitions by their likelihood of answering a query.
+pub trait CollectionSelector {
+    /// Return all partitions, best first, with scores.
+    fn rank(&self, terms: &[TermId]) -> Vec<(u32, f64)>;
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The CORI selection function (Callan \[24\]).
+///
+/// For a query term `t` and collection `i`:
+/// `T = df_i / (df_i + 50 + 150·cw_i/avg_cw)`,
+/// `I = ln((|C| + 0.5)/cf_t) / ln(|C| + 1)`,
+/// `belief = b + (1-b)·T·I` with `b = 0.4`,
+/// and the collection score is the mean belief over query terms.
+#[derive(Debug)]
+pub struct CoriSelector {
+    /// Per-collection df per term.
+    df: Vec<HashMap<u32, u64>>,
+    /// Per-collection total term count (cw).
+    cw: Vec<f64>,
+    avg_cw: f64,
+    /// Number of collections containing each term (cf).
+    cf: HashMap<u32, u32>,
+    b: f64,
+}
+
+impl CoriSelector {
+    /// Build the CORI statistics from a partitioned index.
+    pub fn from_partitions(pi: &PartitionedIndex) -> Self {
+        let k = pi.num_partitions();
+        let mut df: Vec<HashMap<u32, u64>> = Vec::with_capacity(k);
+        let mut cw = Vec::with_capacity(k);
+        let mut cf: HashMap<u32, u32> = HashMap::new();
+        for p in 0..k {
+            let idx = pi.part(p);
+            let mut local = HashMap::with_capacity(idx.num_terms());
+            for (t, list) in idx.terms() {
+                local.insert(t.0, u64::from(list.df()));
+                *cf.entry(t.0).or_insert(0) += 1;
+            }
+            cw.push(idx.avg_doc_len() * f64::from(idx.num_docs()));
+            df.push(local);
+        }
+        let avg_cw = (cw.iter().sum::<f64>() / k as f64).max(1.0);
+        CoriSelector { df, cw, avg_cw, cf, b: 0.4 }
+    }
+
+    fn belief(&self, c: usize, term: TermId) -> f64 {
+        let df = self.df[c].get(&term.0).copied().unwrap_or(0) as f64;
+        let num_collections = self.df.len() as f64;
+        let cf = self.cf.get(&term.0).copied().unwrap_or(0) as f64;
+        if cf == 0.0 {
+            return self.b;
+        }
+        let t = df / (df + 50.0 + 150.0 * self.cw[c] / self.avg_cw);
+        let i = ((num_collections + 0.5) / cf).ln() / (num_collections + 1.0).ln();
+        self.b + (1.0 - self.b) * t * i
+    }
+}
+
+impl CollectionSelector for CoriSelector {
+    fn rank(&self, terms: &[TermId]) -> Vec<(u32, f64)> {
+        let k = self.df.len();
+        let mut scores: Vec<(u32, f64)> = (0..k)
+            .map(|c| {
+                let s = if terms.is_empty() {
+                    0.0
+                } else {
+                    terms.iter().map(|&t| self.belief(c, t)).sum::<f64>() / terms.len() as f64
+                };
+                (c as u32, s)
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        scores
+    }
+    fn name(&self) -> &'static str {
+        "CORI"
+    }
+}
+
+/// The query-driven selector: partitions are scored by the term profiles
+/// learned from training-query routing (PCAP-style).
+#[derive(Debug)]
+pub struct QueryDrivenSelector {
+    profiles: Vec<HashMap<u32, f64>>,
+}
+
+impl QueryDrivenSelector {
+    /// Learn profiles from training results and the assignment they
+    /// produced.
+    pub fn train(training: &TrainingResults, assignment: &[u32], k: usize) -> Self {
+        QueryDrivenSelector { profiles: partition_term_profiles(training, assignment, k) }
+    }
+}
+
+impl CollectionSelector for QueryDrivenSelector {
+    fn rank(&self, terms: &[TermId]) -> Vec<(u32, f64)> {
+        let mut scores: Vec<(u32, f64)> = self
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(c, prof)| {
+                let s: f64 = terms.iter().filter_map(|t| prof.get(&t.0)).sum();
+                (c as u32, s)
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        scores
+    }
+    fn name(&self) -> &'static str {
+        "query-driven"
+    }
+}
+
+/// Random selection baseline (deterministic by query hash, so repeated
+/// queries route identically — a property caches rely on).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSelector {
+    /// Number of partitions.
+    pub k: usize,
+}
+
+impl CollectionSelector for RandomSelector {
+    fn rank(&self, terms: &[TermId]) -> Vec<(u32, f64)> {
+        // Deterministic pseudo-random permutation keyed by the query terms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for t in terms {
+            h ^= u64::from(t.0);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut order: Vec<u32> = (0..self.k as u32).collect();
+        // Fisher–Yates with a SplitMix stream from h.
+        let mut state = h;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 27;
+            order.swap(i, (z % (i as u64 + 1)) as usize);
+        }
+        order.into_iter().enumerate().map(|(rank, p)| (p, -(rank as f64))).collect()
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parted::Corpus;
+
+    /// Two topical partitions: terms 0..5 live in partition 0's docs,
+    /// terms 100..105 in partition 1's.
+    fn topical_partitions() -> PartitionedIndex {
+        let corpus: Corpus = (0..20)
+            .map(|d| {
+                if d < 10 {
+                    vec![(TermId(d % 5), 2), (TermId((d + 1) % 5), 1)]
+                } else {
+                    vec![(TermId(100 + d % 5), 2), (TermId(100 + (d + 1) % 5), 1)]
+                }
+            })
+            .collect();
+        let assignment: Vec<u32> = (0..20).map(|d| u32::from(d >= 10)).collect();
+        PartitionedIndex::build(&corpus, &assignment, 2)
+    }
+
+    #[test]
+    fn cori_prefers_the_right_partition() {
+        let pi = topical_partitions();
+        let cori = CoriSelector::from_partitions(&pi);
+        let r0 = cori.rank(&[TermId(1), TermId(2)]);
+        assert_eq!(r0[0].0, 0, "{r0:?}");
+        let r1 = cori.rank(&[TermId(101), TermId(102)]);
+        assert_eq!(r1[0].0, 1, "{r1:?}");
+        assert!(r0[0].1 > r0[1].1);
+    }
+
+    #[test]
+    fn cori_returns_all_partitions() {
+        let pi = topical_partitions();
+        let cori = CoriSelector::from_partitions(&pi);
+        let r = cori.rank(&[TermId(1)]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn cori_unknown_term_is_neutral() {
+        let pi = topical_partitions();
+        let cori = CoriSelector::from_partitions(&pi);
+        let r = cori.rank(&[TermId(9999)]);
+        // Both partitions get the default belief b.
+        assert!((r[0].1 - r[1].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_driven_learns_profiles() {
+        let training = TrainingResults {
+            queries: vec![
+                (vec![TermId(1)], 1.0, vec![0, 1]),
+                (vec![TermId(101)], 1.0, vec![10, 11]),
+            ],
+        };
+        let assignment: Vec<u32> = (0..20).map(|d| u32::from(d >= 10)).collect();
+        let sel = QueryDrivenSelector::train(&training, &assignment, 2);
+        assert_eq!(sel.rank(&[TermId(1)])[0].0, 0);
+        assert_eq!(sel.rank(&[TermId(101)])[0].0, 1);
+    }
+
+    #[test]
+    fn query_driven_unseen_terms_score_zero() {
+        let sel = QueryDrivenSelector::train(&TrainingResults::default(), &[0, 1], 2);
+        let r = sel.rank(&[TermId(5)]);
+        assert!(r.iter().all(|&(_, s)| s == 0.0));
+    }
+
+    #[test]
+    fn random_selector_is_stable_per_query() {
+        let sel = RandomSelector { k: 8 };
+        let a = sel.rank(&[TermId(3), TermId(7)]);
+        let b = sel.rank(&[TermId(3), TermId(7)]);
+        assert_eq!(a, b);
+        let c = sel.rank(&[TermId(4)]);
+        assert_eq!(c.len(), 8);
+    }
+}

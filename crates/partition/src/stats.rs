@@ -1,0 +1,232 @@
+//! The two-round global-statistics protocol.
+//!
+//! "The broker usually resolves queries using a two-round protocol. In the
+//! first round the broker requests local statistics from each server, in
+//! the second round it requests results from each server, piggybacking the
+//! global statistics onto the second message containing the query"
+//! (Section 4, external factors). This module implements both broker
+//! configurations — local-only (one round) and global (two rounds) — and
+//! accounts for their communication costs, so E7 can quantify what the
+//! extra round buys in ranking agreement.
+
+use crate::parted::PartitionedIndex;
+use dwr_sim::net::{SiteId, Topology};
+use dwr_sim::SimTime;
+use dwr_text::score::{Bm25, GlobalStats};
+use dwr_text::search::{search_or, SearchHit};
+use dwr_text::topk::TopK;
+use dwr_text::TermId;
+
+/// One merged result: global doc id + score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergedHit {
+    /// Global document id.
+    pub doc: u32,
+    /// Score under the broker's statistics regime.
+    pub score: f32,
+}
+
+/// Cost accounting of a broker round trip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolCost {
+    /// Protocol rounds used (1 = local stats, 2 = global stats).
+    pub rounds: u32,
+    /// Total bytes moved between broker and partitions.
+    pub bytes: u64,
+    /// Simulated wall-clock latency of the exchange (max over parallel
+    /// partition round-trips, summed over rounds).
+    pub latency: SimTime,
+}
+
+fn merge_hits(
+    pi: &PartitionedIndex,
+    per_part: Vec<(usize, Vec<SearchHit>)>,
+    k: usize,
+) -> Vec<MergedHit> {
+    let mut top = TopK::new(k.max(1));
+    for (p, hits) in per_part {
+        for h in hits {
+            top.push(pi.to_global(p, h.doc), h.score);
+        }
+    }
+    top.into_sorted_vec().into_iter().map(|(doc, score)| MergedHit { doc, score }).collect()
+}
+
+const QUERY_BYTES: u64 = 64;
+const HIT_BYTES: u64 = 12;
+
+/// One-round evaluation: every partition scores with its own *local*
+/// statistics; the broker merges blindly.
+pub fn query_local_stats(
+    pi: &PartitionedIndex,
+    terms: &[TermId],
+    k: usize,
+    topo: &Topology,
+    broker: SiteId,
+    part_site: &dyn Fn(usize) -> SiteId,
+) -> (Vec<MergedHit>, ProtocolCost) {
+    let bm = Bm25::default();
+    let mut per_part = Vec::with_capacity(pi.num_partitions());
+    let mut bytes = 0u64;
+    let mut latency: SimTime = 0;
+    for p in 0..pi.num_partitions() {
+        let idx = pi.part(p);
+        let hits = search_or(idx, terms, k, &bm, idx);
+        bytes += QUERY_BYTES + hits.len() as u64 * HIT_BYTES;
+        let rtt = topo.rtt(broker, part_site(p), QUERY_BYTES, hits.len() as u64 * HIT_BYTES);
+        latency = latency.max(rtt);
+        per_part.push((p, hits));
+    }
+    (merge_hits(pi, per_part, k), ProtocolCost { rounds: 1, bytes, latency })
+}
+
+/// Two-round evaluation: round 1 collects per-term df from every
+/// partition; round 2 ships the query again with the aggregated *global*
+/// statistics piggybacked, and partitions score with those.
+pub fn query_global_stats(
+    pi: &PartitionedIndex,
+    terms: &[TermId],
+    k: usize,
+    topo: &Topology,
+    broker: SiteId,
+    part_site: &dyn Fn(usize) -> SiteId,
+) -> (Vec<MergedHit>, ProtocolCost) {
+    let bm = Bm25::default();
+    let parts: Vec<&dwr_text::index::InvertedIndex> =
+        (0..pi.num_partitions()).map(|p| pi.part(p)).collect();
+    let global = GlobalStats::for_terms(&parts, terms);
+
+    // Round 1: stats request/response per partition.
+    let stats_bytes = global.payload_bytes();
+    let mut bytes = 0u64;
+    let mut lat1: SimTime = 0;
+    for p in 0..pi.num_partitions() {
+        let resp = 8 + terms.len() as u64 * 12;
+        bytes += QUERY_BYTES + resp;
+        lat1 = lat1.max(topo.rtt(broker, part_site(p), QUERY_BYTES, resp));
+    }
+
+    // Round 2: query + piggybacked globals, results back.
+    let mut per_part = Vec::with_capacity(pi.num_partitions());
+    let mut lat2: SimTime = 0;
+    for p in 0..pi.num_partitions() {
+        let idx = pi.part(p);
+        let hits = search_or(idx, terms, k, &bm, &global);
+        bytes += QUERY_BYTES + stats_bytes + hits.len() as u64 * HIT_BYTES;
+        let rtt = topo.rtt(
+            broker,
+            part_site(p),
+            QUERY_BYTES + stats_bytes,
+            hits.len() as u64 * HIT_BYTES,
+        );
+        lat2 = lat2.max(rtt);
+        per_part.push((p, hits));
+    }
+    (
+        merge_hits(pi, per_part, k),
+        ProtocolCost { rounds: 2, bytes, latency: lat1 + lat2 },
+    )
+}
+
+/// Overlap@k between two result lists: |intersection| / k — the paper's
+/// suggested way "to measure this effect [of local statistics]:
+/// comparing the result set computed on the global statistics with the
+/// result set computed using only local statistics".
+pub fn result_overlap(a: &[MergedHit], b: &[MergedHit], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<u32> = a.iter().take(k).map(|h| h.doc).collect();
+    let inter = b.iter().take(k).filter(|h| sa.contains(&h.doc)).count();
+    inter as f64 / k.min(a.len().max(b.len()).max(1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parted::Corpus;
+
+    /// A corpus where term 7's df is wildly skewed across partitions, so
+    /// local IDF differs strongly from global IDF.
+    fn skewed() -> (Corpus, PartitionedIndex) {
+        let mut corpus: Corpus = Vec::new();
+        // Partition 0 (docs 0..10): term 7 rare (1 doc), term 8 common.
+        for d in 0..10u32 {
+            if d == 0 {
+                corpus.push(vec![(TermId(7), 1), (TermId(8), 1)]);
+            } else {
+                corpus.push(vec![(TermId(8), 2), (TermId(9), 1)]);
+            }
+        }
+        // Partition 1 (docs 10..20): term 7 everywhere.
+        for _ in 10..20u32 {
+            corpus.push(vec![(TermId(7), 2), (TermId(9), 1)]);
+        }
+        let assignment: Vec<u32> = (0..20).map(|d| u32::from(d >= 10)).collect();
+        let pi = PartitionedIndex::build(&corpus, &assignment, 2);
+        (corpus, pi)
+    }
+
+    fn site0(_: usize) -> SiteId {
+        SiteId(0)
+    }
+
+    #[test]
+    fn two_rounds_cost_more() {
+        let (_, pi) = skewed();
+        let topo = Topology::single_site();
+        let terms = [TermId(7), TermId(8)];
+        let (_, c1) = query_local_stats(&pi, &terms, 10, &topo, SiteId(0), &site0);
+        let (_, c2) = query_global_stats(&pi, &terms, 10, &topo, SiteId(0), &site0);
+        assert_eq!(c1.rounds, 1);
+        assert_eq!(c2.rounds, 2);
+        assert!(c2.bytes > c1.bytes);
+        assert!(c2.latency > c1.latency);
+    }
+
+    #[test]
+    fn rankings_diverge_under_skewed_statistics() {
+        let (_, pi) = skewed();
+        let topo = Topology::single_site();
+        let terms = [TermId(7), TermId(8)];
+        let (local, _) = query_local_stats(&pi, &terms, 10, &topo, SiteId(0), &site0);
+        let (global, _) = query_global_stats(&pi, &terms, 10, &topo, SiteId(0), &site0);
+        let overlap = result_overlap(&local, &global, 5);
+        assert!(overlap < 1.0, "expected divergence, overlap={overlap}");
+    }
+
+    #[test]
+    fn global_matches_monolithic_ranking() {
+        // The whole point of the second round: scoring with global stats
+        // reproduces the single-index ranking.
+        let (corpus, pi) = skewed();
+        let topo = Topology::single_site();
+        let terms = [TermId(7), TermId(8)];
+        let (global, _) = query_global_stats(&pi, &terms, 10, &topo, SiteId(0), &site0);
+        let mono = crate::quality::global_top_k(&corpus, &terms, 10);
+        let got: Vec<u32> = global.iter().map(|h| h.doc).collect();
+        assert_eq!(got, mono);
+    }
+
+    #[test]
+    fn overlap_bounds() {
+        let a = vec![MergedHit { doc: 1, score: 1.0 }, MergedHit { doc: 2, score: 0.5 }];
+        let b = vec![MergedHit { doc: 2, score: 1.0 }, MergedHit { doc: 3, score: 0.5 }];
+        let o = result_overlap(&a, &b, 2);
+        assert!((o - 0.5).abs() < 1e-12);
+        assert_eq!(result_overlap(&a, &a, 2), 1.0);
+        assert_eq!(result_overlap(&a, &b, 0), 1.0);
+    }
+
+    #[test]
+    fn wan_latency_dominates_lan() {
+        let (_, pi) = skewed();
+        let terms = [TermId(7)];
+        let lan = Topology::single_site();
+        let wan = Topology::geo_ring(3);
+        let far = |p: usize| SiteId((p % 2 + 1) as u32);
+        let (_, c_lan) = query_local_stats(&pi, &terms, 10, &lan, SiteId(0), &site0);
+        let (_, c_wan) = query_local_stats(&pi, &terms, 10, &wan, SiteId(0), &far);
+        assert!(c_wan.latency > 10 * c_lan.latency);
+    }
+}

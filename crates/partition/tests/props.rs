@@ -1,0 +1,107 @@
+//! Property-based tests of partitioning invariants.
+
+use dwr_partition::doc::{
+    DocPartitioner, KMeansPartitioner, RandomPartitioner, RoundRobinPartitioner,
+};
+use dwr_partition::parted::{Corpus, PartitionedIndex};
+use dwr_partition::term::{
+    BinPackingTermPartitioner, CoOccurrenceTermPartitioner, QueryWorkload, RandomTermPartitioner,
+    TermPartitioner,
+};
+use dwr_text::index::build_index;
+use dwr_text::TermId;
+use proptest::prelude::*;
+
+fn corpus_strategy() -> impl Strategy<Value = Corpus> {
+    prop::collection::vec(
+        prop::collection::btree_map(0u32..100, 1u32..4, 0..12)
+            .prop_map(|m| m.into_iter().map(|(t, tf)| (TermId(t), tf)).collect()),
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every document partitioner produces a total, in-range assignment.
+    #[test]
+    fn doc_assignments_valid(corpus in corpus_strategy(), k in 1usize..8, seed in any::<u64>()) {
+        let partitioners: Vec<Box<dyn DocPartitioner>> = vec![
+            Box::new(RandomPartitioner { seed }),
+            Box::new(RoundRobinPartitioner),
+            Box::new(KMeansPartitioner { buckets: 16, iterations: 4, seed }),
+        ];
+        for p in &partitioners {
+            let a = p.assign(&corpus, k);
+            prop_assert_eq!(a.len(), corpus.len(), "{}", p.name());
+            prop_assert!(a.iter().all(|&x| (x as usize) < k), "{}", p.name());
+        }
+    }
+
+    /// A partitioned index preserves global statistics: per-term global df
+    /// equals the monolithic df, and partition sizes sum to the corpus.
+    #[test]
+    fn partitioned_index_preserves_stats(corpus in corpus_strategy(), k in 1usize..6, seed in any::<u64>()) {
+        let assignment = RandomPartitioner { seed }.assign(&corpus, k);
+        let pi = PartitionedIndex::build(&corpus, &assignment, k);
+        prop_assert_eq!(pi.sizes().iter().sum::<usize>(), corpus.len());
+        let mono = build_index(&corpus);
+        for (t, list) in mono.terms() {
+            prop_assert_eq!(pi.global_df(t), u64::from(list.df()));
+        }
+    }
+
+    /// Global/local doc-id translation is a bijection.
+    #[test]
+    fn id_translation_roundtrips(corpus in corpus_strategy(), k in 1usize..6, seed in any::<u64>()) {
+        let assignment = RandomPartitioner { seed }.assign(&corpus, k);
+        let pi = PartitionedIndex::build(&corpus, &assignment, k);
+        for g in 0..corpus.len() as u32 {
+            let (p, local) = pi.to_local(g);
+            prop_assert_eq!(pi.to_global(p as usize, local), g);
+        }
+    }
+
+    /// Term partitioners assign every indexed term to a valid server.
+    #[test]
+    fn term_assignments_valid(corpus in corpus_strategy(), k in 1usize..6) {
+        let idx = build_index(&corpus);
+        let workload = QueryWorkload {
+            queries: vec![(vec![TermId(0), TermId(1)], 2.0), (vec![TermId(2)], 1.0)],
+        };
+        let partitioners: Vec<Box<dyn TermPartitioner>> = vec![
+            Box::new(RandomTermPartitioner),
+            Box::new(BinPackingTermPartitioner),
+            Box::new(CoOccurrenceTermPartitioner::default()),
+        ];
+        for p in &partitioners {
+            let a = p.assign(&idx, &workload, k);
+            prop_assert_eq!(a.len(), idx.num_terms(), "{}", p.name());
+            prop_assert!(a.values().all(|&s| (s as usize) < k), "{}", p.name());
+        }
+    }
+
+    /// Greedy bin-packing never loads any server with more than the total
+    /// weight minus what the emptiest holds... weaker but useful: the
+    /// max-loaded bin under bin-packing is no worse than under the
+    /// hash-random assignment for the same inputs.
+    #[test]
+    fn binpacking_no_worse_than_random(corpus in corpus_strategy(), k in 2usize..6) {
+        let idx = build_index(&corpus);
+        prop_assume!(idx.num_terms() >= k);
+        let terms: Vec<TermId> = idx.terms().map(|(t, _)| t).collect();
+        let workload = QueryWorkload {
+            queries: terms.iter().map(|&t| (vec![t], 1.0)).collect(),
+        };
+        let eval = |a: &std::collections::HashMap<u32, u32>| {
+            dwr_partition::term::evaluate_term_partition(&idx, &workload, a, k)
+                .load
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max)
+        };
+        let packed = eval(&BinPackingTermPartitioner.assign(&idx, &workload, k));
+        let random = eval(&RandomTermPartitioner.assign(&idx, &workload, k));
+        prop_assert!(packed <= random + 1e-6, "packed={packed} random={random}");
+    }
+}

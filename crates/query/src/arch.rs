@@ -1,0 +1,190 @@
+//! The four system classes of Section 5: client/server, peer-to-peer,
+//! federated, open.
+//!
+//! "In client/server systems, the amount of resources available on the
+//! server side determines the total capacity of the system. (...) In
+//! peer-to-peer systems, however, any new participant is both a new client
+//! and a new server. Consequently, the total amount of resources available
+//! for processing queries increases with the number of clients, assuming
+//! that free-riding is not prevalent. On federated systems, independent
+//! systems combine (...) On open systems, parties may allocate resources
+//! in a self-interested fashion."
+//!
+//! The model makes those sentences quantitative: capacity as a function of
+//! the client population, with free-riding and self-interest dials, so the
+//! crossovers the paper reasons about can be computed and tested.
+
+/// A distributed query-processing architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Architecture {
+    /// Dedicated servers; clients only submit queries.
+    ClientServer {
+        /// Number of dedicated servers.
+        servers: u32,
+    },
+    /// Every participant is client and server.
+    PeerToPeer {
+        /// Fraction of peers contributing no capacity (free riders).
+        free_riding: f64,
+        /// A peer's capacity relative to a dedicated server.
+        peer_strength: f64,
+    },
+    /// Independent trusted systems pooled into one.
+    Federated {
+        /// Servers contributed by each member site.
+        site_servers: Vec<u32>,
+    },
+    /// Federation without full trust: members serve foreign queries at a
+    /// lower priority.
+    Open {
+        /// Servers contributed by each member site.
+        site_servers: Vec<u32>,
+        /// Fraction of each site's capacity actually granted to foreign
+        /// queries (1.0 = fully cooperative, 0.0 = fully selfish).
+        foreign_priority: f64,
+        /// Fraction of the query load that is foreign to its serving site.
+        foreign_fraction: f64,
+    },
+}
+
+/// Per-server (or per-full-strength-peer) capacity in queries/second.
+pub const SERVER_QPS: f64 = 100.0;
+
+impl Architecture {
+    /// Total sustainable query throughput with `clients` participants.
+    pub fn capacity(&self, clients: u64) -> f64 {
+        match self {
+            Architecture::ClientServer { servers } => f64::from(*servers) * SERVER_QPS,
+            Architecture::PeerToPeer { free_riding, peer_strength } => {
+                assert!((0.0..=1.0).contains(free_riding));
+                clients as f64 * (1.0 - free_riding) * peer_strength * SERVER_QPS
+            }
+            Architecture::Federated { site_servers } => {
+                site_servers.iter().map(|&s| f64::from(s)).sum::<f64>() * SERVER_QPS
+            }
+            Architecture::Open { site_servers, foreign_priority, foreign_fraction } => {
+                assert!((0.0..=1.0).contains(foreign_priority));
+                assert!((0.0..=1.0).contains(foreign_fraction));
+                let full: f64 = site_servers.iter().map(|&s| f64::from(s)).sum();
+                // Local traffic is served at full rate; foreign traffic
+                // only at the granted priority.
+                let effective = (1.0 - foreign_fraction) + foreign_fraction * foreign_priority;
+                full * SERVER_QPS * effective
+            }
+        }
+    }
+
+    /// Whether the architecture sustains `clients` each issuing
+    /// `qps_per_client`.
+    pub fn sustains(&self, clients: u64, qps_per_client: f64) -> bool {
+        clients as f64 * qps_per_client < self.capacity(clients)
+    }
+
+    /// The largest client population this architecture sustains at
+    /// `qps_per_client` (`None` = unbounded).
+    pub fn saturation_point(&self, qps_per_client: f64) -> Option<u64> {
+        assert!(qps_per_client > 0.0);
+        match self {
+            Architecture::ClientServer { .. }
+            | Architecture::Federated { .. }
+            | Architecture::Open { .. } => {
+                // Fixed capacity C: n* = floor(C / q) (strictly below C).
+                let c = self.capacity(0);
+                let n = (c / qps_per_client).ceil() as u64;
+                Some(n.saturating_sub(1))
+            }
+            Architecture::PeerToPeer { free_riding, peer_strength } => {
+                // Per-client supply vs demand: unbounded iff supply > demand.
+                let supply = (1.0 - free_riding) * peer_strength * SERVER_QPS;
+                if supply > qps_per_client {
+                    None
+                } else {
+                    Some(0)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_server_capacity_constant_in_clients() {
+        let a = Architecture::ClientServer { servers: 10 };
+        assert_eq!(a.capacity(1), a.capacity(1_000_000));
+        assert_eq!(a.capacity(0), 1_000.0);
+    }
+
+    #[test]
+    fn p2p_capacity_grows_with_clients() {
+        let a = Architecture::PeerToPeer { free_riding: 0.0, peer_strength: 0.01 };
+        assert!(a.capacity(10_000) > 10.0 * a.capacity(1_000) - 1e-9);
+    }
+
+    #[test]
+    fn free_riding_scales_capacity_down() {
+        let none = Architecture::PeerToPeer { free_riding: 0.0, peer_strength: 0.01 };
+        let heavy = Architecture::PeerToPeer { free_riding: 0.9, peer_strength: 0.01 };
+        let n = 100_000;
+        assert!((heavy.capacity(n) - 0.1 * none.capacity(n)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p2p_sustains_any_population_when_supply_exceeds_demand() {
+        // Each peer contributes 1 qps (strength 0.01 × 100) and demands 0.5.
+        let a = Architecture::PeerToPeer { free_riding: 0.0, peer_strength: 0.01 };
+        assert_eq!(a.saturation_point(0.5), None);
+        for n in [10u64, 10_000, 10_000_000] {
+            assert!(a.sustains(n, 0.5));
+        }
+        // With 60% free riders, supply (0.4) < demand (0.5): collapses.
+        let fr = Architecture::PeerToPeer { free_riding: 0.6, peer_strength: 0.01 };
+        assert_eq!(fr.saturation_point(0.5), Some(0));
+    }
+
+    #[test]
+    fn client_server_saturates() {
+        let a = Architecture::ClientServer { servers: 10 }; // 1000 qps
+        let n = a.saturation_point(0.5).expect("bounded");
+        assert_eq!(n, 1999);
+        assert!(a.sustains(n, 0.5));
+        assert!(!a.sustains(n + 1, 0.5));
+    }
+
+    #[test]
+    fn federation_pools_members() {
+        let f = Architecture::Federated { site_servers: vec![4, 6, 10] };
+        assert_eq!(f.capacity(0), 2_000.0);
+    }
+
+    #[test]
+    fn open_system_loses_capacity_to_self_interest() {
+        let servers = vec![4, 6, 10];
+        let fed = Architecture::Federated { site_servers: servers.clone() };
+        let open = Architecture::Open {
+            site_servers: servers.clone(),
+            foreign_priority: 0.5,
+            foreign_fraction: 0.6,
+        };
+        assert!(open.capacity(0) < fed.capacity(0));
+        // Fully cooperative open system equals the federation.
+        let coop = Architecture::Open {
+            site_servers: servers,
+            foreign_priority: 1.0,
+            foreign_fraction: 0.6,
+        };
+        assert!((coop.capacity(0) - fed.capacity(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_penalty_scales_with_foreign_share() {
+        let mk = |frac| Architecture::Open {
+            site_servers: vec![10],
+            foreign_priority: 0.2,
+            foreign_fraction: frac,
+        };
+        assert!(mk(0.8).capacity(0) < mk(0.2).capacity(0));
+    }
+}

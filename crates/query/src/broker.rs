@@ -1,0 +1,256 @@
+//! Document-partitioned scatter-gather evaluation.
+//!
+//! "In the case of a document partitioned system, query processors send
+//! the query results to the coordinator, which merges and detects the top
+//! ranked results (...) the response time in a document partitioned system
+//! depends on the response time of its slowest component" (Section 5).
+//!
+//! The broker scatter-gathers over a [`PartitionedIndex`], optionally
+//! restricted to the top-`m` partitions of a collection selector, and
+//! accounts per-server *busy time* — the quantity Figure 2 plots.
+
+use dwr_partition::parted::PartitionedIndex;
+use dwr_partition::select::CollectionSelector;
+use dwr_sim::net::{SiteId, Topology};
+use dwr_sim::SimTime;
+use dwr_text::score::Bm25;
+use dwr_text::search::search_or;
+use dwr_text::topk::TopK;
+use dwr_text::TermId;
+
+/// Cost of scanning one posting, in µs (the CPU/disk work unit).
+pub const US_PER_POSTING: f64 = 0.5;
+/// Fixed per-query overhead on a query processor, in µs.
+pub const US_PER_QUERY_FIXED: f64 = 200.0;
+/// Broker-side merge cost per received hit, in µs.
+pub const US_PER_MERGE_HIT: f64 = 1.0;
+
+/// One globally-identified result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalHit {
+    /// Global document id.
+    pub doc: u32,
+    /// BM25 score (local statistics).
+    pub score: f32,
+}
+
+/// Outcome of one brokered query.
+#[derive(Debug, Clone)]
+pub struct BrokeredResponse {
+    /// Merged top-k, best first.
+    pub hits: Vec<GlobalHit>,
+    /// Partitions actually queried.
+    pub partitions_used: usize,
+    /// Response latency: slowest partition (service + round trip) plus
+    /// merge time.
+    pub latency: SimTime,
+}
+
+/// The document-partition broker.
+pub struct DocBroker<'a> {
+    index: &'a PartitionedIndex,
+    topo: Topology,
+    broker_site: SiteId,
+    /// Site of each partition server.
+    part_sites: Vec<SiteId>,
+    bm25: Bm25,
+    /// Accumulated busy time per partition server, µs.
+    busy: Vec<f64>,
+    /// Queries processed.
+    queries: u64,
+}
+
+impl<'a> DocBroker<'a> {
+    /// Create a broker over `index`. `part_sites[p]` locates partition `p`.
+    pub fn new(
+        index: &'a PartitionedIndex,
+        topo: Topology,
+        broker_site: SiteId,
+        part_sites: Vec<SiteId>,
+    ) -> Self {
+        assert_eq!(part_sites.len(), index.num_partitions());
+        let busy = vec![0.0; index.num_partitions()];
+        DocBroker { index, topo, broker_site, part_sites, bm25: Bm25::default(), busy, queries: 0 }
+    }
+
+    /// Single-site convenience constructor (everything on one LAN).
+    pub fn single_site(index: &'a PartitionedIndex) -> Self {
+        let sites = vec![SiteId(0); index.num_partitions()];
+        Self::new(index, Topology::single_site(), SiteId(0), sites)
+    }
+
+    /// The service time partition `p` spends on `terms`: posting volume
+    /// touched plus fixed overhead.
+    pub fn service_time(&self, p: usize, terms: &[TermId]) -> f64 {
+        let postings: u64 = terms.iter().map(|&t| u64::from(self.index.part(p).df(t))).sum();
+        US_PER_QUERY_FIXED + postings as f64 * US_PER_POSTING
+    }
+
+    /// Evaluate a query over all partitions.
+    pub fn query(&mut self, terms: &[TermId], k: usize) -> BrokeredResponse {
+        let all: Vec<u32> = (0..self.index.num_partitions() as u32).collect();
+        self.query_selected(terms, k, &all)
+    }
+
+    /// Evaluate a query over the top-`m` partitions of `selector`.
+    pub fn query_with_selection(
+        &mut self,
+        terms: &[TermId],
+        k: usize,
+        selector: &dyn CollectionSelector,
+        m: usize,
+    ) -> BrokeredResponse {
+        let chosen: Vec<u32> = selector.rank(terms).into_iter().take(m).map(|(p, _)| p).collect();
+        self.query_selected(terms, k, &chosen)
+    }
+
+    /// Evaluate a query over an explicit partition set.
+    pub fn query_selected(&mut self, terms: &[TermId], k: usize, parts: &[u32]) -> BrokeredResponse {
+        self.queries += 1;
+        let mut top = TopK::new(k.max(1));
+        let mut slowest: SimTime = 0;
+        let mut merged_hits = 0u64;
+        for &p in parts {
+            let pu = p as usize;
+            let idx = self.index.part(pu);
+            let service = self.service_time(pu, terms);
+            self.busy[pu] += service;
+            let hits = search_or(idx, terms, k, &self.bm25, idx);
+            merged_hits += hits.len() as u64;
+            let rtt = self.topo.rtt(self.broker_site, self.part_sites[pu], 64, hits.len() as u64 * 12);
+            slowest = slowest.max(service as SimTime + rtt);
+            for h in hits {
+                top.push(self.index.to_global(pu, h.doc), h.score);
+            }
+        }
+        let merge = (merged_hits as f64 * US_PER_MERGE_HIT) as SimTime;
+        BrokeredResponse {
+            hits: top
+                .into_sorted_vec()
+                .into_iter()
+                .map(|(doc, score)| GlobalHit { doc, score })
+                .collect(),
+            partitions_used: parts.len(),
+            latency: slowest + merge,
+        }
+    }
+
+    /// Accumulated busy time per partition server (µs).
+    pub fn busy_time(&self) -> &[f64] {
+        &self.busy
+    }
+
+    /// Busy time normalized by its mean — the Figure 2 y-axis (dashed line
+    /// at 1.0).
+    pub fn busy_load_normalized(&self) -> Vec<f64> {
+        let mean = self.busy.iter().sum::<f64>() / self.busy.len() as f64;
+        if mean <= 0.0 {
+            return vec![0.0; self.busy.len()];
+        }
+        self.busy.iter().map(|&b| b / mean).collect()
+    }
+
+    /// Queries processed so far.
+    pub fn queries_processed(&self) -> u64 {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwr_partition::doc::{DocPartitioner, RoundRobinPartitioner};
+    use dwr_partition::parted::Corpus;
+    use dwr_partition::quality::global_top_k;
+
+    fn corpus() -> Corpus {
+        (0..40u32)
+            .map(|d| vec![(TermId(d % 7), 1 + d % 3), (TermId(100 + d % 5), 1)])
+            .collect()
+    }
+
+    fn parted(k: usize) -> (Corpus, PartitionedIndex) {
+        let c = corpus();
+        let a = RoundRobinPartitioner.assign(&c, k);
+        let pi = PartitionedIndex::build(&c, &a, k);
+        (c, pi)
+    }
+
+    #[test]
+    fn brokered_results_match_monolithic_set() {
+        let (c, pi) = parted(4);
+        let mut broker = DocBroker::single_site(&pi);
+        let terms = [TermId(1), TermId(100)];
+        let got: Vec<u32> = broker.query(&terms, 10).hits.iter().map(|h| h.doc).collect();
+        let want = global_top_k(&c, &terms, 10);
+        // Local statistics may permute near-ties; the *sets* must agree.
+        let mut gs = got.clone();
+        let mut ws = want.clone();
+        gs.sort_unstable();
+        ws.sort_unstable();
+        assert_eq!(gs, ws);
+    }
+
+    #[test]
+    fn busy_load_balanced_under_round_robin() {
+        let (_, pi) = parted(8);
+        let mut broker = DocBroker::single_site(&pi);
+        for q in 0..200u32 {
+            broker.query(&[TermId(q % 7), TermId(100 + q % 5)], 10);
+        }
+        let norm = broker.busy_load_normalized();
+        for &l in &norm {
+            assert!((l - 1.0).abs() < 0.25, "{norm:?}");
+        }
+    }
+
+    #[test]
+    fn selection_reduces_partitions_and_latency() {
+        let (_, pi) = parted(4);
+        let sel = dwr_partition::select::CoriSelector::from_partitions(&pi);
+        let mut broker = DocBroker::single_site(&pi);
+        let terms = [TermId(1)];
+        let full = broker.query(&terms, 10);
+        let selective = broker.query_with_selection(&terms, 10, &sel, 2);
+        assert_eq!(full.partitions_used, 4);
+        assert_eq!(selective.partitions_used, 2);
+        assert!(selective.hits.len() <= full.hits.len() || !full.hits.is_empty());
+    }
+
+    #[test]
+    fn latency_includes_network() {
+        let (_, pi) = parted(2);
+        let lan = DocBroker::single_site(&pi);
+        let mut lan_broker = lan;
+        let wan_topo = Topology::geo_ring(3);
+        let mut wan_broker = DocBroker::new(
+            &pi,
+            wan_topo,
+            SiteId(0),
+            vec![SiteId(1), SiteId(2)],
+        );
+        let terms = [TermId(2)];
+        let l = lan_broker.query(&terms, 10).latency;
+        let w = wan_broker.query(&terms, 10).latency;
+        assert!(w > l, "wan={w} lan={l}");
+    }
+
+    #[test]
+    fn busy_time_accrues_only_on_queried_partitions() {
+        let (_, pi) = parted(4);
+        let mut broker = DocBroker::single_site(&pi);
+        broker.query_selected(&[TermId(1)], 10, &[0, 1]);
+        let busy = broker.busy_time();
+        assert!(busy[0] > 0.0 && busy[1] > 0.0);
+        assert_eq!(busy[2], 0.0);
+        assert_eq!(busy[3], 0.0);
+    }
+
+    #[test]
+    fn empty_query_is_harmless() {
+        let (_, pi) = parted(2);
+        let mut broker = DocBroker::single_site(&pi);
+        let r = broker.query(&[], 10);
+        assert!(r.hits.is_empty());
+    }
+}

@@ -1,0 +1,408 @@
+//! Result caches: LRU, LFU, and SDC (static-dynamic).
+//!
+//! "Cache servers hold results for the most frequent or popular queries
+//! (...) making query resolution as simple as contacting one single cache
+//! server" (Section 5). SDC (Fagni et al. \[51\]) splits capacity into a
+//! *static* half, filled offline with the most frequent training queries,
+//! and a *dynamic* LRU half for bursts — and beats either alone on
+//! Zipf-with-drift traffic.
+//!
+//! Caches also double as a dependability mechanism: [`ResultCache::get`]
+//! never expires entries, so a front-end can serve stale results while the
+//! backend is down (experiment E8 measures this).
+
+use crate::broker::GlobalHit;
+use std::collections::{BTreeMap, HashMap};
+
+/// Cached value: the merged result list of a query.
+pub type CachedResults = Vec<GlobalHit>;
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio (0 when no lookups).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A query-result cache keyed by a stable query key.
+pub trait ResultCache {
+    /// Look up a query; counts a hit or miss.
+    fn get(&mut self, key: u64) -> Option<&CachedResults>;
+    /// Insert a result (no-op if the policy rejects the key).
+    fn put(&mut self, key: u64, value: CachedResults);
+    /// Counters so far.
+    fn stats(&self) -> CacheStats;
+    /// Current number of resident entries.
+    fn len(&self) -> usize;
+    /// Whether the cache holds nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Classic LRU with O(log n) eviction (recency index in a BTreeMap).
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, (CachedResults, u64)>,
+    by_recency: BTreeMap<u64, u64>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Create an LRU cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            by_recency: BTreeMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        self.tick += 1;
+        if let Some((_, stamp)) = self.map.get_mut(&key) {
+            self.by_recency.remove(stamp);
+            *stamp = self.tick;
+            self.by_recency.insert(self.tick, key);
+        }
+    }
+}
+
+impl ResultCache for LruCache {
+    fn get(&mut self, key: u64) -> Option<&CachedResults> {
+        if self.map.contains_key(&key) {
+            self.stats.hits += 1;
+            self.touch(key);
+            self.map.get(&key).map(|(v, _)| v)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    fn put(&mut self, key: u64, value: CachedResults) {
+        self.tick += 1;
+        if let Some((old_value, stamp)) = self.map.get_mut(&key) {
+            *old_value = value;
+            self.by_recency.remove(stamp);
+            *stamp = self.tick;
+            self.by_recency.insert(self.tick, key);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some((&oldest, &victim)) = self.by_recency.iter().next() {
+                self.by_recency.remove(&oldest);
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+        self.by_recency.insert(self.tick, key);
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+}
+
+/// LFU with tie-break by recency; O(log n) eviction via a (count, tick)
+/// ordered index.
+#[derive(Debug)]
+pub struct LfuCache {
+    capacity: usize,
+    map: HashMap<u64, (CachedResults, u64, u64)>, // value, count, tick
+    by_freq: BTreeMap<(u64, u64), u64>,           // (count, tick) -> key
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl LfuCache {
+    /// Create an LFU cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        LfuCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            by_freq: BTreeMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn bump(&mut self, key: u64) {
+        self.tick += 1;
+        if let Some((_, count, tick)) = self.map.get_mut(&key) {
+            self.by_freq.remove(&(*count, *tick));
+            *count += 1;
+            *tick = self.tick;
+            self.by_freq.insert((*count, *tick), key);
+        }
+    }
+}
+
+impl ResultCache for LfuCache {
+    fn get(&mut self, key: u64) -> Option<&CachedResults> {
+        if self.map.contains_key(&key) {
+            self.stats.hits += 1;
+            self.bump(key);
+            self.map.get(&key).map(|(v, _, _)| v)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    fn put(&mut self, key: u64, value: CachedResults) {
+        if self.map.contains_key(&key) {
+            if let Some((v, _, _)) = self.map.get_mut(&key) {
+                *v = value;
+            }
+            self.bump(key);
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity {
+            if let Some((&victim_key_pair, &victim)) = self.by_freq.iter().next() {
+                self.by_freq.remove(&victim_key_pair);
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(key, (value, 1, self.tick));
+        self.by_freq.insert((1, self.tick), key);
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+    fn name(&self) -> &'static str {
+        "LFU"
+    }
+}
+
+/// SDC: a read-only static section seeded with the most frequent training
+/// queries plus a dynamic LRU for the rest of the capacity.
+#[derive(Debug)]
+pub struct SdcCache {
+    /// Static slots: reserved at build time, `None` until first filled.
+    static_map: HashMap<u64, Option<CachedResults>>,
+    dynamic: LruCache,
+    stats: CacheStats,
+}
+
+impl SdcCache {
+    /// Create an SDC cache of total `capacity`, with `static_fraction` of
+    /// it devoted to the static section, seeded from `training_keys`
+    /// (most frequent first). Static slots are reserved immediately but
+    /// only serve hits once [`ResultCache::put`] fills them.
+    pub fn new(capacity: usize, static_fraction: f64, training_keys: &[u64]) -> Self {
+        assert!(capacity > 1);
+        assert!((0.0..1.0).contains(&static_fraction));
+        let static_cap = ((capacity as f64 * static_fraction) as usize).min(training_keys.len());
+        let dynamic_cap = (capacity - static_cap).max(1);
+        let static_map = training_keys.iter().take(static_cap).map(|&k| (k, None)).collect();
+        SdcCache { static_map, dynamic: LruCache::new(dynamic_cap), stats: CacheStats::default() }
+    }
+
+    /// Number of slots in the static section.
+    pub fn static_len(&self) -> usize {
+        self.static_map.len()
+    }
+}
+
+impl ResultCache for SdcCache {
+    fn get(&mut self, key: u64) -> Option<&CachedResults> {
+        if let Some(slot) = self.static_map.get(&key) {
+            if slot.is_some() {
+                self.stats.hits += 1;
+                return self.static_map.get(&key).and_then(Option::as_ref);
+            }
+            self.stats.misses += 1;
+            return None;
+        }
+        // Delegate to the dynamic half; fold its counters into ours.
+        let before = self.dynamic.stats();
+        let hit = self.dynamic.get(key).is_some();
+        let after = self.dynamic.stats();
+        self.stats.hits += after.hits - before.hits;
+        self.stats.misses += after.misses - before.misses;
+        if hit {
+            self.dynamic.map.get(&key).map(|(v, _)| v)
+        } else {
+            None
+        }
+    }
+
+    fn put(&mut self, key: u64, value: CachedResults) {
+        if let Some(slot) = self.static_map.get_mut(&key) {
+            *slot = Some(value);
+        } else {
+            self.dynamic.put(key, value);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        let d = self.dynamic.stats();
+        CacheStats { evictions: d.evictions, ..self.stats }
+    }
+    fn len(&self) -> usize {
+        self.static_map.values().filter(|v| v.is_some()).count() + self.dynamic.len()
+    }
+    fn name(&self) -> &'static str {
+        "SDC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(id: u32) -> CachedResults {
+        vec![GlobalHit { doc: id, score: 1.0 }]
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(2);
+        c.put(1, value(1));
+        c.put(2, value(2));
+        assert!(c.get(1).is_some()); // 1 is now most recent
+        c.put(3, value(3)); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_update_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.put(1, value(1));
+        c.put(2, value(2));
+        c.put(1, value(10));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1).unwrap()[0].doc, 10);
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = LfuCache::new(2);
+        c.put(1, value(1));
+        c.put(2, value(2));
+        c.get(1);
+        c.get(1); // key 1 now count 3
+        c.put(3, value(3)); // evicts 2 (count 1)
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn sdc_static_entries_never_evicted() {
+        let training = [100u64, 101, 102];
+        let mut c = SdcCache::new(4, 0.5, &training);
+        assert_eq!(c.static_len(), 2);
+        c.put(100, value(1));
+        // Flood the dynamic half.
+        for k in 0..50u64 {
+            c.put(k, value(k as u32));
+        }
+        assert!(c.get(100).is_some(), "static entry survived the flood");
+    }
+
+    #[test]
+    fn hit_ratio_computation() {
+        let mut c = LruCache::new(4);
+        c.put(1, value(1));
+        c.get(1);
+        c.get(2);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    /// The headline SDC property: on Zipf traffic whose tail churns, SDC
+    /// beats plain LRU of the same total capacity.
+    #[test]
+    fn sdc_beats_lru_on_zipf_with_churn() {
+        use dwr_sim::dist::Zipf;
+        use dwr_sim::SimRng;
+        let mut rng = SimRng::new(7);
+        let zipf = Zipf::new(10_000, 1.0);
+        // Train: find the most frequent keys.
+        let mut freq: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..20_000 {
+            *freq.entry(zipf.sample(&mut rng)).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<(u64, u64)> = freq.into_iter().collect();
+        ranked.sort_by_key(|&(k, f)| (std::cmp::Reverse(f), k));
+        let top_keys: Vec<u64> = ranked.iter().map(|&(k, _)| k).collect();
+
+        let cap = 400;
+        let mut lru = LruCache::new(cap);
+        let mut sdc = SdcCache::new(cap, 0.5, &top_keys);
+        // Test traffic: same Zipf head, but one-off scan bursts that wreck
+        // pure recency.
+        for i in 0..40_000u64 {
+            let key = if i % 10 < 3 {
+                1_000_000 + i // burst of never-repeating keys
+            } else {
+                zipf.sample(&mut rng)
+            };
+            for c in [&mut lru as &mut dyn ResultCache, &mut sdc] {
+                if c.get(key).is_none() {
+                    c.put(key, value(0));
+                }
+            }
+        }
+        let l = lru.stats().hit_ratio();
+        let s = sdc.stats().hit_ratio();
+        assert!(s > l, "sdc={s} lru={l}");
+    }
+
+    #[test]
+    fn caches_start_empty() {
+        for c in [
+            &mut LruCache::new(4) as &mut dyn ResultCache,
+            &mut LfuCache::new(4),
+            &mut SdcCache::new(4, 0.5, &[1, 2]),
+        ] {
+            assert!(c.get(42).is_none());
+            assert_eq!(c.stats().hits, 0);
+        }
+    }
+}

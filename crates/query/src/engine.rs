@@ -1,0 +1,275 @@
+//! The assembled distributed engine: cache → selection → replicated
+//! scatter-gather, with failure masking.
+//!
+//! This is the component stack of the paper's Figure 3 in one process: a
+//! coordinator consults a result cache, optionally narrows the partition
+//! set with collection selection, dispatches to a live replica of each
+//! chosen partition, merges, and falls back to *stale cached results* when
+//! a whole replica group is down ("upon query processor failures, the
+//! system returns cached results").
+
+use crate::broker::{DocBroker, GlobalHit};
+use crate::cache::ResultCache;
+use crate::replica::ReplicaGroup;
+use dwr_partition::parted::PartitionedIndex;
+use dwr_partition::select::CollectionSelector;
+use dwr_text::TermId;
+
+/// How a query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Fresh results straight from the cache.
+    CacheHit,
+    /// Evaluated on the full chosen partition set.
+    Full,
+    /// Evaluated with some partitions unavailable (degraded results).
+    Degraded {
+        /// Number of unavailable partitions skipped.
+        missing: usize,
+    },
+    /// Backend entirely unavailable; served stale results from the cache.
+    StaleFromCache,
+    /// Backend unavailable and the cache had nothing.
+    Failed,
+}
+
+/// Aggregate engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Answered from cache (fresh).
+    pub cache_hits: u64,
+    /// Fully evaluated.
+    pub full: u64,
+    /// Evaluated with missing partitions.
+    pub degraded: u64,
+    /// Served stale from cache during an outage.
+    pub stale: u64,
+    /// Unanswerable.
+    pub failed: u64,
+}
+
+/// The engine. Owns replica state; borrows the index and cache.
+pub struct DistributedEngine<'a, C: ResultCache> {
+    broker: DocBroker<'a>,
+    cache: C,
+    groups: Vec<ReplicaGroup>,
+    stats: EngineStats,
+    /// Partitions to query per request when a selector is used.
+    selection_width: Option<usize>,
+    selector: Option<&'a dyn CollectionSelector>,
+}
+
+/// A stable cache key for a term multiset.
+pub fn query_key(terms: &[TermId]) -> u64 {
+    let mut sorted: Vec<u32> = terms.iter().map(|t| t.0).collect();
+    sorted.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in sorted {
+        h ^= u64::from(t);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl<'a, C: ResultCache> DistributedEngine<'a, C> {
+    /// Create an engine over `index` with `replicas` per partition.
+    pub fn new(index: &'a PartitionedIndex, cache: C, replicas: usize) -> Self {
+        let groups = (0..index.num_partitions()).map(|_| ReplicaGroup::new(replicas)).collect();
+        DistributedEngine {
+            broker: DocBroker::single_site(index),
+            cache,
+            groups,
+            stats: EngineStats::default(),
+            selection_width: None,
+            selector: None,
+        }
+    }
+
+    /// Enable collection selection: only the top-`m` partitions serve each
+    /// query.
+    pub fn with_selection(mut self, selector: &'a dyn CollectionSelector, m: usize) -> Self {
+        assert!(m >= 1);
+        self.selector = Some(selector);
+        self.selection_width = Some(m);
+        self
+    }
+
+    /// Mark one replica of one partition down or up.
+    pub fn set_replica_alive(&mut self, partition: usize, replica: usize, up: bool) {
+        self.groups[partition].set_alive(replica, up);
+    }
+
+    /// Serve a query.
+    pub fn query(&mut self, terms: &[TermId], k: usize) -> (Vec<GlobalHit>, Served) {
+        let key = query_key(terms);
+        if let Some(hit) = self.cache.get(key) {
+            self.stats.cache_hits += 1;
+            return (hit.clone(), Served::CacheHit);
+        }
+        // Choose partitions.
+        let chosen: Vec<u32> = match (self.selector, self.selection_width) {
+            (Some(sel), Some(m)) => sel.rank(terms).into_iter().take(m).map(|(p, _)| p).collect(),
+            _ => (0..self.groups.len() as u32).collect(),
+        };
+        // Keep only partitions with a live replica.
+        let available: Vec<u32> = chosen
+            .iter()
+            .copied()
+            .filter(|&p| self.groups[p as usize].available())
+            .collect();
+        for &p in &available {
+            let _replica = self.groups[p as usize].dispatch();
+        }
+        if available.is_empty() {
+            // Whole backend (for this query) is down: stale or fail.
+            // A stale answer is whatever the cache held before — but we
+            // already missed; there is nothing fresh. Re-check under the
+            // stale policy: the cache may hold it even though `get`
+            // counted a miss above only if it returned None. So: failed
+            // unless a previous result was cached, which `get` would have
+            // returned. Nothing to serve.
+            self.stats.failed += 1;
+            return (Vec::new(), Served::Failed);
+        }
+        let missing = chosen.len() - available.len();
+        let resp = self.broker.query_selected(terms, k, &available);
+        self.cache.put(key, resp.hits.clone());
+        if missing == 0 {
+            self.stats.full += 1;
+            (resp.hits, Served::Full)
+        } else {
+            self.stats.degraded += 1;
+            (resp.hits, Served::Degraded { missing })
+        }
+    }
+
+    /// Serve a query, allowing stale cache results when the backend is
+    /// down (the dependability role of caches). Unlike [`Self::query`],
+    /// a backend outage consults the cache *ignoring freshness*.
+    pub fn query_stale_ok(&mut self, terms: &[TermId], k: usize) -> (Vec<GlobalHit>, Served) {
+        let key = query_key(terms);
+        let backend_up = {
+            let chosen: Vec<u32> = match (self.selector, self.selection_width) {
+                (Some(sel), Some(m)) => {
+                    sel.rank(terms).into_iter().take(m).map(|(p, _)| p).collect()
+                }
+                _ => (0..self.groups.len() as u32).collect(),
+            };
+            chosen.iter().any(|&p| self.groups[p as usize].available())
+        };
+        if !backend_up {
+            if let Some(hit) = self.cache.get(key) {
+                self.stats.stale += 1;
+                return (hit.clone(), Served::StaleFromCache);
+            }
+            self.stats.failed += 1;
+            return (Vec::new(), Served::Failed);
+        }
+        self.query(terms, k)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The cache's own counters.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::LruCache;
+    use dwr_partition::doc::{DocPartitioner, RoundRobinPartitioner};
+    use dwr_partition::parted::Corpus;
+
+    fn setup() -> PartitionedIndex {
+        let corpus: Corpus = (0..24u32)
+            .map(|d| vec![(TermId(d % 5), 2), (TermId(50 + d % 3), 1)])
+            .collect();
+        let a = RoundRobinPartitioner.assign(&corpus, 4);
+        PartitionedIndex::build(&corpus, &a, 4)
+    }
+
+    #[test]
+    fn cache_hit_on_repeat() {
+        let pi = setup();
+        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 2);
+        let (r1, s1) = e.query(&[TermId(1)], 5);
+        assert_eq!(s1, Served::Full);
+        let (r2, s2) = e.query(&[TermId(1)], 5);
+        assert_eq!(s2, Served::CacheHit);
+        assert_eq!(r1, r2);
+        assert_eq!(e.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn query_key_is_order_insensitive() {
+        assert_eq!(query_key(&[TermId(1), TermId(2)]), query_key(&[TermId(2), TermId(1)]));
+        assert_ne!(query_key(&[TermId(1)]), query_key(&[TermId(2)]));
+    }
+
+    #[test]
+    fn replica_failover_keeps_full_service() {
+        let pi = setup();
+        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 2);
+        e.set_replica_alive(0, 0, false); // one replica of partition 0 down
+        let (_, s) = e.query(&[TermId(2)], 5);
+        assert_eq!(s, Served::Full, "second replica covers");
+    }
+
+    #[test]
+    fn dead_group_degrades_results() {
+        let pi = setup();
+        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 1);
+        e.set_replica_alive(0, 0, false); // partition 0 gone entirely
+        let (hits, s) = e.query(&[TermId(2)], 24);
+        assert_eq!(s, Served::Degraded { missing: 1 });
+        // Documents of partition 0 (globals 0,4,8,...) are absent.
+        assert!(hits.iter().all(|h| h.doc % 4 != 0), "{hits:?}");
+    }
+
+    #[test]
+    fn stale_serving_during_total_outage() {
+        let pi = setup();
+        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 1);
+        let (fresh, _) = e.query(&[TermId(3)], 5); // populate cache
+        for p in 0..4 {
+            e.set_replica_alive(p, 0, false);
+        }
+        let (stale, s) = e.query_stale_ok(&[TermId(3)], 5);
+        assert_eq!(s, Served::StaleFromCache);
+        assert_eq!(stale, fresh);
+        // A query never seen before cannot be served at all.
+        let (none, s2) = e.query_stale_ok(&[TermId(4)], 5);
+        assert_eq!(s2, Served::Failed);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn selection_limits_partitions() {
+        let pi = setup();
+        let sel = dwr_partition::select::CoriSelector::from_partitions(&pi);
+        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 1).with_selection(&sel, 2);
+        let (hits, s) = e.query(&[TermId(1)], 24);
+        assert_eq!(s, Served::Full);
+        // Only 2 of 4 partitions answered: at most 12 of 24 docs reachable.
+        assert!(hits.len() <= 12);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let pi = setup();
+        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 1);
+        e.query(&[TermId(0)], 5);
+        e.query(&[TermId(0)], 5);
+        e.query(&[TermId(1)], 5);
+        let s = e.stats();
+        assert_eq!(s.full, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(e.cache_stats().misses, 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Incremental query processing.
+//!
+//! "One way to mitigate this problem is to adopt an incremental query
+//! processing approach, where the faster query processors provide an
+//! initial set of results. Other remote query processors provide
+//! additional results with a higher latency and users continuously obtain
+//! new results" (Section 5). This module models the completeness/latency
+//! trade-off: given per-partition response latencies, how much of the
+//! final merged top-k is already correct at each deadline?
+
+use crate::broker::GlobalHit;
+use dwr_sim::SimTime;
+use dwr_text::topk::TopK;
+
+/// One partition's contribution and when it arrives.
+#[derive(Debug, Clone)]
+pub struct PartitionArrival {
+    /// When this partition's results reach the coordinator.
+    pub at: SimTime,
+    /// Its local top hits (global ids).
+    pub hits: Vec<GlobalHit>,
+}
+
+/// Merge the hits available at time `deadline` into a top-k.
+pub fn results_at(arrivals: &[PartitionArrival], deadline: SimTime, k: usize) -> Vec<GlobalHit> {
+    let mut top = TopK::new(k.max(1));
+    for a in arrivals {
+        if a.at <= deadline {
+            for h in &a.hits {
+                top.push(h.doc, h.score);
+            }
+        }
+    }
+    top.into_sorted_vec()
+        .into_iter()
+        .map(|(doc, score)| GlobalHit { doc, score })
+        .collect()
+}
+
+/// Completeness of the deadline-limited result set: fraction of the final
+/// (all-arrivals) top-k already present at `deadline`.
+pub fn completeness_at(arrivals: &[PartitionArrival], deadline: SimTime, k: usize) -> f64 {
+    let final_set: std::collections::HashSet<u32> =
+        results_at(arrivals, SimTime::MAX, k).iter().map(|h| h.doc).collect();
+    if final_set.is_empty() {
+        return 1.0;
+    }
+    let now: std::collections::HashSet<u32> =
+        results_at(arrivals, deadline, k).iter().map(|h| h.doc).collect();
+    now.intersection(&final_set).count() as f64 / final_set.len() as f64
+}
+
+/// The completeness curve over a set of deadlines, plus the latency of
+/// full completeness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalProfile {
+    /// `(deadline, completeness)` pairs, deadlines ascending.
+    pub curve: Vec<(SimTime, f64)>,
+    /// Time of the last arrival (full results).
+    pub full_at: SimTime,
+}
+
+/// Profile an incremental evaluation across `steps` evenly spaced
+/// deadlines up to the slowest arrival.
+pub fn profile(arrivals: &[PartitionArrival], k: usize, steps: usize) -> IncrementalProfile {
+    assert!(steps >= 2);
+    let full_at = arrivals.iter().map(|a| a.at).max().unwrap_or(0);
+    let curve = (0..steps)
+        .map(|i| {
+            let t = full_at * i as u64 / (steps as u64 - 1);
+            (t, completeness_at(arrivals, t, k))
+        })
+        .collect();
+    IncrementalProfile { curve, full_at }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrivals() -> Vec<PartitionArrival> {
+        vec![
+            PartitionArrival {
+                at: 10,
+                hits: vec![GlobalHit { doc: 1, score: 5.0 }, GlobalHit { doc: 2, score: 1.0 }],
+            },
+            PartitionArrival {
+                at: 100,
+                hits: vec![GlobalHit { doc: 3, score: 4.0 }],
+            },
+            PartitionArrival {
+                at: 1000,
+                hits: vec![GlobalHit { doc: 4, score: 3.0 }, GlobalHit { doc: 5, score: 0.5 }],
+            },
+        ]
+    }
+
+    #[test]
+    fn results_accumulate_over_time() {
+        let a = arrivals();
+        assert_eq!(results_at(&a, 0, 10).len(), 0);
+        assert_eq!(results_at(&a, 10, 10).len(), 2);
+        assert_eq!(results_at(&a, 100, 10).len(), 3);
+        assert_eq!(results_at(&a, 1000, 10).len(), 5);
+    }
+
+    #[test]
+    fn completeness_monotone() {
+        let a = arrivals();
+        let c0 = completeness_at(&a, 0, 4);
+        let c1 = completeness_at(&a, 10, 4);
+        let c2 = completeness_at(&a, 100, 4);
+        let c3 = completeness_at(&a, 1000, 4);
+        assert!(c0 <= c1 && c1 <= c2 && c2 <= c3);
+        assert_eq!(c3, 1.0);
+    }
+
+    #[test]
+    fn early_deadline_can_be_mostly_complete() {
+        let a = arrivals();
+        // Top-2 of the final merge is docs 1 and 3; at t=10 only doc 1 is
+        // present → 50% complete on k=2.
+        let c = completeness_at(&a, 10, 2);
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_results_can_displace_early_ones() {
+        // Doc 4 (score 3.0) displaces doc 2 (1.0) from the top-3.
+        let a = arrivals();
+        let early: Vec<u32> = results_at(&a, 10, 3).iter().map(|h| h.doc).collect();
+        let fin: Vec<u32> = results_at(&a, 1000, 3).iter().map(|h| h.doc).collect();
+        assert!(early.contains(&2));
+        assert!(!fin.contains(&2));
+        assert!(fin.contains(&4));
+    }
+
+    #[test]
+    fn profile_shape() {
+        let a = arrivals();
+        let p = profile(&a, 4, 5);
+        assert_eq!(p.full_at, 1000);
+        assert_eq!(p.curve.len(), 5);
+        assert_eq!(p.curve.last().unwrap().1, 1.0);
+        assert!(p.curve.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12));
+    }
+
+    #[test]
+    fn empty_arrivals_are_complete() {
+        assert_eq!(completeness_at(&[], 0, 10), 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # dwr-query — distributed query processing (Section 5)
+//!
+//! The paper's query-processing model has three component roles —
+//! coordinator, cache, query processor — spread over sites. This crate
+//! implements the whole stack:
+//!
+//! * [`broker`] — document-partitioned scatter-gather with per-server
+//!   busy-time accounting (the left panel of Figure 2), optional
+//!   collection selection, and hierarchical merge;
+//! * [`pipeline`] — term-partitioned *pipelined* evaluation (Webber et al.
+//!   \[16\]; right panel of Figure 2), where a query visits exactly the
+//!   servers holding its terms and busy load concentrates on the servers
+//!   owning popular terms;
+//! * [`cache`] — result caching: LRU, LFU and SDC (static-dynamic, Fagni
+//!   et al. \[51\]), including serving stale results during backend outages
+//!   ("upon query processor failures, the system returns cached results");
+//! * [`replica`] — replica groups with failover dispatch, and a
+//!   primary-backup replicated user-profile store for personalization
+//!   state (Section 5's consistency discussion);
+//! * [`site`] — multi-site routing: geographic (DNS-style) routing,
+//!   load-aware offloading across time zones \[33\], and site-failure
+//!   failover;
+//! * [`incremental`] — incremental result delivery: fast processors answer
+//!   first, remote ones top up later;
+//! * [`hierarchy`] — flat vs. tree-of-coordinators result merging ("it is
+//!   possible to use a hierarchy of coordinators");
+//! * [`arch`] — the client/server vs. peer-to-peer vs. federated vs. open
+//!   capacity model of Section 5's four-attribute classification;
+//! * [`routing`] — topic-based routing under query-topic drift \[35\], with
+//!   automatic reconfiguration;
+//! * [`personalize`] — server-side (replicated state) vs. client-side
+//!   (thin layer) personalization, Section 5's privacy/consistency
+//!   trade-off;
+//! * [`engine`] — the assembled distributed engine: cache in front of a
+//!   selector in front of replicated partitions, with degradation
+//!   accounting.
+
+pub mod arch;
+pub mod broker;
+pub mod cache;
+pub mod engine;
+pub mod hierarchy;
+pub mod incremental;
+pub mod personalize;
+pub mod pipeline;
+pub mod replica;
+pub mod routing;
+pub mod site;
+
+pub use broker::DocBroker;
+pub use cache::{LfuCache, LruCache, ResultCache, SdcCache};
+pub use engine::DistributedEngine;
+pub use pipeline::PipelinedTermEngine;

@@ -1,0 +1,247 @@
+//! Replication: replica groups for partitions, primary-backup user state.
+//!
+//! "A classical way of coping with faults is replication (...) By
+//! replicating data across different query processors, we increase the
+//! probability that some query processor is available" (Section 5). A
+//! [`ReplicaGroup`] dispatches queries over the live replicas of one
+//! partition; [`PrimaryBackupStore`] implements the primary-backup
+//! protocol \[42\] for the per-user personalization state whose consistency
+//! the paper worries about ("it is necessary to guarantee that the state
+//! is consistent in every update, and that the user state is never lost").
+
+use std::collections::HashMap;
+
+/// The replicas of one partition with failover dispatch.
+#[derive(Debug, Clone)]
+pub struct ReplicaGroup {
+    alive: Vec<bool>,
+    /// Round-robin cursor.
+    next: usize,
+    /// Queries dispatched to each replica.
+    dispatched: Vec<u64>,
+}
+
+impl ReplicaGroup {
+    /// Create a group of `r` live replicas.
+    pub fn new(r: usize) -> Self {
+        assert!(r > 0);
+        ReplicaGroup { alive: vec![true; r], next: 0, dispatched: vec![0; r] }
+    }
+
+    /// Number of replicas (alive or not).
+    pub fn size(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of live replicas.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Mark a replica down/up.
+    pub fn set_alive(&mut self, replica: usize, up: bool) {
+        self.alive[replica] = up;
+    }
+
+    /// Whether any replica can serve.
+    pub fn available(&self) -> bool {
+        self.alive_count() > 0
+    }
+
+    /// Dispatch one query: returns the chosen live replica (round-robin
+    /// over live members), or `None` when the whole group is down.
+    pub fn dispatch(&mut self) -> Option<usize> {
+        let n = self.alive.len();
+        for probe in 0..n {
+            let candidate = (self.next + probe) % n;
+            if self.alive[candidate] {
+                self.next = (candidate + 1) % n;
+                self.dispatched[candidate] += 1;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Queries dispatched per replica.
+    pub fn dispatched(&self) -> &[u64] {
+        &self.dispatched
+    }
+}
+
+/// A write acknowledged by the primary-backup store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// Monotonic sequence number of the acknowledged write.
+    pub seq: u64,
+}
+
+/// Primary-backup replicated key-value store for user profiles.
+///
+/// Writes go to the primary, are propagated *synchronously* to all live
+/// backups, and only then acknowledged — so an acknowledged write survives
+/// any single failure. When the primary crashes, the lowest-id live backup
+/// is promoted.
+#[derive(Debug)]
+pub struct PrimaryBackupStore {
+    replicas: Vec<Option<HashMap<u64, (u64, u64)>>>, // key -> (value, seq)
+    primary: usize,
+    seq: u64,
+}
+
+impl PrimaryBackupStore {
+    /// Create a store with one primary and `backups` backups.
+    pub fn new(backups: usize) -> Self {
+        PrimaryBackupStore {
+            replicas: (0..=backups).map(|_| Some(HashMap::new())).collect(),
+            primary: 0,
+            seq: 0,
+        }
+    }
+
+    /// Index of the current primary.
+    pub fn primary(&self) -> usize {
+        self.primary
+    }
+
+    /// Live replica count.
+    pub fn alive_count(&self) -> usize {
+        self.replicas.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Write `key = value` for a user profile; returns the ack, or `None`
+    /// when no replica is alive.
+    pub fn put(&mut self, key: u64, value: u64) -> Option<Ack> {
+        if self.replicas[self.primary].is_none() {
+            self.fail_over()?;
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        // Synchronous propagation to every live replica (primary first).
+        for r in self.replicas.iter_mut().flatten() {
+            r.insert(key, (value, seq));
+        }
+        Some(Ack { seq })
+    }
+
+    /// Read the latest value of `key`, from the primary.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        if self.replicas[self.primary].is_none() {
+            self.fail_over()?;
+        }
+        self.replicas[self.primary]
+            .as_ref()
+            .and_then(|r| r.get(&key))
+            .map(|&(v, _)| v)
+    }
+
+    /// Crash a replica (primary or backup). State on it is lost.
+    pub fn crash(&mut self, replica: usize) {
+        self.replicas[replica] = None;
+        if replica == self.primary {
+            let _ = self.fail_over();
+        }
+    }
+
+    /// Recover a crashed replica: it re-joins empty and is brought up to
+    /// date by state transfer from the primary.
+    pub fn recover(&mut self, replica: usize) {
+        if self.replicas[replica].is_some() {
+            return;
+        }
+        let snapshot = self.replicas[self.primary].clone().unwrap_or_default();
+        self.replicas[replica] = Some(snapshot);
+    }
+
+    fn fail_over(&mut self) -> Option<()> {
+        let new_primary = self.replicas.iter().position(Option::is_some)?;
+        self.primary = new_primary;
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_balances() {
+        let mut g = ReplicaGroup::new(3);
+        for _ in 0..9 {
+            g.dispatch();
+        }
+        assert_eq!(g.dispatched(), &[3, 3, 3]);
+    }
+
+    #[test]
+    fn dispatch_skips_dead_replicas() {
+        let mut g = ReplicaGroup::new(3);
+        g.set_alive(1, false);
+        let mut served = [0u32; 3];
+        for _ in 0..8 {
+            served[g.dispatch().expect("someone alive")] += 1;
+        }
+        assert_eq!(served[1], 0);
+        assert_eq!(served[0] + served[2], 8);
+    }
+
+    #[test]
+    fn group_down_returns_none() {
+        let mut g = ReplicaGroup::new(2);
+        g.set_alive(0, false);
+        g.set_alive(1, false);
+        assert!(!g.available());
+        assert_eq!(g.dispatch(), None);
+        // Recovery restores service.
+        g.set_alive(1, true);
+        assert_eq!(g.dispatch(), Some(1));
+    }
+
+    #[test]
+    fn acknowledged_writes_survive_primary_crash() {
+        let mut s = PrimaryBackupStore::new(2);
+        let ack = s.put(7, 100).expect("write acked");
+        assert_eq!(ack.seq, 1);
+        s.crash(0);
+        assert_eq!(s.get(7), Some(100), "state survives primary loss");
+        assert_ne!(s.primary(), 0);
+    }
+
+    #[test]
+    fn writes_continue_after_failover() {
+        let mut s = PrimaryBackupStore::new(2);
+        s.put(1, 10);
+        s.crash(0);
+        s.put(1, 20).expect("new primary accepts writes");
+        assert_eq!(s.get(1), Some(20));
+    }
+
+    #[test]
+    fn all_replicas_down_rejects_writes() {
+        let mut s = PrimaryBackupStore::new(1);
+        s.crash(0);
+        s.crash(1);
+        assert_eq!(s.put(1, 1), None);
+        assert_eq!(s.get(1), None);
+    }
+
+    #[test]
+    fn recovery_state_transfer() {
+        let mut s = PrimaryBackupStore::new(1);
+        s.put(5, 55);
+        s.crash(1);
+        s.put(6, 66); // backup missed this
+        s.recover(1);
+        s.crash(0); // now backup must have everything
+        assert_eq!(s.get(5), Some(55));
+        assert_eq!(s.get(6), Some(66));
+    }
+
+    #[test]
+    fn sequence_numbers_monotone() {
+        let mut s = PrimaryBackupStore::new(1);
+        let a = s.put(1, 1).unwrap();
+        let b = s.put(1, 2).unwrap();
+        assert!(b.seq > a.seq);
+    }
+}

@@ -1,0 +1,204 @@
+//! Topic-based query routing under drift, with reconfiguration.
+//!
+//! Section 5 (partitioning): "changes in the topic distribution of queries
+//! can adversely impact performance, resulting in either the resources not
+//! being exploited to their full extent or allocation of fewer resources
+//! to popular topics \[35\]. A possible solution to this challenge is the
+//! automatic reconfiguration of the index partition."
+//!
+//! [`TopicAllocation`] provisions servers proportionally to a topic
+//! distribution; [`simulate_drift_routing`] replays a drifting query
+//! stream against it and measures overload and waste, with or without
+//! periodic reconfiguration.
+
+use dwr_querylog::drift::TopicDrift;
+use dwr_sim::{SimTime, HOUR};
+
+/// Servers allocated to each topic's partition group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicAllocation {
+    servers: Vec<u32>,
+}
+
+impl TopicAllocation {
+    /// Provision `servers` proportionally to `weights` (largest-remainder
+    /// apportionment; every topic gets at least one server).
+    pub fn provision(weights: &[f64], servers: u32) -> Self {
+        assert!(!weights.is_empty());
+        assert!(servers as usize >= weights.len(), "need >= one server per topic");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0);
+        // Start with the guaranteed one per topic.
+        let spare = servers - weights.len() as u32;
+        let quotas: Vec<f64> =
+            weights.iter().map(|w| w / total * f64::from(spare)).collect();
+        let mut alloc: Vec<u32> = quotas.iter().map(|q| 1 + q.floor() as u32).collect();
+        let mut assigned: u32 = alloc.iter().sum();
+        // Largest remainders get the leftovers.
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&a, &b| {
+            (quotas[b] - quotas[b].floor())
+                .partial_cmp(&(quotas[a] - quotas[a].floor()))
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+        let mut i = 0;
+        while assigned < servers {
+            alloc[order[i % order.len()]] += 1;
+            assigned += 1;
+            i += 1;
+        }
+        TopicAllocation { servers: alloc }
+    }
+
+    /// Per-topic server counts.
+    pub fn servers(&self) -> &[u32] {
+        &self.servers
+    }
+
+    /// Per-topic utilization for a demand vector (queries/s per topic)
+    /// given each server sustains `server_qps`.
+    pub fn utilization(&self, demand: &[f64], server_qps: f64) -> Vec<f64> {
+        assert_eq!(demand.len(), self.servers.len());
+        demand
+            .iter()
+            .zip(&self.servers)
+            .map(|(&d, &s)| d / (f64::from(s) * server_qps))
+            .collect()
+    }
+}
+
+/// Result of replaying a drifting stream against a topic allocation.
+#[derive(Debug, Clone)]
+pub struct DriftRoutingReport {
+    /// Per-window maximum topic utilization (>1 = the hot topic's group is
+    /// overloaded).
+    pub max_utilization: Vec<f64>,
+    /// Per-window fraction of total capacity left idle while some group
+    /// overloads (the "resources not being exploited" waste).
+    pub stranded_capacity: Vec<f64>,
+    /// Reconfigurations performed.
+    pub reconfigurations: u32,
+}
+
+impl DriftRoutingReport {
+    /// The worst window's max utilization.
+    pub fn peak(&self) -> f64 {
+        self.max_utilization.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Replay `horizon` of drifted demand in hourly windows against an
+/// allocation provisioned from the *initial* mixture; optionally
+/// re-provision every `reconfigure_every`.
+pub fn simulate_drift_routing(
+    drift: &TopicDrift,
+    total_qps: f64,
+    servers: u32,
+    server_qps: f64,
+    horizon: SimTime,
+    reconfigure_every: Option<SimTime>,
+) -> DriftRoutingReport {
+    let windows = horizon.div_ceil(HOUR) as usize;
+    let mut allocation = TopicAllocation::provision(&drift.weights_at(0), servers);
+    let mut last_reconfig: SimTime = 0;
+    let mut reconfigurations = 0u32;
+    let mut max_utilization = Vec::with_capacity(windows);
+    let mut stranded = Vec::with_capacity(windows);
+    for w in 0..windows {
+        let t = w as u64 * HOUR;
+        if let Some(every) = reconfigure_every {
+            if t >= last_reconfig + every {
+                allocation = TopicAllocation::provision(&drift.weights_at(t), servers);
+                last_reconfig = t;
+                reconfigurations += 1;
+            }
+        }
+        let weights = drift.weights_at(t);
+        let total_w: f64 = weights.iter().sum();
+        let demand: Vec<f64> = weights.iter().map(|w| w / total_w * total_qps).collect();
+        let util = allocation.utilization(&demand, server_qps);
+        let peak = util.iter().copied().fold(0.0, f64::max);
+        max_utilization.push(peak);
+        // Stranded capacity: idle server-capacity in underloaded groups
+        // while at least one group is overloaded.
+        let any_overload = util.iter().any(|&u| u > 1.0);
+        let idle: f64 = util
+            .iter()
+            .zip(allocation.servers())
+            .map(|(&u, &s)| (1.0 - u.min(1.0)) * f64::from(s) * server_qps)
+            .sum();
+        let total_capacity = f64::from(servers) * server_qps;
+        stranded.push(if any_overload { idle / total_capacity } else { 0.0 });
+    }
+    DriftRoutingReport { max_utilization, stranded_capacity: stranded, reconfigurations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwr_sim::DAY;
+
+    #[test]
+    fn provision_sums_and_respects_minimum() {
+        let a = TopicAllocation::provision(&[0.7, 0.2, 0.1], 20);
+        assert_eq!(a.servers().iter().sum::<u32>(), 20);
+        assert!(a.servers().iter().all(|&s| s >= 1));
+        assert!(a.servers()[0] > a.servers()[1]);
+        assert!(a.servers()[1] >= a.servers()[2]);
+    }
+
+    #[test]
+    fn provision_matches_uniform_weights() {
+        let a = TopicAllocation::provision(&[1.0; 4], 16);
+        assert_eq!(a.servers(), &[4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn utilization_balanced_when_provisioned_for_demand() {
+        let weights = [0.5, 0.3, 0.2];
+        let a = TopicAllocation::provision(&weights, 30);
+        let demand: Vec<f64> = weights.iter().map(|w| w * 100.0).collect();
+        let util = a.utilization(&demand, 10.0);
+        // Everyone between 0 and ~0.5 with peak close to mean.
+        let max = util.iter().copied().fold(0.0, f64::max);
+        let min = util.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.6, "util={util:?}");
+    }
+
+    fn reversal_drift() -> TopicDrift {
+        let w: Vec<f64> = (1..=6).map(|r| (r as f64).powf(-1.2)).collect();
+        TopicDrift::reversal(&w, 2 * DAY)
+    }
+
+    #[test]
+    fn drift_overloads_static_allocation() {
+        let d = reversal_drift();
+        let report = simulate_drift_routing(&d, 300.0, 30, 20.0, 2 * DAY, None);
+        // Starts balanced...
+        assert!(report.max_utilization[0] < 1.0);
+        // ...ends with the (formerly cold, now hot) topic overloaded.
+        assert!(report.peak() > 1.3, "peak={}", report.peak());
+        // And capacity is stranded in the cold groups.
+        assert!(report.stranded_capacity.iter().copied().fold(0.0, f64::max) > 0.2);
+        assert_eq!(report.reconfigurations, 0);
+    }
+
+    #[test]
+    fn reconfiguration_bounds_overload() {
+        let d = reversal_drift();
+        let without = simulate_drift_routing(&d, 300.0, 30, 20.0, 2 * DAY, None);
+        let with = simulate_drift_routing(&d, 300.0, 30, 20.0, 2 * DAY, Some(6 * HOUR));
+        assert!(with.reconfigurations >= 7);
+        assert!(with.peak() < without.peak() - 0.2, "with={} without={}", with.peak(), without.peak());
+    }
+
+    #[test]
+    fn no_drift_no_problem() {
+        let w: Vec<f64> = (1..=6).map(|r| (r as f64).powf(-1.2)).collect();
+        let d = TopicDrift::none(&w, DAY);
+        let report = simulate_drift_routing(&d, 300.0, 30, 20.0, DAY, None);
+        assert!(report.peak() < 1.0);
+        assert!(report.stranded_capacity.iter().all(|&s| s == 0.0));
+    }
+}

@@ -1,0 +1,330 @@
+//! Multi-site query routing.
+//!
+//! Section 5: queries are routed to the closest site ("a possible
+//! implementation of such a feature is DNS redirection"), and "as there is
+//! fluctuation in submitted queries from a particular geographic region
+//! during a day, it is also possible to offload a server from a busy area
+//! by re-routing some queries to query processors in less busy areas."
+//!
+//! The simulation works in hourly buckets: regional diurnal arrivals are
+//! routed to sites under a policy, per-site utilization feeds an M/M/c
+//! response-time estimate, and site outages divert traffic.
+
+use dwr_querylog::arrival::Arrival;
+use dwr_queueing::mmc::MMc;
+use dwr_sim::net::{SiteId, Topology};
+use dwr_sim::{SimTime, HOUR, MILLISECOND};
+
+/// One query-serving site.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteSpec {
+    /// The region this site lives in (queries from it are "local").
+    pub region: u16,
+    /// Server threads at the site.
+    pub servers: u32,
+    /// Mean service time per query, seconds.
+    pub mean_service_s: f64,
+}
+
+impl SiteSpec {
+    /// Site capacity in queries/second.
+    pub fn capacity_qps(&self) -> f64 {
+        f64::from(self.servers) / self.mean_service_s
+    }
+}
+
+/// Routing policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingPolicy {
+    /// Always the nearest (same-region, else topologically closest) site.
+    Nearest,
+    /// Nearest unless its utilization would exceed `threshold`; overflow
+    /// goes to the least-utilized other site.
+    LoadAware {
+        /// Utilization above which traffic spills to other sites.
+        threshold: f64,
+    },
+}
+
+/// Per-hour, per-site results.
+#[derive(Debug, Clone)]
+pub struct MultiSiteReport {
+    /// `load[hour][site]` = queries routed there.
+    pub load: Vec<Vec<u64>>,
+    /// `utilization[hour][site]` in `[0, ∞)` (>1 means overload).
+    pub utilization: Vec<Vec<f64>>,
+    /// Mean response time (s) per hour, averaged over queries, including
+    /// the extra WAN hop for re-routed queries.
+    pub mean_response: Vec<f64>,
+    /// Queries re-routed away from their nearest site.
+    pub rerouted: u64,
+    /// Queries arriving in hours where their chosen site was overloaded
+    /// (utilization ≥ 1 — the queue would grow without bound).
+    pub overloaded: u64,
+}
+
+impl MultiSiteReport {
+    /// Peak per-site utilization over the whole horizon.
+    pub fn peak_utilization(&self) -> f64 {
+        self.utilization
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Route hourly traffic to sites and evaluate response times.
+///
+/// `site_down[h][s]` marks site `s` unavailable during hour `h` (pass an
+/// empty slice for no outages). A down site serves nothing; its traffic
+/// goes to the nearest live site.
+pub fn simulate_multisite(
+    arrivals: &[Arrival],
+    sites: &[SiteSpec],
+    topo: &Topology,
+    policy: RoutingPolicy,
+    horizon: SimTime,
+    site_down: &[Vec<bool>],
+) -> MultiSiteReport {
+    assert!(!sites.is_empty());
+    assert_eq!(topo.sites(), sites.len());
+    let hours = horizon.div_ceil(HOUR) as usize;
+    assert!(site_down.is_empty() || site_down.len() >= hours);
+
+    // Bucket arrivals per (hour, region).
+    let regions = usize::from(sites.iter().map(|s| s.region).max().unwrap_or(0)) + 1;
+    let mut demand = vec![vec![0u64; regions]; hours];
+    for a in arrivals {
+        let h = (a.time / HOUR) as usize;
+        if h < hours && usize::from(a.region) < regions {
+            demand[h][usize::from(a.region)] += 1;
+        }
+    }
+
+    // Nearest live site per region (same region preferred, else closest).
+    let nearest_site = |region: u16, down: &dyn Fn(usize) -> bool| -> Option<usize> {
+        let local = sites
+            .iter()
+            .enumerate()
+            .filter(|(s, spec)| spec.region == region && !down(*s))
+            .map(|(s, _)| s)
+            .next();
+        local.or_else(|| {
+            // Closest by latency from the region's home site (site with
+            // same region index, even if down, as the latency anchor).
+            let anchor = sites
+                .iter()
+                .position(|spec| spec.region == region)
+                .unwrap_or(0);
+            let candidates: Vec<SiteId> = (0..sites.len())
+                .filter(|&s| !down(s))
+                .map(|s| SiteId(s as u32))
+                .collect();
+            topo.nearest(SiteId(anchor as u32), &candidates).map(|s| s.0 as usize)
+        })
+    };
+
+    let mut load = vec![vec![0u64; sites.len()]; hours];
+    let mut rerouted = 0u64;
+    let mut overloaded = 0u64;
+    let mut utilization = vec![vec![0f64; sites.len()]; hours];
+    let mut mean_response = vec![0f64; hours];
+
+    for h in 0..hours {
+        let down = |s: usize| -> bool {
+            !site_down.is_empty() && site_down[h].get(s).copied().unwrap_or(false)
+        };
+        // First pass: nearest-site routing.
+        let mut hour_load = vec![0u64; sites.len()];
+        let mut origin: Vec<(usize, u64, bool)> = Vec::new(); // (site, count, was_rerouted)
+        for (region, &count) in demand[h].iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            match nearest_site(region as u16, &down) {
+                Some(s) => {
+                    let local = sites[s].region == region as u16;
+                    hour_load[s] += count;
+                    origin.push((s, count, !local));
+                    if !local {
+                        rerouted += count;
+                    }
+                }
+                None => overloaded += count, // nowhere to go
+            }
+        }
+        // Second pass: load-aware spill.
+        if let RoutingPolicy::LoadAware { threshold } = policy {
+            loop {
+                // Find the most overloaded site above threshold.
+                let util = |s: usize, l: &[u64]| l[s] as f64 / 3600.0 / sites[s].capacity_qps();
+                let Some(hot) = (0..sites.len())
+                    .filter(|&s| !down(s) && util(s, &hour_load) > threshold)
+                    .max_by(|&a, &b| {
+                        util(a, &hour_load).partial_cmp(&util(b, &hour_load)).expect("finite")
+                    })
+                else {
+                    break;
+                };
+                let Some(cool) = (0..sites.len())
+                    .filter(|&s| !down(s) && s != hot)
+                    .min_by(|&a, &b| {
+                        util(a, &hour_load).partial_cmp(&util(b, &hour_load)).expect("finite")
+                    })
+                else {
+                    break;
+                };
+                if util(cool, &hour_load) >= threshold {
+                    break; // everyone is busy; nothing to gain
+                }
+                // Move enough traffic to bring `hot` to the threshold.
+                let target = (threshold * sites[hot].capacity_qps() * 3600.0) as u64;
+                let excess = hour_load[hot].saturating_sub(target);
+                if excess == 0 {
+                    break;
+                }
+                // Headroom at the cool site.
+                let cool_room = ((threshold * sites[cool].capacity_qps() * 3600.0) as u64)
+                    .saturating_sub(hour_load[cool]);
+                let moved = excess.min(cool_room);
+                if moved == 0 {
+                    break;
+                }
+                hour_load[hot] -= moved;
+                hour_load[cool] += moved;
+                origin.push((cool, moved, true));
+                rerouted += moved;
+                // Deduct from hot's origin entries.
+                let mut left = moved;
+                for entry in origin.iter_mut() {
+                    if entry.0 == hot && left > 0 {
+                        let take = entry.1.min(left);
+                        entry.1 -= take;
+                        left -= take;
+                    }
+                }
+            }
+        }
+
+        // Evaluate: utilization + response time per site.
+        let mut resp_acc = 0f64;
+        let mut resp_n = 0u64;
+        for s in 0..sites.len() {
+            load[h][s] = hour_load[s];
+            let qps = hour_load[s] as f64 / 3600.0;
+            let rho = qps / sites[s].capacity_qps();
+            utilization[h][s] = rho;
+            if hour_load[s] == 0 {
+                continue;
+            }
+            let service = if rho < 0.99 {
+                let mmc = MMc::new(qps.max(1e-9), 1.0 / sites[s].mean_service_s, sites[s].servers);
+                mmc.mean_response_time()
+            } else {
+                overloaded += hour_load[s];
+                // Saturated: report a 10× penalty rather than infinity.
+                sites[s].mean_service_s * 10.0
+            };
+            resp_acc += service * hour_load[s] as f64;
+            resp_n += hour_load[s];
+        }
+        // Add the WAN penalty of rerouted traffic (one extra hop, rough).
+        let wan_penalty = 2.0 * (30 * MILLISECOND) as f64 / 1e6;
+        let hour_rerouted: u64 = origin.iter().filter(|e| e.2).map(|e| e.1).sum();
+        resp_acc += wan_penalty * hour_rerouted as f64;
+        mean_response[h] = if resp_n > 0 { resp_acc / resp_n as f64 } else { 0.0 };
+    }
+
+    MultiSiteReport { load, utilization, mean_response, rerouted, overloaded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwr_querylog::arrival::{generate_arrivals, DiurnalProfile};
+    use dwr_sim::DAY;
+
+    fn sites() -> Vec<SiteSpec> {
+        // Small capacities keep the arrival streams cheap to materialize.
+        vec![
+            SiteSpec { region: 0, servers: 4, mean_service_s: 0.5 },
+            SiteSpec { region: 1, servers: 4, mean_service_s: 0.5 },
+            SiteSpec { region: 2, servers: 4, mean_service_s: 0.5 },
+        ]
+    }
+
+    fn arrivals(mean_qps: f64) -> Vec<Arrival> {
+        let profiles: Vec<DiurnalProfile> = (0..3)
+            .map(|r| DiurnalProfile { mean_qps, amplitude: 0.8, phase: r as f64 / 3.0 })
+            .collect();
+        generate_arrivals(&profiles, DAY, 42)
+    }
+
+    #[test]
+    fn nearest_routing_keeps_traffic_local() {
+        let a = arrivals(1.0);
+        let topo = Topology::geo_ring(3);
+        let r = simulate_multisite(&a, &sites(), &topo, RoutingPolicy::Nearest, DAY, &[]);
+        assert_eq!(r.rerouted, 0);
+        let total: u64 = r.load.iter().flatten().sum();
+        assert_eq!(total as usize, a.len());
+    }
+
+    #[test]
+    fn diurnal_peaks_rotate_across_sites() {
+        let a = arrivals(1.0);
+        let topo = Topology::geo_ring(3);
+        let r = simulate_multisite(&a, &sites(), &topo, RoutingPolicy::Nearest, DAY, &[]);
+        // Each site's peak hour differs (phase-shifted demand).
+        let peak_hour = |s: usize| (0..24).max_by_key(|&h| r.load[h][s]).unwrap();
+        let p: Vec<usize> = (0..3).map(peak_hour).collect();
+        assert!(p[0] != p[1] && p[1] != p[2], "peaks={p:?}");
+    }
+
+    #[test]
+    fn load_aware_cuts_peak_utilization() {
+        let a = arrivals(6.0); // hot enough to overload peaks (capacity 8 qps)
+        let topo = Topology::geo_ring(3);
+        let near = simulate_multisite(&a, &sites(), &topo, RoutingPolicy::Nearest, DAY, &[]);
+        let aware = simulate_multisite(
+            &a,
+            &sites(),
+            &topo,
+            RoutingPolicy::LoadAware { threshold: 0.6 },
+            DAY,
+            &[],
+        );
+        assert!(aware.rerouted > 0);
+        assert!(
+            aware.peak_utilization() < near.peak_utilization(),
+            "aware={} near={}",
+            aware.peak_utilization(),
+            near.peak_utilization()
+        );
+    }
+
+    #[test]
+    fn outage_diverts_traffic() {
+        let a = arrivals(1.0);
+        let topo = Topology::geo_ring(3);
+        // Site 0 down for hours 6..12.
+        let down: Vec<Vec<bool>> = (0..24)
+            .map(|h| vec![(6..12).contains(&h), false, false])
+            .collect();
+        let r = simulate_multisite(&a, &sites(), &topo, RoutingPolicy::Nearest, DAY, &down);
+        for h in 6..12 {
+            assert_eq!(r.load[h][0], 0, "down site serves nothing (hour {h})");
+        }
+        assert!(r.rerouted > 0, "diverted traffic counts as rerouted");
+    }
+
+    #[test]
+    fn response_time_grows_with_load() {
+        let topo = Topology::geo_ring(3);
+        let light = simulate_multisite(&arrivals(0.5), &sites(), &topo, RoutingPolicy::Nearest, DAY, &[]);
+        let heavy = simulate_multisite(&arrivals(7.0), &sites(), &topo, RoutingPolicy::Nearest, DAY, &[]);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&heavy.mean_response) > mean(&light.mean_response));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of query-layer invariants: cache bounds, replica
+//! dispatch, and key stability.
+
+use dwr_query::cache::{LfuCache, LruCache, ResultCache, SdcCache};
+use dwr_query::engine::query_key;
+use dwr_query::replica::{PrimaryBackupStore, ReplicaGroup};
+use dwr_text::TermId;
+use proptest::prelude::*;
+
+proptest! {
+    /// No cache ever holds more than its capacity.
+    #[test]
+    fn caches_respect_capacity(
+        cap in 2usize..64,
+        keys in prop::collection::vec(0u64..1000, 0..300)
+    ) {
+        let static_keys: Vec<u64> = (0..cap as u64 / 2).collect();
+        let mut caches: Vec<Box<dyn ResultCache>> = vec![
+            Box::new(LruCache::new(cap)),
+            Box::new(LfuCache::new(cap)),
+            Box::new(SdcCache::new(cap, 0.5, &static_keys)),
+        ];
+        for c in &mut caches {
+            for &k in &keys {
+                if c.get(k).is_none() {
+                    c.put(k, Vec::new());
+                }
+                prop_assert!(c.len() <= cap, "{} over capacity", c.name());
+            }
+            let s = c.stats();
+            prop_assert_eq!(s.hits + s.misses, keys.len() as u64, "{}", c.name());
+        }
+    }
+
+    /// LRU always retains the most recently inserted key.
+    #[test]
+    fn lru_keeps_most_recent(cap in 1usize..32, keys in prop::collection::vec(0u64..100, 1..200)) {
+        let mut c = LruCache::new(cap);
+        for &k in &keys {
+            c.put(k, Vec::new());
+            prop_assert!(c.get(k).is_some(), "most recent key evicted");
+        }
+    }
+
+    /// The query cache key is order- and duplication-insensitive in the
+    /// ways a term multiset should be (sorted canonical form).
+    #[test]
+    fn query_key_order_insensitive(mut terms in prop::collection::vec(0u32..10_000, 1..8), seed in any::<u64>()) {
+        let ids: Vec<TermId> = terms.iter().map(|&t| TermId(t)).collect();
+        let k1 = query_key(&ids);
+        // Shuffle deterministically.
+        let mut rng = dwr_sim::SimRng::new(seed);
+        rng.shuffle(&mut terms);
+        let ids2: Vec<TermId> = terms.iter().map(|&t| TermId(t)).collect();
+        prop_assert_eq!(k1, query_key(&ids2));
+    }
+
+    /// Replica dispatch only ever selects live replicas, and balances
+    /// round-robin across them.
+    #[test]
+    fn dispatch_targets_live_replicas(r in 1usize..8, dead_mask in any::<u8>(), n in 1usize..100) {
+        let mut g = ReplicaGroup::new(r);
+        for i in 0..r {
+            if dead_mask & (1 << i) != 0 {
+                g.set_alive(i, false);
+            }
+        }
+        let live: Vec<usize> = (0..r).filter(|&i| dead_mask & (1 << i) == 0).collect();
+        let mut counts = vec![0u64; r];
+        for _ in 0..n {
+            match g.dispatch() {
+                Some(chosen) => {
+                    prop_assert!(live.contains(&chosen));
+                    counts[chosen] += 1;
+                }
+                None => prop_assert!(live.is_empty()),
+            }
+        }
+        if !live.is_empty() {
+            let max = counts.iter().max().unwrap();
+            let min = live.iter().map(|&i| counts[i]).min().unwrap();
+            prop_assert!(max - min <= 1, "round-robin drift: {counts:?}");
+        }
+    }
+
+    /// Primary-backup: any acknowledged write survives any single crash.
+    #[test]
+    fn acked_writes_durable(
+        writes in prop::collection::vec((0u64..20, any::<u64>()), 1..40),
+        crash_victim in 0usize..3
+    ) {
+        let mut s = PrimaryBackupStore::new(2);
+        let mut expected = std::collections::HashMap::new();
+        for &(k, v) in &writes {
+            if s.put(k, v).is_some() {
+                expected.insert(k, v);
+            }
+        }
+        s.crash(crash_victim);
+        for (&k, &v) in &expected {
+            prop_assert_eq!(s.get(k), Some(v), "lost acknowledged write {}", k);
+        }
+    }
+}

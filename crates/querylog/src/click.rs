@@ -1,0 +1,118 @@
+//! Position-biased click model.
+//!
+//! Query-driven document partitioning \[19\] learns from which documents a
+//! query *returned and users engaged with*. We model clicks with the
+//! standard examination hypothesis: the user examines rank `r` with
+//! probability `examination(r)` and clicks an examined result with a
+//! relevance-dependent attractiveness.
+
+use dwr_sim::SimRng;
+use dwr_webgraph::graph::PageId;
+
+/// Click model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClickModel {
+    /// Examination decay: P(examine rank r) = 1 / r^eta (1-based rank).
+    pub eta: f64,
+    /// Click probability of an examined, on-topic result.
+    pub attract_relevant: f64,
+    /// Click probability of an examined, off-topic result.
+    pub attract_irrelevant: f64,
+}
+
+impl Default for ClickModel {
+    fn default() -> Self {
+        ClickModel { eta: 1.0, attract_relevant: 0.65, attract_irrelevant: 0.1 }
+    }
+}
+
+impl ClickModel {
+    /// Probability the user examines 1-based `rank`.
+    pub fn examination(&self, rank: usize) -> f64 {
+        (rank as f64).powf(-self.eta)
+    }
+
+    /// Simulate clicks on a ranked result list.
+    ///
+    /// `relevant[i]` flags whether result `i` is on-topic for the query.
+    /// Returns the clicked pages in rank order.
+    pub fn clicks(
+        &self,
+        results: &[PageId],
+        relevant: &[bool],
+        rng: &mut SimRng,
+    ) -> Vec<PageId> {
+        assert_eq!(results.len(), relevant.len());
+        let mut out = Vec::new();
+        for (i, (&page, &rel)) in results.iter().zip(relevant).enumerate() {
+            let p_exam = self.examination(i + 1);
+            let p_attract = if rel { self.attract_relevant } else { self.attract_irrelevant };
+            if rng.chance(p_exam * p_attract) {
+                out.push(page);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn examination_decays() {
+        let m = ClickModel::default();
+        assert!((m.examination(1) - 1.0).abs() < 1e-12);
+        assert!(m.examination(2) < m.examination(1));
+        assert!(m.examination(10) < m.examination(2));
+    }
+
+    #[test]
+    fn top_ranked_relevant_clicked_most() {
+        let m = ClickModel::default();
+        let results: Vec<PageId> = (0..10).map(PageId).collect();
+        let relevant = vec![true; 10];
+        let mut rng = SimRng::new(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            for p in m.clicks(&results, &relevant, &mut rng) {
+                counts[p.0 as usize] += 1;
+            }
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[5]);
+        // Rank-1 CTR ≈ attract_relevant.
+        let ctr1 = counts[0] as f64 / 20_000.0;
+        assert!((ctr1 - 0.65).abs() < 0.02, "ctr1={ctr1}");
+    }
+
+    #[test]
+    fn irrelevant_results_rarely_clicked() {
+        let m = ClickModel::default();
+        let results = vec![PageId(0)];
+        let mut rng = SimRng::new(2);
+        let rel_clicks = (0..10_000)
+            .filter(|_| !m.clicks(&results, &[true], &mut rng).is_empty())
+            .count();
+        let irr_clicks = (0..10_000)
+            .filter(|_| !m.clicks(&results, &[false], &mut rng).is_empty())
+            .count();
+        assert!(rel_clicks as f64 > 4.0 * irr_clicks as f64);
+    }
+
+    #[test]
+    fn clicks_preserve_rank_order() {
+        let m = ClickModel { eta: 0.0, attract_relevant: 1.0, attract_irrelevant: 1.0 };
+        let results: Vec<PageId> = [5u32, 3, 9].iter().map(|&i| PageId(i)).collect();
+        let mut rng = SimRng::new(3);
+        let clicks = m.clicks(&results, &[true, true, true], &mut rng);
+        assert_eq!(clicks, results);
+    }
+
+    #[test]
+    fn empty_results_no_clicks() {
+        let m = ClickModel::default();
+        let mut rng = SimRng::new(4);
+        assert!(m.clicks(&[], &[], &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Topic drift: the "changing user needs" external factor.
+//!
+//! "The topics the users search for have slowly changed in the past \[52\],
+//! and a reconfiguration of the search engine resources might be necessary"
+//! (Section 5, external factors). The drift process interpolates the topic
+//! mixture from a start distribution to an end distribution over a horizon,
+//! so experiments can measure how partitionings and caches trained on the
+//! old mixture degrade.
+
+use dwr_sim::{SimRng, SimTime};
+
+/// A linearly drifting categorical distribution over topics.
+#[derive(Debug, Clone)]
+pub struct TopicDrift {
+    start: Vec<f64>,
+    end: Vec<f64>,
+    horizon: SimTime,
+}
+
+impl TopicDrift {
+    /// Create a drift from `start` to `end` over `horizon`.
+    ///
+    /// Both distributions must have the same arity and positive mass.
+    pub fn new(start: Vec<f64>, end: Vec<f64>, horizon: SimTime) -> Self {
+        assert_eq!(start.len(), end.len(), "distribution arity mismatch");
+        assert!(!start.is_empty());
+        assert!(horizon > 0);
+        assert!(start.iter().chain(end.iter()).all(|&w| w >= 0.0));
+        assert!(start.iter().sum::<f64>() > 0.0 && end.iter().sum::<f64>() > 0.0);
+        TopicDrift { start, end, horizon }
+    }
+
+    /// A "rotation" drift: the mass order of topics is reversed by the end
+    /// of the horizon — the adversarial case for a trained partitioning.
+    pub fn reversal(weights: &[f64], horizon: SimTime) -> Self {
+        let mut end = weights.to_vec();
+        end.reverse();
+        Self::new(weights.to_vec(), end, horizon)
+    }
+
+    /// No drift at all (control condition).
+    pub fn none(weights: &[f64], horizon: SimTime) -> Self {
+        Self::new(weights.to_vec(), weights.to_vec(), horizon)
+    }
+
+    /// Number of topics.
+    pub fn arity(&self) -> usize {
+        self.start.len()
+    }
+
+    /// The interpolated weights at time `t` (clamped to the horizon).
+    pub fn weights_at(&self, t: SimTime) -> Vec<f64> {
+        let f = (t as f64 / self.horizon as f64).min(1.0);
+        self.start
+            .iter()
+            .zip(&self.end)
+            .map(|(&a, &b)| a * (1.0 - f) + b * f)
+            .collect()
+    }
+
+    /// Draw a topic index at time `t`.
+    pub fn sample_topic(&self, t: SimTime, rng: &mut SimRng) -> u16 {
+        let w = self.weights_at(t);
+        let total: f64 = w.iter().sum();
+        let mut x = rng.f64() * total;
+        for (i, &wi) in w.iter().enumerate() {
+            if x < wi {
+                return i as u16;
+            }
+            x -= wi;
+        }
+        (w.len() - 1) as u16
+    }
+
+    /// Total-variation distance between the mixtures at two times — a
+    /// drift detector's ground truth.
+    pub fn tv_distance(&self, t0: SimTime, t1: SimTime) -> f64 {
+        let a = normalize(&self.weights_at(t0));
+        let b = normalize(&self.weights_at(t1));
+        0.5 * a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+    }
+}
+
+fn normalize(w: &[f64]) -> Vec<f64> {
+    let s: f64 = w.iter().sum();
+    w.iter().map(|&x| x / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwr_sim::DAY;
+
+    #[test]
+    fn endpoints_match() {
+        let d = TopicDrift::new(vec![0.7, 0.3], vec![0.2, 0.8], DAY);
+        assert_eq!(d.weights_at(0), vec![0.7, 0.3]);
+        assert_eq!(d.weights_at(DAY), vec![0.2, 0.8]);
+        // Clamped beyond horizon.
+        assert_eq!(d.weights_at(3 * DAY), vec![0.2, 0.8]);
+    }
+
+    #[test]
+    fn midpoint_interpolates() {
+        let d = TopicDrift::new(vec![1.0, 0.0], vec![0.0, 1.0], DAY);
+        let mid = d.weights_at(DAY / 2);
+        assert!((mid[0] - 0.5).abs() < 1e-9);
+        assert!((mid[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn none_never_drifts() {
+        let d = TopicDrift::none(&[0.5, 0.3, 0.2], DAY);
+        assert!(d.tv_distance(0, DAY) < 1e-12);
+    }
+
+    #[test]
+    fn reversal_maximizes_change_for_skewed_start() {
+        let d = TopicDrift::reversal(&[0.9, 0.05, 0.05], DAY);
+        assert!(d.tv_distance(0, DAY) > 0.8);
+    }
+
+    #[test]
+    fn sampling_follows_weights() {
+        let d = TopicDrift::new(vec![0.9, 0.1], vec![0.1, 0.9], DAY);
+        let mut rng = SimRng::new(1);
+        let early = (0..10_000).filter(|_| d.sample_topic(0, &mut rng) == 0).count();
+        let late = (0..10_000).filter(|_| d.sample_topic(DAY, &mut rng) == 0).count();
+        assert!(early > 8_500, "early={early}");
+        assert!(late < 1_500, "late={late}");
+    }
+
+    #[test]
+    fn tv_distance_monotone_along_linear_drift() {
+        let d = TopicDrift::new(vec![1.0, 0.0], vec![0.0, 1.0], DAY);
+        let d1 = d.tv_distance(0, DAY / 4);
+        let d2 = d.tv_distance(0, DAY / 2);
+        let d3 = d.tv_distance(0, DAY);
+        assert!(d1 < d2 && d2 < d3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_rejected() {
+        TopicDrift::new(vec![1.0], vec![0.5, 0.5], DAY);
+    }
+}

@@ -1,0 +1,185 @@
+//! The query universe: distinct queries with Zipfian popularity.
+//!
+//! Real logs show (a) query popularity is Zipfian with exponent near 0.8–1
+//! (this is what makes results caching effective — Section 5), (b) query
+//! length concentrates on 1–4 terms, and (c) queries are topically
+//! focused. The model ties query vocabulary to the corpus
+//! [`ContentModel`] so queries
+//! actually retrieve the documents of their topic.
+
+use dwr_sim::dist::Zipf;
+use dwr_sim::SimRng;
+use dwr_webgraph::content::ContentModel;
+use dwr_webgraph::graph::TopicId;
+use dwr_webgraph::TermId;
+
+/// Identifier of a distinct query (dense, `0..universe`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+/// One distinct query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryDef {
+    /// Sorted, deduplicated term ids.
+    pub terms: Vec<TermId>,
+    /// The topic the query is about.
+    pub topic: TopicId,
+}
+
+/// A universe of distinct queries plus a popularity distribution over them.
+///
+/// Popularity rank is assigned by id: query 0 is the most popular. Draws
+/// come from a Zipf over ids, so the stream has the head/tail structure
+/// caching experiments need.
+#[derive(Debug, Clone)]
+pub struct QueryModel {
+    queries: Vec<QueryDef>,
+    popularity: Zipf,
+    /// Per-topic weights used when drawing fresh topical queries.
+    topic_weights: Vec<f64>,
+}
+
+impl QueryModel {
+    /// Generate `universe` distinct queries against `content`.
+    ///
+    /// `topic_skew` is the Zipf exponent of topic popularity: 0 gives
+    /// uniform topics, 1 a strongly skewed topic mix.
+    /// `popularity_exponent` is the Zipf exponent of the query-frequency
+    /// distribution (0.8–1.0 is realistic).
+    pub fn generate(
+        content: &ContentModel,
+        universe: usize,
+        topic_skew: f64,
+        popularity_exponent: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(universe > 0);
+        let mut rng = SimRng::new(seed).fork_named("query-universe");
+        let t = content.num_topics();
+        let topic_weights: Vec<f64> = (1..=t)
+            .map(|rank| (f64::from(rank)).powf(-topic_skew))
+            .collect();
+        let topic_zipf_total: f64 = topic_weights.iter().sum();
+        let mut queries = Vec::with_capacity(universe);
+        for _ in 0..universe {
+            // Topic by weight.
+            let mut x = rng.f64() * topic_zipf_total;
+            let mut topic = 0u16;
+            for (i, w) in topic_weights.iter().enumerate() {
+                if x < *w {
+                    topic = i as u16;
+                    break;
+                }
+                x -= w;
+            }
+            // Length: 1..=4 with realistic mass on 2–3.
+            let len = match rng.f64() {
+                x if x < 0.25 => 1,
+                x if x < 0.65 => 2,
+                x if x < 0.9 => 3,
+                _ => 4,
+            };
+            let terms = content.sample_query_terms(TopicId(topic), len, &mut rng);
+            queries.push(QueryDef { terms, topic: TopicId(topic) });
+        }
+        QueryModel {
+            queries,
+            popularity: Zipf::new(universe as u64, popularity_exponent),
+            topic_weights,
+        }
+    }
+
+    /// Number of distinct queries.
+    pub fn universe(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Definition of a query.
+    pub fn query(&self, id: QueryId) -> &QueryDef {
+        &self.queries[id.0 as usize]
+    }
+
+    /// Draw one query id according to popularity.
+    pub fn sample(&self, rng: &mut SimRng) -> QueryId {
+        QueryId((self.popularity.sample(rng) - 1) as u32)
+    }
+
+    /// Relative popularity weight of a query (unnormalized `rank^-1`
+    /// estimate used by weighting heuristics such as bin-packing).
+    /// Query ids are popularity ranks; rank 1 = id 0.
+    pub fn popularity_weight(&self, id: QueryId) -> f64 {
+        (f64::from(id.0) + 1.0).recip()
+    }
+
+    /// Per-topic popularity weights (unnormalized).
+    pub fn topic_weights(&self) -> &[f64] {
+        &self.topic_weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn content() -> ContentModel {
+        ContentModel::small(8)
+    }
+
+    #[test]
+    fn universe_size_and_determinism() {
+        let c = content();
+        let a = QueryModel::generate(&c, 500, 0.5, 0.9, 7);
+        let b = QueryModel::generate(&c, 500, 0.5, 0.9, 7);
+        assert_eq!(a.universe(), 500);
+        for i in 0..500 {
+            assert_eq!(a.query(QueryId(i)), b.query(QueryId(i)));
+        }
+    }
+
+    #[test]
+    fn query_lengths_in_range() {
+        let m = QueryModel::generate(&content(), 1000, 0.5, 0.9, 8);
+        for i in 0..1000 {
+            let q = m.query(QueryId(i));
+            assert!(!q.terms.is_empty() && q.terms.len() <= 4);
+            // sorted & deduped
+            assert!(q.terms.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn popular_queries_dominate_stream() {
+        let m = QueryModel::generate(&content(), 10_000, 0.5, 1.0, 9);
+        let mut rng = SimRng::new(10);
+        let n = 50_000;
+        let head = (0..n)
+            .filter(|_| m.sample(&mut rng).0 < 100) // top 1% of ids
+            .count();
+        // Zipf(1.0) over 10k: top-100 mass ≈ H(100)/H(10000) ≈ 5.19/9.79 ≈ 0.53
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.4, "head mass = {frac}");
+    }
+
+    #[test]
+    fn topic_skew_skews_topics() {
+        let c = content();
+        let skewed = QueryModel::generate(&c, 5000, 1.5, 0.9, 11);
+        let topic0 = (0..5000)
+            .filter(|&i| skewed.query(QueryId(i)).topic == TopicId(0))
+            .count();
+        assert!(topic0 as f64 / 5000.0 > 0.3, "topic0 share {}", topic0 as f64 / 5000.0);
+
+        let uniform = QueryModel::generate(&c, 5000, 0.0, 0.9, 11);
+        let topic0u = (0..5000)
+            .filter(|&i| uniform.query(QueryId(i)).topic == TopicId(0))
+            .count();
+        assert!((topic0u as f64 / 5000.0 - 1.0 / 8.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn popularity_weight_monotone() {
+        let m = QueryModel::generate(&content(), 100, 0.5, 0.9, 12);
+        assert!(m.popularity_weight(QueryId(0)) > m.popularity_weight(QueryId(1)));
+        assert!(m.popularity_weight(QueryId(1)) > m.popularity_weight(QueryId(50)));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the query-stream models.
+
+use dwr_querylog::arrival::{generate_arrivals, DiurnalProfile};
+use dwr_querylog::drift::TopicDrift;
+use dwr_querylog::model::{QueryId, QueryModel};
+use dwr_sim::{SimRng, DAY, HOUR};
+use dwr_webgraph::content::ContentModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Query universes are well-formed for any parameterization.
+    #[test]
+    fn query_universe_well_formed(
+        seed in any::<u64>(),
+        universe in 1usize..500,
+        topic_skew in 0.0f64..2.0,
+        pop in 0.5f64..1.5
+    ) {
+        let content = ContentModel::small(8);
+        let m = QueryModel::generate(&content, universe, topic_skew, pop, seed);
+        prop_assert_eq!(m.universe(), universe);
+        for i in 0..universe {
+            let q = m.query(QueryId(i as u32));
+            prop_assert!(!q.terms.is_empty() && q.terms.len() <= 4);
+            prop_assert!(q.terms.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(q.topic.0 < 8);
+        }
+        // Sampling stays in the universe.
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!((m.sample(&mut rng).0 as usize) < universe);
+        }
+    }
+
+    /// Popularity weights decay with rank.
+    #[test]
+    fn popularity_monotone(seed in any::<u64>()) {
+        let content = ContentModel::small(8);
+        let m = QueryModel::generate(&content, 100, 0.5, 0.9, seed);
+        for i in 0..99u32 {
+            prop_assert!(m.popularity_weight(QueryId(i)) >= m.popularity_weight(QueryId(i + 1)));
+        }
+    }
+
+    /// Arrivals are ordered, in-horizon, and the diurnal rate integrates
+    /// to roughly the configured mean.
+    #[test]
+    fn arrivals_well_formed(seed in any::<u64>(), qps in 0.1f64..5.0, phase in 0.0f64..1.0) {
+        let p = DiurnalProfile { mean_qps: qps, amplitude: 0.7, phase };
+        let arr = generate_arrivals(&[p], 6 * HOUR, seed);
+        prop_assert!(arr.windows(2).all(|w| w[0].time <= w[1].time));
+        prop_assert!(arr.iter().all(|a| a.time < 6 * HOUR && a.region == 0));
+    }
+
+    /// Drifted weights are always a valid mixture and interpolate the
+    /// endpoints.
+    #[test]
+    fn drift_weights_valid(
+        start in prop::collection::vec(0.01f64..10.0, 2..8),
+        t_frac in 0.0f64..1.0
+    ) {
+        let drift = TopicDrift::reversal(&start, DAY);
+        let t = (t_frac * DAY as f64) as u64;
+        let w = drift.weights_at(t);
+        prop_assert_eq!(w.len(), start.len());
+        prop_assert!(w.iter().all(|&x| x >= 0.0));
+        prop_assert!(w.iter().sum::<f64>() > 0.0);
+        // Endpoints.
+        let w0 = drift.weights_at(0);
+        for (a, b) in w0.iter().zip(&start) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Topic sampling respects the support.
+    #[test]
+    fn drift_sampling_in_support(seed in any::<u64>(), arity in 2usize..8) {
+        let weights = vec![1.0; arity];
+        let drift = TopicDrift::none(&weights, DAY);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!((drift.sample_topic(DAY / 2, &mut rng) as usize) < arity);
+        }
+    }
+}

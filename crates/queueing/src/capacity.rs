@@ -1,0 +1,196 @@
+//! The engine-level analytical model the conclusion calls for.
+//!
+//! "A valuable tool would be an analytical model of such a system that,
+//! given parameters such as data volume and query throughput, can
+//! characterize a particular system in terms of response time, index size,
+//! hardware, network bandwidth, and maintenance cost."
+//!
+//! [`EngineModel`] composes the pieces built elsewhere in this crate: the
+//! storage sizing of [`crate::cost`], per-partition service times that grow
+//! with the per-machine data share, Erlang-C waiting at the query
+//! processors, and a scatter-gather latency model (max of partition
+//! responses + merge) for the document-partitioned architecture.
+
+use crate::ggc::GgcModel;
+
+/// Engine-wide input parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineModel {
+    /// Pages in the collection.
+    pub pages: f64,
+    /// Index bytes per page.
+    pub index_bytes_per_page: f64,
+    /// Index bytes a machine serves from RAM.
+    pub ram_per_machine: f64,
+    /// Mean query arrival rate, per second.
+    pub qps: f64,
+    /// Peak-to-mean traffic ratio.
+    pub peak_factor: f64,
+    /// Base CPU time (seconds) to evaluate a query against 1 GB of index
+    /// on one machine; service time scales linearly with the per-machine
+    /// index share.
+    pub seconds_per_gb: f64,
+    /// Threads per query-processing machine.
+    pub threads_per_machine: u32,
+    /// One-way intra-cluster network latency, seconds.
+    pub lan_latency: f64,
+    /// Broker merge cost per contacted partition, seconds.
+    pub merge_cost_per_partition: f64,
+    /// Target utilization headroom (provision so peak ρ ≤ this).
+    pub target_utilization: f64,
+    /// Hardware dollars per machine.
+    pub dollars_per_machine: f64,
+    /// Annual per-machine operating cost (power, people), dollars.
+    pub opex_per_machine_year: f64,
+}
+
+impl EngineModel {
+    /// A laptop-checkable default roughly calibrated to the paper's 2007
+    /// cluster exercise.
+    pub fn default_2007() -> Self {
+        EngineModel {
+            pages: 20e9,
+            index_bytes_per_page: 1_250.0, // 25 TB / 20 B pages
+            ram_per_machine: 8e9,
+            qps: 2_000.0,
+            peak_factor: 5.0,
+            seconds_per_gb: 0.004,
+            threads_per_machine: 150,
+            lan_latency: 0.000_5,
+            merge_cost_per_partition: 0.000_02,
+            target_utilization: 0.6,
+            dollars_per_machine: 3_300.0,
+            opex_per_machine_year: 1_000.0,
+        }
+    }
+
+    /// Size and characterize the engine.
+    ///
+    /// Returns `None` when no feasible sizing exists (service time per
+    /// query exceeds what the thread pool can sustain even at one replica
+    /// per machine — cannot happen with positive parameters, but guards
+    /// division edge cases).
+    pub fn evaluate(&self) -> Option<EngineSizing> {
+        assert!(self.pages > 0.0 && self.qps > 0.0);
+        let index_bytes = self.pages * self.index_bytes_per_page;
+        let partitions = (index_bytes / self.ram_per_machine).ceil().max(1.0);
+        let share_gb = index_bytes / partitions / 1e9;
+        let service = self.seconds_per_gb * share_gb;
+        if service <= 0.0 || service.is_nan() {
+            return None;
+        }
+        let peak_qps = self.qps * self.peak_factor;
+        // Every partition sees every query (document partitioning, no
+        // collection selection). Replicate clusters until utilization at
+        // the peak stays under target.
+        let per_machine_capacity =
+            f64::from(self.threads_per_machine) / service * self.target_utilization;
+        let replicas = (peak_qps / per_machine_capacity).ceil().max(1.0);
+        let machines = partitions * replicas;
+
+        // Latency: queue wait at one processor replica + service + two LAN
+        // hops + broker merge over all partitions.
+        let lambda_per_machine = peak_qps / replicas;
+        let ggc = GgcModel::new(self.threads_per_machine, service, 1.0, 1.0);
+        let wait = if ggc.is_stable(lambda_per_machine) {
+            ggc.mean_wait(lambda_per_machine)
+        } else {
+            return None;
+        };
+        let response =
+            wait + service + 2.0 * self.lan_latency + self.merge_cost_per_partition * partitions;
+
+        // Network: each query ships ~2 KB of results from each partition.
+        let bandwidth = peak_qps * partitions * 2_048.0;
+
+        Some(EngineSizing {
+            index_bytes,
+            partitions: partitions as u64,
+            replicas: replicas as u64,
+            machines: machines as u64,
+            mean_service: service,
+            peak_response_time: response,
+            network_bytes_per_sec: bandwidth,
+            capex_dollars: machines * self.dollars_per_machine,
+            opex_dollars_year: machines * self.opex_per_machine_year,
+        })
+    }
+}
+
+/// The characterization the conclusion asks for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineSizing {
+    /// Total index size, bytes.
+    pub index_bytes: f64,
+    /// Index partitions (machines per replica cluster).
+    pub partitions: u64,
+    /// Cluster replicas.
+    pub replicas: u64,
+    /// Total machines.
+    pub machines: u64,
+    /// Mean per-partition service time, seconds.
+    pub mean_service: f64,
+    /// Estimated mean response time at peak load, seconds.
+    pub peak_response_time: f64,
+    /// Intra-cluster result traffic at peak, bytes/second.
+    pub network_bytes_per_sec: f64,
+    /// Hardware cost, dollars.
+    pub capex_dollars: f64,
+    /// Yearly operating cost, dollars.
+    pub opex_dollars_year: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_is_feasible_and_sane() {
+        let s = EngineModel::default_2007().evaluate().expect("feasible");
+        assert!(s.partitions >= 3_000, "partitions={}", s.partitions);
+        assert!(s.replicas >= 1);
+        assert!(s.machines >= s.partitions);
+        assert!(s.peak_response_time > 0.0 && s.peak_response_time < 1.0);
+        assert!(s.capex_dollars > 1e6);
+    }
+
+    #[test]
+    fn more_data_more_machines() {
+        let base = EngineModel::default_2007();
+        let bigger = EngineModel { pages: base.pages * 4.0, ..base };
+        let s0 = base.evaluate().unwrap();
+        let s1 = bigger.evaluate().unwrap();
+        assert!(s1.partitions >= s0.partitions * 3);
+        assert!(s1.machines > s0.machines);
+    }
+
+    #[test]
+    fn more_traffic_more_replicas() {
+        let base = EngineModel::default_2007();
+        let busier = EngineModel { qps: base.qps * 10.0, ..base };
+        let s0 = base.evaluate().unwrap();
+        let s1 = busier.evaluate().unwrap();
+        assert!(s1.replicas > s0.replicas);
+        // Partitions are traffic-independent.
+        assert_eq!(s1.partitions, s0.partitions);
+    }
+
+    #[test]
+    fn response_time_grows_with_per_machine_share() {
+        let base = EngineModel::default_2007();
+        let fat = EngineModel { ram_per_machine: base.ram_per_machine * 8.0, ..base };
+        let s0 = base.evaluate().unwrap();
+        let s1 = fat.evaluate().unwrap();
+        assert!(s1.partitions < s0.partitions);
+        assert!(s1.mean_service > s0.mean_service);
+    }
+
+    #[test]
+    fn headroom_bounds_utilization() {
+        let m = EngineModel::default_2007();
+        let s = m.evaluate().unwrap();
+        let lambda_per_machine = m.qps * m.peak_factor / s.replicas as f64;
+        let rho = lambda_per_machine * s.mean_service / f64::from(m.threads_per_machine);
+        assert!(rho <= m.target_utilization + 1e-9, "rho={rho}");
+    }
+}

@@ -1,0 +1,148 @@
+//! The introduction's back-of-the-envelope sizing model (Experiment E1).
+//!
+//! "Suppose that we have 20 billion Web pages, which suggests at least 100
+//! terabytes of text or an index of around 25 terabytes. (...) we need
+//! approximately 3,000 of them in each cluster to hold the index. (...)
+//! Suppose a cluster that can answer 1,000 queries per second (...) 173
+//! million queries per day, which implies around 10,000 per second on peak
+//! times. We then need to replicate the system at least 10 times (...) at
+//! least 30,000 computers overall. Deploying such a system may cost over
+//! 100 million US dollars."
+
+/// Input parameters of the sizing exercise.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Number of Web pages to index.
+    pub pages: f64,
+    /// Average text bytes per page (the paper's 20B pages → 100 TB implies
+    /// 5 KB/page).
+    pub bytes_per_page: f64,
+    /// Index size as a fraction of text size (25 TB / 100 TB = 0.25).
+    pub index_ratio: f64,
+    /// RAM available for index per machine, in bytes (the paper's
+    /// "several gigabytes" works out to ~8.3 GB for 3,000 machines).
+    pub ram_per_machine: f64,
+    /// Queries a single cluster sustains, per second.
+    pub cluster_qps: f64,
+    /// Queries per day to serve.
+    pub queries_per_day: f64,
+    /// Peak-to-mean ratio of the daily traffic (173M/day ≈ 2,000/s mean;
+    /// "around 10,000 per second on peak times" → 5×).
+    pub peak_factor: f64,
+    /// Hardware cost per machine, US dollars.
+    pub dollars_per_machine: f64,
+}
+
+impl CostModel {
+    /// The paper's 2007 numbers.
+    pub fn paper_2007() -> Self {
+        CostModel {
+            pages: 20e9,
+            bytes_per_page: 5_000.0,
+            index_ratio: 0.25,
+            ram_per_machine: 25e12 / 3_000.0, // calibrated to "about 3,000"
+            cluster_qps: 1_000.0,
+            queries_per_day: 173e6,
+            peak_factor: 5.0,
+            dollars_per_machine: 100e6 / 30_000.0, // "over $100M" for 30k
+        }
+    }
+
+    /// The paper's conservative 2010 projection: clusters of 50,000 and at
+    /// least 1.5 million computers. Reached by scaling pages and query
+    /// volume while machines stay the same.
+    pub fn paper_2010_projection() -> Self {
+        CostModel {
+            pages: 20e9 * (50_000.0 / 3_000.0), // ≈ 333 B pages
+            queries_per_day: 173e6 * 3.0,       // conservative traffic growth
+            ..Self::paper_2007()
+        }
+    }
+
+    /// Evaluate the model.
+    pub fn evaluate(&self) -> CostReport {
+        let text_bytes = self.pages * self.bytes_per_page;
+        let index_bytes = text_bytes * self.index_ratio;
+        let machines_per_cluster = (index_bytes / self.ram_per_machine).ceil();
+        let mean_qps = self.queries_per_day / 86_400.0;
+        let peak_qps = mean_qps * self.peak_factor;
+        let clusters = (peak_qps / self.cluster_qps).ceil();
+        let total_machines = machines_per_cluster * clusters;
+        CostReport {
+            text_bytes,
+            index_bytes,
+            machines_per_cluster,
+            peak_qps,
+            clusters,
+            total_machines,
+            hardware_dollars: total_machines * self.dollars_per_machine,
+        }
+    }
+}
+
+/// Output of the sizing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Total crawled text volume, bytes.
+    pub text_bytes: f64,
+    /// Index size, bytes.
+    pub index_bytes: f64,
+    /// Machines needed to hold one index replica in RAM.
+    pub machines_per_cluster: f64,
+    /// Peak query load, per second.
+    pub peak_qps: f64,
+    /// Number of cluster replicas needed for the peak.
+    pub clusters: f64,
+    /// Total machine count.
+    pub total_machines: f64,
+    /// Hardware cost, US dollars.
+    pub hardware_dollars: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_2007_numbers() {
+        let r = CostModel::paper_2007().evaluate();
+        // "at least 100 terabytes of text"
+        assert!((r.text_bytes - 100e12).abs() / 100e12 < 0.01);
+        // "an index of around 25 terabytes"
+        assert!((r.index_bytes - 25e12).abs() / 25e12 < 0.01);
+        // "approximately 3,000 of them in each cluster"
+        assert!((r.machines_per_cluster - 3_000.0).abs() <= 1.0);
+        // "around 10,000 per second on peak times"
+        assert!((r.peak_qps - 10_000.0).abs() / 10_000.0 < 0.01);
+        // "replicate the system at least 10 times"
+        assert!((r.clusters - 11.0).abs() <= 1.0);
+        // "at least 30,000 computers overall"
+        assert!(r.total_machines >= 30_000.0 && r.total_machines <= 35_000.0);
+        // "over 100 million US dollars"
+        assert!(r.hardware_dollars >= 100e6);
+    }
+
+    #[test]
+    fn projection_2010_reaches_paper_scale() {
+        let r = CostModel::paper_2010_projection().evaluate();
+        // "clusters of 50,000 computers and at least 1.5 million computers"
+        assert!((r.machines_per_cluster - 50_000.0).abs() / 50_000.0 < 0.02);
+        assert!(r.total_machines >= 1.4e6, "total={}", r.total_machines);
+    }
+
+    #[test]
+    fn machines_scale_linearly_with_pages() {
+        let base = CostModel::paper_2007();
+        let double = CostModel { pages: base.pages * 2.0, ..base };
+        let r1 = base.evaluate();
+        let r2 = double.evaluate();
+        assert!((r2.machines_per_cluster / r1.machines_per_cluster - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn clusters_scale_with_traffic() {
+        let base = CostModel::paper_2007();
+        let busy = CostModel { queries_per_day: base.queries_per_day * 3.0, ..base };
+        assert!(busy.evaluate().clusters >= base.evaluate().clusters * 2.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! G/G/c bounds and approximations — the model behind Figure 6.
+//!
+//! The paper: "suppose we model a front-end server as a queueing system
+//! G/G/c, where the c servers in the model correspond to the threads that
+//! serve requests (...) Assuming that c = 150 (a typical value for the
+//! maximum number of clients on Apache servers), Figure 6 shows an upper
+//! bound on the capacity of the system for different average service rate
+//! (for a given point (x, y), if x is the average service time, then the
+//! capacity has to be less than y, otherwise the service queue grows to
+//! infinity)."
+//!
+//! The upper bound is the stability condition `λ < c / E[S]`. We also
+//! provide the Allen–Cunneen approximation for the waiting time of a
+//! stable G/G/c queue so the engine model can estimate latency, not just
+//! feasibility.
+
+use crate::mmc::MMc;
+
+/// A G/G/c model described by its first two moments.
+#[derive(Debug, Clone, Copy)]
+pub struct GgcModel {
+    /// Number of servers (threads).
+    pub c: u32,
+    /// Mean service time `E[S]` (seconds).
+    pub mean_service: f64,
+    /// Squared coefficient of variation of inter-arrival times.
+    pub ca2: f64,
+    /// Squared coefficient of variation of service times.
+    pub cs2: f64,
+}
+
+impl GgcModel {
+    /// Create a model.
+    pub fn new(c: u32, mean_service: f64, ca2: f64, cs2: f64) -> Self {
+        assert!(c > 0 && mean_service > 0.0 && ca2 >= 0.0 && cs2 >= 0.0);
+        GgcModel { c, mean_service, ca2, cs2 }
+    }
+
+    /// The paper's Figure 6 configuration: G/G/150 front-end threads.
+    pub fn front_end_150(mean_service: f64) -> Self {
+        // Web request streams and service times are both bursty; unit CVs
+        // keep the approximation at the M/M/c baseline, matching the
+        // figure's "upper bound" framing.
+        Self::new(150, mean_service, 1.0, 1.0)
+    }
+
+    /// Maximum sustainable arrival rate (per second): `c / E[S]`.
+    ///
+    /// Any λ at or above this makes the queue grow without bound — this is
+    /// the curve of Figure 6.
+    pub fn max_capacity(&self) -> f64 {
+        f64::from(self.c) / self.mean_service
+    }
+
+    /// Whether arrival rate `lambda` is sustainable.
+    pub fn is_stable(&self, lambda: f64) -> bool {
+        lambda < self.max_capacity()
+    }
+
+    /// Allen–Cunneen approximation of the mean waiting time at arrival
+    /// rate `lambda`: `Wq ≈ Wq(M/M/c) × (ca² + cs²)/2`.
+    pub fn mean_wait(&self, lambda: f64) -> f64 {
+        assert!(self.is_stable(lambda), "unstable: lambda >= c/E[S]");
+        let mmc = MMc::new(lambda, 1.0 / self.mean_service, self.c);
+        mmc.mean_wait() * (self.ca2 + self.cs2) / 2.0
+    }
+
+    /// Approximate mean response time at `lambda`.
+    pub fn mean_response_time(&self, lambda: f64) -> f64 {
+        self.mean_wait(lambda) + self.mean_service
+    }
+
+    /// The Figure 6 curve: `(service time, max capacity)` pairs for service
+    /// times between `lo` and `hi` seconds (inclusive), in `steps` points.
+    pub fn capacity_curve(c: u32, lo: f64, hi: f64, steps: usize) -> Vec<(f64, f64)> {
+        assert!(steps >= 2 && lo > 0.0 && hi > lo);
+        (0..steps)
+            .map(|i| {
+                let s = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+                (s, Self::new(c, s, 1.0, 1.0).max_capacity())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure6_endpoints() {
+        // "it drops from 15 to 2 as the average service time of each
+        // thread goes from 10ms to 100ms" — capacity in queries per
+        // millisecond: 150/10 = 15 and 150/100 = 1.5 ≈ 2.
+        let at_10ms = GgcModel::front_end_150(0.010).max_capacity();
+        let at_100ms = GgcModel::front_end_150(0.100).max_capacity();
+        assert!((at_10ms / 1000.0 - 15.0).abs() < 1e-9);
+        assert!((at_100ms / 1000.0 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_decreases_with_service_time() {
+        let curve = GgcModel::capacity_curve(150, 0.001, 0.1, 50);
+        assert!(curve.windows(2).all(|w| w[0].1 > w[1].1));
+        // Sharp drop: first point is 100× the last.
+        assert!(curve[0].1 / curve.last().unwrap().1 > 50.0);
+    }
+
+    #[test]
+    fn stability_boundary() {
+        let m = GgcModel::front_end_150(0.010);
+        assert!(m.is_stable(14_999.0));
+        assert!(!m.is_stable(15_000.0));
+        assert!(!m.is_stable(20_000.0));
+    }
+
+    #[test]
+    fn wait_grows_toward_saturation() {
+        let m = GgcModel::front_end_150(0.010);
+        let w_low = m.mean_wait(5_000.0);
+        let w_mid = m.mean_wait(12_000.0);
+        let w_high = m.mean_wait(14_800.0);
+        assert!(w_low < w_mid && w_mid < w_high);
+        assert!(w_high > 10.0 * w_low);
+    }
+
+    #[test]
+    fn higher_variability_more_waiting() {
+        let smooth = GgcModel::new(10, 0.01, 0.5, 0.5);
+        let bursty = GgcModel::new(10, 0.01, 2.0, 2.0);
+        assert!(bursty.mean_wait(800.0) > smooth.mean_wait(800.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn wait_at_saturation_panics() {
+        GgcModel::front_end_150(0.010).mean_wait(15_000.0);
+    }
+
+    #[test]
+    fn response_time_includes_service() {
+        let m = GgcModel::front_end_150(0.02);
+        let lambda = 1000.0;
+        assert!(m.mean_response_time(lambda) >= m.mean_wait(lambda) + 0.02 - 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dwr-queueing — analytic capacity models
+//!
+//! Two parts of the paper are directly analytic:
+//!
+//! * **Figure 6** models a front-end server as a `G/G/c` queue with
+//!   `c = 150` threads and shows the maximum sustainable capacity dropping
+//!   sharply with the average service time ("it drops from 15 to 2 as the
+//!   average service time goes from 10ms to 100ms").
+//! * The **introduction's cost model** sizes a 2007 search engine: 20
+//!   billion pages → ~25 TB index → ~3,000 machines per cluster, 173M
+//!   queries/day → ~10,000 qps peak → ≥10 replicas → ≥30,000 machines and
+//!   "over 100 million US dollars".
+//! * The **conclusion** asks for "an analytical model of such a system
+//!   that, given parameters such as data volume and query throughput, can
+//!   characterize a particular system in terms of response time, index
+//!   size, hardware, network bandwidth, and maintenance cost" —
+//!   [`capacity::EngineModel`] is that tool.
+//!
+//! [`mmc`] provides the exact M/M/1 and M/M/c (Erlang-C) results used to
+//! validate the simulator; [`ggc`] the G/G/c bounds and approximations
+//! behind Figure 6.
+
+pub mod capacity;
+pub mod cost;
+pub mod ggc;
+pub mod mmc;
+
+pub use capacity::{EngineModel, EngineSizing};
+pub use cost::{CostModel, CostReport};
+pub use ggc::GgcModel;
+pub use mmc::{MM1, MMc};

@@ -1,0 +1,84 @@
+//! Property-based tests of the analytic models' invariants.
+
+use dwr_queueing::capacity::EngineModel;
+use dwr_queueing::cost::CostModel;
+use dwr_queueing::ggc::GgcModel;
+use dwr_queueing::mmc::{MM1, MMc};
+use proptest::prelude::*;
+
+proptest! {
+    /// Erlang-C is a probability and grows with offered load.
+    #[test]
+    fn erlang_c_is_probability(mu in 0.1f64..100.0, c in 1u32..300, rho in 0.01f64..0.99) {
+        let lambda = rho * f64::from(c) * mu;
+        let q = MMc::new(lambda, mu, c);
+        let p = q.prob_wait();
+        prop_assert!((0.0..=1.0).contains(&p), "p={p}");
+        // Monotone in lambda.
+        let busier = MMc::new((lambda * 1.05).min(0.995 * f64::from(c) * mu), mu, c);
+        prop_assert!(busier.prob_wait() >= p - 1e-9);
+    }
+
+    /// M/M/c waiting time is finite for stable systems and decreasing in c.
+    #[test]
+    fn mmc_wait_decreases_with_servers(mu in 0.5f64..50.0, lambda_frac in 0.1f64..0.9) {
+        let c1 = 2u32;
+        let c2 = 4u32;
+        let lambda = lambda_frac * f64::from(c1) * mu;
+        let w1 = MMc::new(lambda, mu, c1).mean_wait();
+        let w2 = MMc::new(lambda, mu, c2).mean_wait();
+        prop_assert!(w1.is_finite() && w2.is_finite());
+        prop_assert!(w2 <= w1 + 1e-12);
+    }
+
+    /// M/M/1 response time always exceeds the bare service time.
+    #[test]
+    fn mm1_response_exceeds_service(mu in 0.1f64..100.0, rho in 0.01f64..0.99) {
+        let q = MM1::new(rho * mu, mu);
+        prop_assert!(q.mean_response_time() >= 1.0 / mu - 1e-12);
+    }
+
+    /// The Figure 6 curve is positive, finite, and strictly decreasing.
+    #[test]
+    fn capacity_curve_decreasing(c in 1u32..500, lo_ms in 1u64..50, span_ms in 1u64..200) {
+        let lo = lo_ms as f64 / 1000.0;
+        let hi = lo + span_ms as f64 / 1000.0;
+        let curve = GgcModel::capacity_curve(c, lo, hi, 10);
+        prop_assert!(curve.iter().all(|&(_, cap)| cap.is_finite() && cap > 0.0));
+        prop_assert!(curve.windows(2).all(|w| w[0].1 > w[1].1));
+    }
+
+    /// Cost model outputs are positive and monotone in inputs.
+    #[test]
+    fn cost_model_monotone(pages_b in 1.0f64..100.0, qpd_m in 1.0f64..2000.0) {
+        let base = CostModel {
+            pages: pages_b * 1e9,
+            queries_per_day: qpd_m * 1e6,
+            ..CostModel::paper_2007()
+        };
+        let r = base.evaluate();
+        prop_assert!(r.total_machines > 0.0 && r.hardware_dollars > 0.0);
+        let more_data = CostModel { pages: base.pages * 2.0, ..base }.evaluate();
+        prop_assert!(more_data.machines_per_cluster >= r.machines_per_cluster);
+        let more_traffic = CostModel { queries_per_day: base.queries_per_day * 2.0, ..base }.evaluate();
+        prop_assert!(more_traffic.clusters >= r.clusters);
+    }
+
+    /// The engine model, when feasible, keeps utilization under the target
+    /// and produces self-consistent machine counts.
+    #[test]
+    fn engine_model_consistent(pages_b in 0.1f64..200.0, qps in 10.0f64..50_000.0) {
+        let m = EngineModel {
+            pages: pages_b * 1e9,
+            qps,
+            ..EngineModel::default_2007()
+        };
+        if let Some(s) = m.evaluate() {
+            prop_assert_eq!(s.machines, s.partitions * s.replicas);
+            prop_assert!(s.peak_response_time > 0.0 && s.peak_response_time.is_finite());
+            let lambda_per_machine = m.qps * m.peak_factor / s.replicas as f64;
+            let rho = lambda_per_machine * s.mean_service / f64::from(m.threads_per_machine);
+            prop_assert!(rho <= m.target_utilization + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Discrete-event simulation kernel.
+//!
+//! A minimal, allocation-light scheduler: events are arbitrary payloads
+//! ordered by a microsecond virtual clock, with a monotonically increasing
+//! sequence number breaking ties so that simultaneous events dequeue in FIFO
+//! order. Determinism of the whole laboratory hangs on that tie-break — a
+//! plain `BinaryHeap<(time, payload)>` would dequeue simultaneous events in
+//! an order depending on heap internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in microseconds since simulation start.
+pub type SimTime = u64;
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A time-ordered event queue with a virtual clock.
+///
+/// The clock advances to each event's timestamp as it is popped; scheduling
+/// an event in the past is a logic error and panics (it would silently
+/// reorder causality otherwise).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: 0, seq: 0 }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(at >= self.now, "scheduling into the past: at={at} now={}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { time: at, seq, payload }));
+    }
+
+    /// Schedule `payload` at `delay` microseconds after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(s)| {
+            self.now = s.time;
+            (s.time, s.payload)
+        })
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Drain and drop all pending events (clock is unchanged).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Convenience driver: pops events until the queue empties or `horizon` is
+/// reached, invoking `handler(now, event, queue)` for each. The handler may
+/// schedule further events.
+pub fn run_until<E>(
+    queue: &mut EventQueue<E>,
+    horizon: SimTime,
+    mut handler: impl FnMut(SimTime, E, &mut EventQueue<E>),
+) {
+    while let Some(&Reverse(Scheduled { time, .. })) = queue.heap.peek() {
+        if time > horizon {
+            break;
+        }
+        let (now, ev) = queue.pop().expect("peeked event exists");
+        handler(now, ev, queue);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(100, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 100);
+        q.schedule_in(50, ());
+        assert_eq!(q.peek_time(), Some(150));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, ());
+        q.pop();
+        q.schedule_at(50, ());
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        for t in [10u64, 20, 30, 40] {
+            q.schedule_at(t, t);
+        }
+        let mut seen = Vec::new();
+        run_until(&mut q, 25, |now, ev, _| {
+            seen.push((now, ev));
+        });
+        assert_eq!(seen, vec![(10, 10), (20, 20)]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn handler_can_reschedule() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1, 0u32);
+        let mut count = 0;
+        run_until(&mut q, 100, |_, gen, q| {
+            count += 1;
+            if gen < 5 {
+                q.schedule_in(10, gen + 1);
+            }
+        });
+        assert_eq!(count, 6);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, ());
+        q.schedule_at(6, ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

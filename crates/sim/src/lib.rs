@@ -1,0 +1,39 @@
+//! # dwr-sim — deterministic simulation substrate
+//!
+//! Foundation crate for the `ocean` distributed Web retrieval laboratory.
+//! Everything the other crates simulate — crawling, distributed indexing,
+//! query processing, failures — runs on the primitives defined here:
+//!
+//! * [`rng`] — a splittable, explicitly-seeded PRNG so every experiment in
+//!   the repository is reproducible bit-for-bit from a single `u64` seed.
+//! * [`dist`] — the heavy-tailed distributions the paper's survey results
+//!   rest on (Zipf term/query popularity, power-law in-degree, bounded
+//!   Pareto document sizes, exponential failure processes).
+//! * [`stats`] — streaming moments, percentile summaries, histograms and
+//!   imbalance measures used by every experiment harness.
+//! * [`event`] — a discrete-event scheduler with a microsecond virtual
+//!   clock and stable FIFO tie-breaking.
+//! * [`net`] — latency/bandwidth models for LAN and WAN links between
+//!   simulated sites (Section 5 of the paper).
+//!
+//! The kernel is intentionally free of wall-clock time and global state:
+//! identical seeds produce identical traces, which the test suites of the
+//! downstream crates rely on.
+
+pub mod dist;
+pub mod event;
+pub mod net;
+pub mod rng;
+pub mod stats;
+
+pub use event::{EventQueue, SimTime};
+pub use rng::SimRng;
+
+/// One second expressed in the simulator's microsecond clock.
+pub const SECOND: SimTime = 1_000_000;
+/// One millisecond expressed in the simulator's microsecond clock.
+pub const MILLISECOND: SimTime = 1_000;
+/// One simulated hour.
+pub const HOUR: SimTime = 3_600 * SECOND;
+/// One simulated day.
+pub const DAY: SimTime = 24 * HOUR;

@@ -1,0 +1,397 @@
+//! Measurement primitives shared by every experiment harness.
+//!
+//! Besides the usual streaming moments and percentile summaries, this module
+//! provides the *imbalance* measures the paper's Section 4 revolves around:
+//! when homogeneous servers are unevenly loaded, "the capacity of the busiest
+//! server limits the total capacity of the system", so we report
+//! max-to-average ratios, coefficients of variation, and Gini coefficients
+//! for per-server load vectors.
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// Numerically stable for long runs; O(1) memory.
+#[derive(Debug, Clone, Default)]
+pub struct Streaming {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Streaming {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Streaming {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (`std_dev / mean`; 0 if the mean is 0).
+    pub fn cv(&self) -> f64 {
+        if self.mean().abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / self.mean()
+        }
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+/// Retains all samples; computes exact percentiles on demand.
+///
+/// Appropriate for the experiment scale in this repository (≤ millions of
+/// samples); sorts lazily and caches the sorted order.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    data: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Create an empty sample set.
+    pub fn new() -> Self {
+        Samples { data: Vec::new(), sorted: true }
+    }
+
+    /// Create with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Samples { data: Vec::with_capacity(cap), sorted: true }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.data.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.data
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Percentile in `[0, 100]` by nearest-rank with linear interpolation.
+    /// Returns 0 for an empty set.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0);
+        let rank = p / 100.0 * (self.data.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            self.data[lo]
+        } else {
+            let frac = rank - lo as f64;
+            self.data[lo] * (1.0 - frac) + self.data[hi] * frac
+        }
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum (0 for an empty set).
+    pub fn max(&mut self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        *self.data.last().expect("non-empty")
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbuckets` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbuckets: usize) -> Self {
+        assert!(hi > lo && nbuckets > 0);
+        Histogram { lo, hi, buckets: vec![0; nbuckets], below: 0, above: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let i = ((x - self.lo) / (self.hi - self.lo) * self.buckets.len() as f64) as usize;
+            let last = self.buckets.len() - 1;
+            self.buckets[i.min(last)] += 1;
+        }
+    }
+
+    /// Bucket counts (excluding out-of-range).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Count of observations below `lo`.
+    pub fn below(&self) -> u64 {
+        self.below
+    }
+
+    /// Count of observations at or above `hi`.
+    pub fn above(&self) -> u64 {
+        self.above
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.below + self.above + self.buckets.iter().sum::<u64>()
+    }
+
+    /// The value range covered by bucket `i` as `(start, end)`.
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+}
+
+/// Load-imbalance measures over a per-server load vector.
+///
+/// These are the quantities Figure 2 of the paper visualizes: the dashed
+/// line is the mean; a balanced system keeps every server near it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Imbalance {
+    /// Mean per-server load.
+    pub mean: f64,
+    /// Maximum per-server load.
+    pub max: f64,
+    /// Max-to-mean ratio (1.0 = perfectly balanced).
+    pub max_over_mean: f64,
+    /// Coefficient of variation across servers.
+    pub cv: f64,
+    /// Gini coefficient in `[0, 1)` (0 = perfectly balanced).
+    pub gini: f64,
+}
+
+impl Imbalance {
+    /// Compute imbalance statistics for a non-empty load vector.
+    ///
+    /// # Panics
+    /// Panics if `loads` is empty or contains a negative value.
+    pub fn of(loads: &[f64]) -> Self {
+        assert!(!loads.is_empty(), "imbalance of empty load vector");
+        assert!(loads.iter().all(|&l| l >= 0.0), "loads must be non-negative");
+        let n = loads.len() as f64;
+        let sum: f64 = loads.iter().sum();
+        let mean = sum / n;
+        let max = loads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let var = loads.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / n;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        // Gini via the sorted formula.
+        let mut sorted = loads.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN load"));
+        let gini = if sum > 0.0 {
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (2.0 * (i as f64 + 1.0) - n - 1.0) * x)
+                .sum();
+            weighted / (n * sum)
+        } else {
+            0.0
+        };
+        let max_over_mean = if mean > 0.0 { max / mean } else { 1.0 };
+        Imbalance { mean, max, max_over_mean, cv, gini }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_moments() {
+        let mut s = Streaming::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_empty_is_safe() {
+        let s = Streaming::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s = Samples::new();
+        for x in 1..=100 {
+            s.push(x as f64);
+        }
+        assert!((s.percentile(50.0) - 50.5).abs() < 1e-9);
+        assert!((s.percentile(0.0) - 1.0).abs() < 1e-9);
+        assert!((s.percentile(100.0) - 100.0).abs() < 1e-9);
+        assert!((s.percentile(95.0) - 95.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_empty_returns_zero() {
+        let mut s = Samples::new();
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut s = Samples::new();
+        s.push(42.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.percentile(99.0), 42.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_ranges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 3.5, 9.9, -1.0, 10.0, 11.0] {
+            h.record(x);
+        }
+        assert_eq!(h.below(), 1);
+        assert_eq!(h.above(), 2);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.bucket_range(0), (0.0, 2.0));
+        assert_eq!(h.bucket_range(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn histogram_bucket_contents() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 3.5, 9.9] {
+            h.record(x);
+        }
+        assert_eq!(h.buckets(), &[2, 2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn imbalance_uniform_is_balanced() {
+        let i = Imbalance::of(&[3.0, 3.0, 3.0, 3.0]);
+        assert!((i.max_over_mean - 1.0).abs() < 1e-12);
+        assert!(i.cv.abs() < 1e-12);
+        assert!(i.gini.abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_skewed_detected() {
+        let i = Imbalance::of(&[0.0, 0.0, 0.0, 12.0]);
+        assert!((i.max_over_mean - 4.0).abs() < 1e-12);
+        assert!(i.gini > 0.7);
+        assert!(i.cv > 1.5);
+    }
+
+    #[test]
+    fn imbalance_gini_ordering() {
+        let balanced = Imbalance::of(&[5.0, 5.0, 5.0, 5.0]);
+        let mild = Imbalance::of(&[4.0, 5.0, 5.0, 6.0]);
+        let severe = Imbalance::of(&[1.0, 1.0, 1.0, 17.0]);
+        assert!(balanced.gini < mild.gini);
+        assert!(mild.gini < severe.gini);
+    }
+
+    #[test]
+    #[should_panic]
+    fn imbalance_rejects_empty() {
+        Imbalance::of(&[]);
+    }
+}

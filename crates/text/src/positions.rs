@@ -1,0 +1,340 @@
+//! Positional postings and phrase search.
+//!
+//! Section 5 (communication): "When position information is used for
+//! proximity or phrase search, however, the communication overhead
+//! between servers increases greatly because it includes both the
+//! position of terms and the partially resolved query. In such a case,
+//! the position information needs to be compressed efficiently."
+//!
+//! Positions are stored per posting as delta+varint lists (the efficient
+//! compression the paper asks for); [`PositionalIndex::phrase_search`]
+//! intersects positional lists, and the encoded sizes feed the
+//! pipelined-engine communication experiment (E13).
+
+use crate::DocId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One positional posting: document plus the ascending token positions at
+/// which the term occurs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositionalPosting {
+    /// Document containing the term.
+    pub doc: DocId,
+    /// Ascending 0-based token positions.
+    pub positions: Vec<u32>,
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut impl Buf) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let byte = buf.get_u8();
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+        debug_assert!(shift < 35);
+    }
+}
+
+/// An immutable compressed positional posting list: per posting, the doc
+/// delta, the position count, and delta-encoded positions.
+#[derive(Debug, Clone, Default)]
+pub struct PositionalList {
+    data: Bytes,
+    df: u32,
+}
+
+impl PositionalList {
+    /// Document frequency.
+    pub fn df(&self) -> u32 {
+        self.df
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.df == 0
+    }
+
+    /// Encoded size in bytes — what shipping this list (or its slice)
+    /// between servers costs.
+    pub fn encoded_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Decode the full list.
+    pub fn to_vec(&self) -> Vec<PositionalPosting> {
+        let mut buf = &self.data[..];
+        let mut out = Vec::with_capacity(self.df as usize);
+        let mut prev_doc = 0u32;
+        for _ in 0..self.df {
+            let delta = get_varint(&mut buf);
+            prev_doc = prev_doc.wrapping_add(delta);
+            let n = get_varint(&mut buf);
+            let mut positions = Vec::with_capacity(n as usize);
+            let mut prev_pos = 0u32;
+            for i in 0..n {
+                let pd = get_varint(&mut buf);
+                prev_pos = if i == 0 { pd } else { prev_pos + pd };
+                positions.push(prev_pos);
+            }
+            out.push(PositionalPosting { doc: DocId(prev_doc), positions });
+        }
+        out
+    }
+}
+
+/// Builder for a [`PositionalList`]; docs strictly ascending, positions
+/// strictly ascending within a doc.
+#[derive(Debug, Default)]
+pub struct PositionalListBuilder {
+    buf: BytesMut,
+    prev_doc: Option<u32>,
+    df: u32,
+}
+
+impl PositionalListBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one document's positions.
+    ///
+    /// # Panics
+    /// Panics on out-of-order docs, empty positions, or unsorted positions.
+    pub fn push(&mut self, doc: DocId, positions: &[u32]) {
+        assert!(!positions.is_empty(), "positional posting needs positions");
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "positions must be strictly ascending"
+        );
+        let delta = match self.prev_doc {
+            None => doc.0,
+            Some(prev) => {
+                assert!(doc.0 > prev, "docs must be strictly ascending");
+                doc.0 - prev
+            }
+        };
+        put_varint(&mut self.buf, delta);
+        put_varint(&mut self.buf, positions.len() as u32);
+        let mut prev = 0u32;
+        for (i, &p) in positions.iter().enumerate() {
+            put_varint(&mut self.buf, if i == 0 { p } else { p - prev });
+            prev = p;
+        }
+        self.prev_doc = Some(doc.0);
+        self.df += 1;
+    }
+
+    /// Finish encoding.
+    pub fn finish(self) -> PositionalList {
+        PositionalList { data: self.buf.freeze(), df: self.df }
+    }
+}
+
+/// A positional index over token streams: term → positional list.
+#[derive(Debug, Default)]
+pub struct PositionalIndex {
+    lists: std::collections::HashMap<u32, PositionalList>,
+    num_docs: u32,
+}
+
+impl PositionalIndex {
+    /// Build from documents given as token-id sequences.
+    pub fn build(docs: &[Vec<u32>]) -> Self {
+        // Gather (term, doc, position) and encode per term.
+        let mut occurrences: std::collections::HashMap<u32, Vec<(u32, u32)>> =
+            std::collections::HashMap::new();
+        for (d, tokens) in docs.iter().enumerate() {
+            for (pos, &t) in tokens.iter().enumerate() {
+                occurrences.entry(t).or_default().push((d as u32, pos as u32));
+            }
+        }
+        let lists = occurrences
+            .into_iter()
+            .map(|(t, occ)| {
+                // occ is already sorted by (doc, pos) thanks to scan order.
+                let mut b = PositionalListBuilder::new();
+                let mut i = 0;
+                while i < occ.len() {
+                    let doc = occ[i].0;
+                    let mut positions = Vec::new();
+                    while i < occ.len() && occ[i].0 == doc {
+                        positions.push(occ[i].1);
+                        i += 1;
+                    }
+                    b.push(DocId(doc), &positions);
+                }
+                (t, b.finish())
+            })
+            .collect();
+        PositionalIndex { lists, num_docs: docs.len() as u32 }
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// The positional list of a term.
+    pub fn list(&self, term: u32) -> Option<&PositionalList> {
+        self.lists.get(&term)
+    }
+
+    /// Total encoded bytes of all positional lists.
+    pub fn encoded_bytes(&self) -> usize {
+        self.lists.values().map(PositionalList::encoded_bytes).sum()
+    }
+
+    /// Documents containing the exact phrase (consecutive positions).
+    pub fn phrase_search(&self, phrase: &[u32]) -> Vec<DocId> {
+        if phrase.is_empty() {
+            return Vec::new();
+        }
+        let mut lists = Vec::with_capacity(phrase.len());
+        for &t in phrase {
+            match self.lists.get(&t) {
+                Some(l) => lists.push(l.to_vec()),
+                None => return Vec::new(),
+            }
+        }
+        // Intersect by doc, then check position chains.
+        let mut out = Vec::new();
+        let first = &lists[0];
+        for p0 in first {
+            // All other terms must contain this doc.
+            let mut chains: Vec<&[u32]> = Vec::with_capacity(phrase.len());
+            chains.push(&p0.positions);
+            let mut ok = true;
+            for l in &lists[1..] {
+                match l.iter().find(|p| p.doc == p0.doc) {
+                    Some(p) => chains.push(&p.positions),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Position chain: exists pos in chains[0] with pos+i in chains[i].
+            let found = chains[0].iter().any(|&start| {
+                chains
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .all(|(i, c)| c.binary_search(&(start + i as u32)).is_ok())
+            });
+            if found {
+                out.push(p0.doc);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3, 1, 2],  // "a b c a b"
+            vec![2, 1, 2, 3],     // "b a b c"
+            vec![3, 3, 3],        // "c c c"
+            vec![],               // empty
+            vec![1, 2],           // "a b"
+        ]
+    }
+
+    #[test]
+    fn roundtrip_positions() {
+        let mut b = PositionalListBuilder::new();
+        b.push(DocId(0), &[0, 3, 7]);
+        b.push(DocId(5), &[2]);
+        let l = b.finish();
+        assert_eq!(l.df(), 2);
+        let v = l.to_vec();
+        assert_eq!(v[0], PositionalPosting { doc: DocId(0), positions: vec![0, 3, 7] });
+        assert_eq!(v[1], PositionalPosting { doc: DocId(5), positions: vec![2] });
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_positions() {
+        PositionalListBuilder::new().push(DocId(0), &[3, 1]);
+    }
+
+    #[test]
+    fn phrase_matches_consecutive_only() {
+        let idx = PositionalIndex::build(&docs());
+        // "a b" (1, 2) occurs in docs 0, 1, 4.
+        let hits = idx.phrase_search(&[1, 2]);
+        assert_eq!(hits, vec![DocId(0), DocId(1), DocId(4)]);
+        // "b c" occurs in docs 0 and 1.
+        assert_eq!(idx.phrase_search(&[2, 3]), vec![DocId(0), DocId(1)]);
+        // "a c" never consecutive.
+        assert!(idx.phrase_search(&[1, 3]).is_empty());
+    }
+
+    #[test]
+    fn three_term_phrase() {
+        let idx = PositionalIndex::build(&docs());
+        // "a b c": doc 0 at positions 0..2 and doc 1 ("b a b c") at 1..3.
+        assert_eq!(idx.phrase_search(&[1, 2, 3]), vec![DocId(0), DocId(1)]);
+        // "b a b" only in doc 1.
+        assert_eq!(idx.phrase_search(&[2, 1, 2]), vec![DocId(1)]);
+    }
+
+    #[test]
+    fn single_term_phrase_is_containment() {
+        let idx = PositionalIndex::build(&docs());
+        assert_eq!(idx.phrase_search(&[3]), vec![DocId(0), DocId(1), DocId(2)]);
+    }
+
+    #[test]
+    fn missing_term_empties_phrase() {
+        let idx = PositionalIndex::build(&docs());
+        assert!(idx.phrase_search(&[1, 99]).is_empty());
+        assert!(idx.phrase_search(&[]).is_empty());
+    }
+
+    #[test]
+    fn repeated_term_runs() {
+        let idx = PositionalIndex::build(&docs());
+        // "c c" in doc 2 only.
+        assert_eq!(idx.phrase_search(&[3, 3]), vec![DocId(2)]);
+    }
+
+    #[test]
+    fn positional_bytes_exceed_plain_postings() {
+        // The communication-cost point of Section 5: positions cost real
+        // bytes beyond doc+tf postings.
+        let idx = PositionalIndex::build(&docs());
+        let tf_docs: Vec<Vec<(crate::TermId, u32)>> = docs()
+            .iter()
+            .map(|tokens| {
+                crate::token::term_frequencies(
+                    &tokens.iter().map(|&t| crate::TermId(t)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let plain = crate::index::build_index(&tf_docs);
+        assert!(idx.encoded_bytes() > plain.encoded_bytes());
+    }
+}

@@ -1,0 +1,208 @@
+//! Ranked and Boolean query evaluation over one index.
+//!
+//! `search_or` is the ranked disjunctive evaluation every query processor
+//! in the laboratory runs locally; brokers then merge the per-partition
+//! top-k lists (Section 5). `search_and` is Boolean conjunctive matching
+//! via ascending-postings intersection.
+
+use crate::index::InvertedIndex;
+use crate::score::{Bm25, CollectionStats};
+use crate::topk::TopK;
+use crate::{DocId, TermId};
+use std::collections::HashMap;
+
+/// One result: a document and its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Matching document (local to the queried index).
+    pub doc: DocId,
+    /// BM25 score.
+    pub score: f32,
+}
+
+/// Ranked disjunctive (OR) evaluation: score every document containing at
+/// least one query term, return the top `k` by BM25.
+///
+/// `stats` supplies the collection statistics — pass the index itself for
+/// local statistics or a [`crate::score::GlobalStats`] for global ones.
+pub fn search_or(
+    index: &InvertedIndex,
+    terms: &[TermId],
+    k: usize,
+    bm25: &Bm25,
+    stats: &impl CollectionStats,
+) -> Vec<SearchHit> {
+    // Term-at-a-time with score accumulators, sized from df sums.
+    let cap: usize = terms.iter().map(|&t| index.df(t) as usize).sum();
+    let mut acc: HashMap<u32, f32> = HashMap::with_capacity(cap.min(1 << 20));
+    for &t in terms {
+        let Some(list) = index.postings(t) else { continue };
+        for p in list.iter() {
+            let s = bm25.score(stats, t, p.tf, index.doc_len(p.doc)) as f32;
+            *acc.entry(p.doc.0).or_insert(0.0) += s;
+        }
+    }
+    let mut top = TopK::new(k.max(1));
+    for (doc, score) in acc {
+        top.push(doc, score);
+    }
+    top.into_sorted_vec()
+        .into_iter()
+        .map(|(doc, score)| SearchHit { doc: DocId(doc), score })
+        .collect()
+}
+
+/// Boolean conjunctive (AND) evaluation: documents containing *all* query
+/// terms, scored and ranked.
+pub fn search_and(
+    index: &InvertedIndex,
+    terms: &[TermId],
+    k: usize,
+    bm25: &Bm25,
+    stats: &impl CollectionStats,
+) -> Vec<SearchHit> {
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    // Gather the lists, shortest first to keep the intersection cheap.
+    let mut lists: Vec<(TermId, &crate::postings::PostingList)> = Vec::with_capacity(terms.len());
+    for &t in terms {
+        match index.postings(t) {
+            Some(l) => lists.push((t, l)),
+            None => return Vec::new(), // a missing term empties the AND
+        }
+    }
+    lists.sort_by_key(|(_, l)| l.df());
+
+    // Start from the shortest list; probe the rest.
+    let (first_term, first_list) = lists[0];
+    let mut candidates: Vec<(DocId, f32)> = first_list
+        .iter()
+        .map(|p| {
+            let s = bm25.score(stats, first_term, p.tf, index.doc_len(p.doc)) as f32;
+            (p.doc, s)
+        })
+        .collect();
+
+    for &(term, list) in &lists[1..] {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        // Decode this list once into a tf lookup over surviving candidates.
+        let want: HashMap<u32, ()> = candidates.iter().map(|&(d, _)| (d.0, ())).collect();
+        let mut tfs: HashMap<u32, u32> = HashMap::with_capacity(want.len());
+        for p in list.iter() {
+            if want.contains_key(&p.doc.0) {
+                tfs.insert(p.doc.0, p.tf);
+            }
+        }
+        candidates.retain_mut(|(d, s)| {
+            if let Some(&tf) = tfs.get(&d.0) {
+                *s += bm25.score(stats, term, tf, index.doc_len(*d)) as f32;
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    let mut top = TopK::new(k.max(1));
+    for &(d, s) in &candidates {
+        top.push(d.0, s);
+    }
+    top.into_sorted_vec()
+        .into_iter()
+        .map(|(doc, score)| SearchHit { doc: DocId(doc), score })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::build_index;
+
+    fn idx() -> InvertedIndex {
+        build_index(&[
+            /* 0 */ vec![(TermId(1), 3), (TermId(2), 1)],
+            /* 1 */ vec![(TermId(1), 1)],
+            /* 2 */ vec![(TermId(2), 2), (TermId(3), 1)],
+            /* 3 */ vec![(TermId(1), 1), (TermId(2), 1), (TermId(3), 2)],
+            /* 4 */ vec![(TermId(4), 1)],
+        ])
+    }
+
+    #[test]
+    fn or_returns_all_matching_ranked() {
+        let i = idx();
+        let hits = search_or(&i, &[TermId(1), TermId(2)], 10, &Bm25::default(), &i);
+        let docs: Vec<u32> = hits.iter().map(|h| h.doc.0).collect();
+        // docs 0,1,2,3 contain term 1 or 2; doc 4 does not.
+        assert_eq!(hits.len(), 4);
+        assert!(!docs.contains(&4));
+        // Scores descending.
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+        // Doc 0 (tf=3 of term1 + term2) should beat doc 1 (single tf=1).
+        let pos0 = docs.iter().position(|&d| d == 0).unwrap();
+        let pos1 = docs.iter().position(|&d| d == 1).unwrap();
+        assert!(pos0 < pos1);
+    }
+
+    #[test]
+    fn or_respects_k() {
+        let i = idx();
+        let hits = search_or(&i, &[TermId(1), TermId(2)], 2, &Bm25::default(), &i);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn or_unknown_term_is_empty() {
+        let i = idx();
+        assert!(search_or(&i, &[TermId(99)], 5, &Bm25::default(), &i).is_empty());
+        assert!(search_or(&i, &[], 5, &Bm25::default(), &i).is_empty());
+    }
+
+    #[test]
+    fn and_intersects() {
+        let i = idx();
+        let hits = search_and(&i, &[TermId(1), TermId(2)], 10, &Bm25::default(), &i);
+        let mut docs: Vec<u32> = hits.iter().map(|h| h.doc.0).collect();
+        docs.sort_unstable();
+        assert_eq!(docs, vec![0, 3]);
+    }
+
+    #[test]
+    fn and_with_missing_term_is_empty() {
+        let i = idx();
+        assert!(search_and(&i, &[TermId(1), TermId(99)], 10, &Bm25::default(), &i).is_empty());
+    }
+
+    #[test]
+    fn and_three_terms() {
+        let i = idx();
+        let hits = search_and(&i, &[TermId(1), TermId(2), TermId(3)], 10, &Bm25::default(), &i);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, DocId(3));
+    }
+
+    #[test]
+    fn and_subset_of_or() {
+        let i = idx();
+        let and_hits = search_and(&i, &[TermId(1), TermId(2)], 10, &Bm25::default(), &i);
+        let or_hits = search_or(&i, &[TermId(1), TermId(2)], 10, &Bm25::default(), &i);
+        let or_docs: Vec<u32> = or_hits.iter().map(|h| h.doc.0).collect();
+        for h in &and_hits {
+            assert!(or_docs.contains(&h.doc.0));
+        }
+    }
+
+    #[test]
+    fn and_score_equals_or_score_for_full_matches() {
+        let i = idx();
+        let and_hits = search_and(&i, &[TermId(1), TermId(2)], 10, &Bm25::default(), &i);
+        let or_hits = search_or(&i, &[TermId(1), TermId(2)], 10, &Bm25::default(), &i);
+        for ah in &and_hits {
+            let oh = or_hits.iter().find(|h| h.doc == ah.doc).unwrap();
+            assert!((ah.score - oh.score).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Bounded top-k selection.
+//!
+//! Query processors keep only the k best-scoring documents; brokers merge
+//! several such lists (Section 5's result merging). `TopK` is a bounded
+//! min-heap: O(log k) insertion, O(k log k) extraction, never more than k
+//! live entries.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An entry in a top-k heap: a score plus an opaque payload.
+///
+/// Ordering is by score, then by payload key *ascending* so ties are
+/// deterministic (lower doc id wins, matching what production engines do).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    score: f32,
+    key: u32,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order: NaN scores are rejected at insertion.
+        self.score
+            .partial_cmp(&other.score)
+            .expect("scores are non-NaN")
+            .then(other.key.cmp(&self.key)) // lower key = better on ties
+    }
+}
+
+/// Bounded top-k accumulator over `(key, score)` pairs.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl TopK {
+    /// Create an accumulator retaining the `k` best entries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-0 is meaningless");
+        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offer an entry.
+    ///
+    /// # Panics
+    /// Panics on a NaN score.
+    pub fn push(&mut self, key: u32, score: f32) {
+        assert!(!score.is_nan(), "NaN score");
+        let e = Entry { score, key };
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(e));
+        } else if let Some(&Reverse(worst)) = self.heap.peek() {
+            if e > worst {
+                self.heap.pop();
+                self.heap.push(Reverse(e));
+            }
+        }
+    }
+
+    /// Number of retained entries (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current k-th best score, if k entries are held — the admission
+    /// threshold for further candidates.
+    pub fn threshold(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|&Reverse(e)| e.score)
+        }
+    }
+
+    /// Extract the retained entries, best first.
+    pub fn into_sorted_vec(self) -> Vec<(u32, f32)> {
+        let mut v: Vec<Entry> = self.heap.into_iter().map(|Reverse(e)| e).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v.into_iter().map(|e| (e.key, e.score)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(3);
+        for (i, s) in [1.0f32, 5.0, 3.0, 2.0, 4.0].iter().enumerate() {
+            t.push(i as u32, *s);
+        }
+        let got = t.into_sorted_vec();
+        assert_eq!(got.iter().map(|&(k, _)| k).collect::<Vec<_>>(), vec![1, 4, 2]);
+        assert_eq!(got[0].1, 5.0);
+    }
+
+    #[test]
+    fn fewer_than_k_is_fine() {
+        let mut t = TopK::new(10);
+        t.push(7, 1.5);
+        let got = t.into_sorted_vec();
+        assert_eq!(got, vec![(7, 1.5)]);
+    }
+
+    #[test]
+    fn ties_break_by_lower_key() {
+        let mut t = TopK::new(2);
+        t.push(9, 1.0);
+        t.push(3, 1.0);
+        t.push(5, 1.0);
+        let got = t.into_sorted_vec();
+        assert_eq!(got.iter().map(|&(k, _)| k).collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn threshold_reports_kth_score() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), None);
+        t.push(0, 5.0);
+        assert_eq!(t.threshold(), None);
+        t.push(1, 3.0);
+        assert_eq!(t.threshold(), Some(3.0));
+        t.push(2, 4.0);
+        assert_eq!(t.threshold(), Some(4.0));
+    }
+
+    #[test]
+    fn equal_to_threshold_with_higher_key_not_admitted() {
+        let mut t = TopK::new(1);
+        t.push(1, 2.0);
+        t.push(5, 2.0); // same score, higher key: loses
+        assert_eq!(t.into_sorted_vec(), vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn equal_to_threshold_with_lower_key_admitted() {
+        let mut t = TopK::new(1);
+        t.push(5, 2.0);
+        t.push(1, 2.0); // same score, lower key: wins
+        assert_eq!(t.into_sorted_vec(), vec![(1, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "top-0")]
+    fn rejects_k_zero() {
+        TopK::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        TopK::new(1).push(0, f32::NAN);
+    }
+
+    #[test]
+    fn large_stream_matches_full_sort() {
+        let mut t = TopK::new(10);
+        let scores: Vec<f32> = (0..1000u32).map(|i| ((i.wrapping_mul(2654435761u32.wrapping_mul(i))) % 997) as f32).collect();
+        for (i, &s) in scores.iter().enumerate() {
+            t.push(i as u32, s);
+        }
+        let got = t.into_sorted_vec();
+        let mut want: Vec<(u32, f32)> = scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
+        want.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        want.truncate(10);
+        assert_eq!(got, want);
+    }
+}

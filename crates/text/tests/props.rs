@@ -1,0 +1,140 @@
+//! Property-based tests of the IR core's invariants.
+
+use dwr_text::index::{build_index, merge_indexes, sort_based_build};
+use dwr_text::postings::PostingListBuilder;
+use dwr_text::score::Bm25;
+use dwr_text::search::{search_and, search_or};
+use dwr_text::token::{term_frequencies, tokenize};
+use dwr_text::topk::TopK;
+use dwr_text::{DocId, TermId};
+use proptest::prelude::*;
+
+/// Strategy: a sorted, strictly ascending (doc, tf) posting vector.
+fn postings_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::btree_set(0u32..1_000_000, 0..100).prop_flat_map(|docs| {
+        let docs: Vec<u32> = docs.into_iter().collect();
+        let n = docs.len();
+        prop::collection::vec(1u32..10_000, n).prop_map(move |tfs| {
+            docs.iter().copied().zip(tfs).collect()
+        })
+    })
+}
+
+/// Strategy: a random small corpus.
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<(TermId, u32)>>> {
+    prop::collection::vec(
+        prop::collection::btree_map(0u32..200, 1u32..5, 0..20)
+            .prop_map(|m| m.into_iter().map(|(t, tf)| (TermId(t), tf)).collect()),
+        0..40,
+    )
+}
+
+proptest! {
+    /// Codec roundtrip: decode(encode(postings)) == postings, and df/cf
+    /// match.
+    #[test]
+    fn postings_roundtrip(postings in postings_strategy()) {
+        let mut b = PostingListBuilder::new();
+        for &(d, tf) in &postings {
+            b.push(DocId(d), tf);
+        }
+        let list = b.finish();
+        prop_assert_eq!(list.df() as usize, postings.len());
+        prop_assert_eq!(list.cf(), postings.iter().map(|&(_, tf)| u64::from(tf)).sum::<u64>());
+        let decoded: Vec<(u32, u32)> = list.iter().map(|p| (p.doc.0, p.tf)).collect();
+        prop_assert_eq!(decoded, postings);
+    }
+
+    /// TopK equals a full sort-and-truncate.
+    #[test]
+    fn topk_matches_sort(entries in prop::collection::vec((any::<u32>(), -1e6f32..1e6), 0..200), k in 1usize..20) {
+        let mut top = TopK::new(k);
+        for &(key, score) in &entries {
+            top.push(key, score);
+        }
+        let got = top.into_sorted_vec();
+        let mut want = entries.clone();
+        want.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        want.dedup();
+        // dedup only adjacent duplicates of identical (key, score) pairs —
+        // duplicates are legal inputs, so compare prefix by values instead.
+        let want: Vec<(u32, f32)> = {
+            let mut w = entries.clone();
+            w.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            w.truncate(k);
+            w
+        };
+        prop_assert_eq!(got, want);
+    }
+
+    /// Building an index via any strategy yields identical statistics.
+    #[test]
+    fn builders_agree(corpus in corpus_strategy()) {
+        let a = build_index(&corpus);
+        let b = sort_based_build(&corpus);
+        prop_assert_eq!(a.num_docs(), b.num_docs());
+        prop_assert_eq!(a.num_terms(), b.num_terms());
+        for (t, list) in a.terms() {
+            let other = b.postings(t).expect("term in both");
+            prop_assert_eq!(list.to_vec(), other.to_vec());
+        }
+    }
+
+    /// Merging chunked sub-indexes reproduces the monolithic index.
+    #[test]
+    fn merge_equals_monolithic(corpus in corpus_strategy(), cut in 0usize..40) {
+        let cut = cut.min(corpus.len());
+        let merged = merge_indexes(&[build_index(&corpus[..cut]), build_index(&corpus[cut..])]);
+        let mono = build_index(&corpus);
+        prop_assert_eq!(merged.num_docs(), mono.num_docs());
+        for (t, list) in mono.terms() {
+            let other = merged.postings(t).expect("term present");
+            prop_assert_eq!(list.to_vec(), other.to_vec());
+        }
+    }
+
+    /// The tokenizer is total and only emits tokens of length >= 2 without
+    /// separators.
+    #[test]
+    fn tokenizer_total(text in ".*") {
+        let tokens = tokenize(&text);
+        for t in tokens {
+            prop_assert!(t.chars().count() >= 2);
+            prop_assert!(t.chars().all(char::is_alphanumeric));
+        }
+    }
+
+    /// term_frequencies output is sorted, unique, and conserves tokens.
+    #[test]
+    fn term_frequencies_conserve(tokens in prop::collection::vec(0u32..50, 0..100)) {
+        let ids: Vec<TermId> = tokens.iter().map(|&t| TermId(t)).collect();
+        let tf = term_frequencies(&ids);
+        prop_assert!(tf.windows(2).all(|w| w[0].0 < w[1].0));
+        let total: u32 = tf.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total as usize, tokens.len());
+    }
+
+    /// AND results are a subset of OR results with identical scores.
+    #[test]
+    fn and_subset_of_or(corpus in corpus_strategy(), t1 in 0u32..200, t2 in 0u32..200) {
+        let idx = build_index(&corpus);
+        let terms = [TermId(t1), TermId(t2)];
+        let bm = Bm25::default();
+        let and_hits = search_and(&idx, &terms, 1000, &bm, &idx);
+        let or_hits = search_or(&idx, &terms, 1000, &bm, &idx);
+        for a in &and_hits {
+            let o = or_hits.iter().find(|h| h.doc == a.doc);
+            prop_assert!(o.is_some(), "AND hit missing from OR");
+            prop_assert!((o.unwrap().score - a.score).abs() < 1e-4);
+        }
+    }
+
+    /// BM25 scores are finite and non-negative for any stats combination.
+    #[test]
+    fn bm25_sane(tf in 1u32..1000, doc_len in 0u32..100_000) {
+        let idx = build_index(&[vec![(TermId(0), 1)], vec![(TermId(1), 2)]]);
+        let bm = Bm25::default();
+        let s = bm.score(&idx, TermId(0), tf, doc_len);
+        prop_assert!(s.is_finite() && s >= 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! DNS model: resolution latency and a crawler-side cache.
+//!
+//! "DNS is frequently a bottleneck for the operation of a Web crawler (...)
+//! A common solution is to cache DNS lookup results" (Section 3, external
+//! factors). The model charges a latency per uncached lookup, drawn from a
+//! long-tailed distribution, and exposes a bounded LRU cache with TTL so
+//! experiments can quantify how much caching buys.
+
+use crate::graph::HostId;
+use dwr_sim::dist::LogNormal;
+use dwr_sim::{SimRng, SimTime, MILLISECOND};
+use std::collections::HashMap;
+
+/// The authoritative resolver: maps host → address with a latency cost.
+#[derive(Debug, Clone)]
+pub struct DnsServer {
+    latency: LogNormal,
+    rng: SimRng,
+}
+
+impl DnsServer {
+    /// Create a resolver with the given mean lookup latency (µs) and
+    /// coefficient of variation. Real-world resolution is long-tailed;
+    /// cv ≈ 2 reproduces the occasional multi-second lookup.
+    pub fn new(mean_latency_us: f64, cv: f64, rng: SimRng) -> Self {
+        DnsServer { latency: LogNormal::from_mean_cv(mean_latency_us, cv), rng }
+    }
+
+    /// A typical resolver: 40 ms mean, heavy tail.
+    pub fn typical(rng: SimRng) -> Self {
+        Self::new(40.0 * MILLISECOND as f64, 2.0, rng)
+    }
+
+    /// Resolve a host, returning the simulated lookup latency.
+    pub fn resolve(&mut self, _host: HostId) -> SimTime {
+        self.latency.sample(&mut self.rng) as SimTime
+    }
+}
+
+/// Statistics of a [`DnsCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DnsStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to go to the resolver.
+    pub misses: u64,
+    /// Total simulated time spent on resolver round-trips.
+    pub total_lookup_time: SimTime,
+}
+
+impl DnsStats {
+    /// Cache hit ratio (0 when no lookups were made).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Crawler-side DNS cache with TTL expiry and capacity-bounded LRU-ish
+/// eviction (evicts the entry expiring soonest when full — a good proxy
+/// for LRU under uniform TTLs without a linked list).
+#[derive(Debug)]
+pub struct DnsCache {
+    server: DnsServer,
+    ttl: SimTime,
+    capacity: usize,
+    entries: HashMap<HostId, SimTime>, // host -> expiry time
+    stats: DnsStats,
+}
+
+impl DnsCache {
+    /// Create a cache in front of `server` with entry lifetime `ttl` and
+    /// at most `capacity` entries.
+    pub fn new(server: DnsServer, ttl: SimTime, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        DnsCache { server, ttl, capacity, entries: HashMap::new(), stats: DnsStats::default() }
+    }
+
+    /// Resolve `host` at simulated time `now`; returns the latency charged
+    /// to the caller (0 on a cache hit).
+    pub fn resolve(&mut self, host: HostId, now: SimTime) -> SimTime {
+        if let Some(&expiry) = self.entries.get(&host) {
+            if expiry > now {
+                self.stats.hits += 1;
+                return 0;
+            }
+        }
+        self.stats.misses += 1;
+        let latency = self.server.resolve(host);
+        self.stats.total_lookup_time += latency;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&host) {
+            // Evict the entry that expires soonest.
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(h, &e)| (e, h.0)) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(host, now + latency + self.ttl);
+        latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DnsStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwr_sim::SECOND;
+
+    fn cache(ttl: SimTime, cap: usize) -> DnsCache {
+        DnsCache::new(DnsServer::typical(SimRng::new(5)), ttl, cap)
+    }
+
+    #[test]
+    fn repeated_lookup_hits_cache() {
+        let mut c = cache(3600 * SECOND, 100);
+        let first = c.resolve(HostId(1), 0);
+        assert!(first > 0);
+        let second = c.resolve(HostId(1), 1000);
+        assert_eq!(second, 0);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_forces_miss() {
+        let mut c = cache(10 * SECOND, 100);
+        let l1 = c.resolve(HostId(1), 0);
+        // Far beyond expiry.
+        let l2 = c.resolve(HostId(1), l1 + 100 * SECOND);
+        assert!(l2 > 0);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut c = cache(3600 * SECOND, 4);
+        for h in 0..20u32 {
+            c.resolve(HostId(h), u64::from(h));
+        }
+        assert!(c.entries.len() <= 4);
+    }
+
+    #[test]
+    fn hit_ratio_grows_with_locality() {
+        let mut c = cache(3600 * SECOND, 1000);
+        // Zipf-like access: host 0 over and over, others once.
+        for i in 0..100u32 {
+            c.resolve(HostId(0), u64::from(i) * 1000);
+            c.resolve(HostId(i + 1), u64::from(i) * 1000 + 1);
+        }
+        assert!(c.stats().hit_ratio() > 0.45);
+    }
+
+    #[test]
+    fn empty_stats_safe() {
+        let c = cache(SECOND, 1);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+    }
+}

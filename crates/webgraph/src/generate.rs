@@ -1,0 +1,315 @@
+//! Web generator: skewed hosts, preferential-attachment links with a
+//! host-locality dial, topical coherence, heavy-tailed sizes and change
+//! rates.
+
+use crate::graph::{HostId, HostMeta, PageId, PageMeta, SyntheticWeb, TopicId};
+use dwr_sim::dist::{BoundedPareto, Zipf};
+use dwr_sim::SimRng;
+
+/// Parameters of the synthetic Web.
+#[derive(Debug, Clone)]
+pub struct WebConfig {
+    /// Total number of pages.
+    pub num_pages: usize,
+    /// Number of hosts; host sizes follow a Zipf over hosts.
+    pub num_hosts: usize,
+    /// Zipf exponent of host sizes (≈1 reproduces observed host-size skew).
+    pub host_size_exponent: f64,
+    /// Number of topics.
+    pub num_topics: u16,
+    /// Number of geographic regions hosts are spread over.
+    pub num_regions: u16,
+    /// Probability a page's topic equals its host's topic.
+    pub host_topic_coherence: f64,
+    /// Mean out-degree of a page.
+    pub mean_out_degree: f64,
+    /// Probability an out-link stays on the same host (link locality β).
+    /// Measured values on real crawls are around 0.6–0.9.
+    pub locality: f64,
+    /// Preferential-attachment strength for remote links: with this
+    /// probability a remote target is chosen proportionally to in-degree,
+    /// otherwise uniformly. Values near 1 give a clean power law.
+    pub preferential: f64,
+    /// Page size distribution (bytes).
+    pub min_page_bytes: f64,
+    pub max_page_bytes: f64,
+    pub page_size_exponent: f64,
+    /// Fraction of "dynamic" pages with a high change rate.
+    pub dynamic_fraction: f64,
+    /// Daily change rate of dynamic pages (others change ~100× slower).
+    pub dynamic_change_rate: f64,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            num_pages: 100_000,
+            num_hosts: 2_000,
+            host_size_exponent: 1.0,
+            num_topics: 16,
+            num_regions: 3,
+            host_topic_coherence: 0.8,
+            mean_out_degree: 10.0,
+            locality: 0.75,
+            preferential: 0.9,
+            min_page_bytes: 2_000.0,
+            max_page_bytes: 500_000.0,
+            page_size_exponent: 1.3,
+            dynamic_fraction: 0.1,
+            dynamic_change_rate: 4.0,
+        }
+    }
+}
+
+impl WebConfig {
+    /// A small configuration for unit tests (fast to generate).
+    pub fn tiny() -> Self {
+        WebConfig {
+            num_pages: 2_000,
+            num_hosts: 100,
+            num_topics: 8,
+            num_regions: 2,
+            ..WebConfig::default()
+        }
+    }
+
+    /// A medium configuration for the figure-regeneration experiments.
+    pub fn medium() -> Self {
+        WebConfig {
+            num_pages: 20_000,
+            num_hosts: 500,
+            ..WebConfig::default()
+        }
+    }
+}
+
+/// Generate a synthetic Web. Fully deterministic given `(config, seed)`.
+pub fn generate_web(cfg: &WebConfig, seed: u64) -> SyntheticWeb {
+    assert!(cfg.num_pages > 0 && cfg.num_hosts > 0 && cfg.num_topics > 0);
+    assert!(cfg.num_pages >= cfg.num_hosts, "need at least one page per host");
+    let root = SimRng::new(seed);
+    let mut rng_host = root.fork_named("hosts");
+    let mut rng_link = root.fork_named("links");
+    let mut rng_meta = root.fork_named("meta");
+
+    // --- Hosts: sizes via Zipf ranks, then at least one page per host. ---
+    let host_zipf = Zipf::new(cfg.num_hosts as u64, cfg.host_size_exponent);
+    let mut host_of_page: Vec<HostId> = Vec::with_capacity(cfg.num_pages);
+    // One guaranteed page per host so no host is empty.
+    for h in 0..cfg.num_hosts {
+        host_of_page.push(HostId(h as u32));
+    }
+    for _ in cfg.num_hosts..cfg.num_pages {
+        let rank = host_zipf.sample(&mut rng_host) - 1;
+        host_of_page.push(HostId(rank as u32));
+    }
+    // Shuffle so page ids do not encode host rank (crawl order realism).
+    rng_host.shuffle(&mut host_of_page[cfg.num_hosts..]);
+
+    let hosts: Vec<HostMeta> = (0..cfg.num_hosts)
+        .map(|h| HostMeta {
+            name: format!("host{h:06}.example"),
+            region: (rng_meta.below(cfg.num_regions as u64)) as u16,
+            topic: TopicId(rng_meta.below(cfg.num_topics as u64) as u16),
+        })
+        .collect();
+
+    // --- Page metadata: topic, size, change rate. ---
+    let size_dist = BoundedPareto::new(cfg.min_page_bytes, cfg.max_page_bytes, cfg.page_size_exponent);
+    let pages: Vec<PageMeta> = host_of_page
+        .iter()
+        .map(|&h| {
+            let topic = if rng_meta.chance(cfg.host_topic_coherence) {
+                hosts[h.0 as usize].topic
+            } else {
+                TopicId(rng_meta.below(cfg.num_topics as u64) as u16)
+            };
+            let change = if rng_meta.chance(cfg.dynamic_fraction) {
+                cfg.dynamic_change_rate
+            } else {
+                cfg.dynamic_change_rate / 100.0
+            };
+            PageMeta {
+                host: h,
+                topic,
+                size_bytes: size_dist.sample(&mut rng_meta) as u32,
+                change_rate_per_day: change as f32,
+            }
+        })
+        .collect();
+
+    // --- Host→pages CSR. ---
+    let mut host_counts = vec![0u32; cfg.num_hosts];
+    for p in &pages {
+        host_counts[p.host.0 as usize] += 1;
+    }
+    let mut host_offsets = Vec::with_capacity(cfg.num_hosts + 1);
+    let mut acc = 0u32;
+    host_offsets.push(0);
+    for &c in &host_counts {
+        acc += c;
+        host_offsets.push(acc);
+    }
+    let mut cursor = host_offsets.clone();
+    let mut host_pages = vec![PageId(0); cfg.num_pages];
+    for (i, p) in pages.iter().enumerate() {
+        let h = p.host.0 as usize;
+        host_pages[cursor[h] as usize] = PageId(i as u32);
+        cursor[h] += 1;
+    }
+
+    // --- Links: preferential attachment with locality. ---
+    // `cited` is the repeated-targets pool implementing preferential
+    // attachment in O(1): sampling uniformly from it is sampling
+    // proportionally to (in-degree + implicit smoothing from seeding).
+    let mut cited: Vec<PageId> = Vec::with_capacity((cfg.num_pages as f64 * cfg.mean_out_degree) as usize);
+    let mut link_offsets: Vec<u32> = Vec::with_capacity(cfg.num_pages + 1);
+    let mut link_targets: Vec<PageId> = Vec::with_capacity((cfg.num_pages as f64 * cfg.mean_out_degree) as usize);
+    link_offsets.push(0);
+    // Out-degree ~ 1 + Poisson-ish via geometric mixture: draw around mean.
+    #[allow(clippy::needless_range_loop)] // p is also the page id being built
+    for p in 0..cfg.num_pages {
+        let pid = PageId(p as u32);
+        let host = pages[p].host;
+        let host_lo = host_offsets[host.0 as usize] as usize;
+        let host_hi = host_offsets[host.0 as usize + 1] as usize;
+        let host_span = host_hi - host_lo;
+        // Draw an out-degree with mean `mean_out_degree`:
+        // deterministic floor + Bernoulli fraction keeps variance modest.
+        let base = cfg.mean_out_degree.floor() as usize;
+        let extra = usize::from(rng_link.chance(cfg.mean_out_degree.fract()));
+        let out_deg = base + extra;
+        for _ in 0..out_deg {
+            let target = if rng_link.chance(cfg.locality) && host_span > 1 {
+                // Local link: uniform page on the same host, not self.
+                loop {
+                    let t = host_pages[host_lo + rng_link.index(host_span)];
+                    if t != pid {
+                        break t;
+                    }
+                }
+            } else {
+                // Remote link: preferential attachment over all pages seen
+                // so far, with uniform fallback for exploration.
+                if !cited.is_empty() && rng_link.chance(cfg.preferential) {
+                    cited[rng_link.index(cited.len())]
+                } else {
+                    PageId(rng_link.below(cfg.num_pages as u64) as u32)
+                }
+            };
+            if target == pid {
+                continue; // drop self-links
+            }
+            link_targets.push(target);
+            cited.push(target);
+        }
+        link_offsets.push(link_targets.len() as u32);
+    }
+
+    SyntheticWeb {
+        pages,
+        hosts,
+        link_offsets,
+        link_targets,
+        host_offsets,
+        host_pages,
+        num_topics: cfg.num_topics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = WebConfig::tiny();
+        let a = generate_web(&cfg, 7);
+        let b = generate_web(&cfg, 7);
+        assert_eq!(a.num_links(), b.num_links());
+        assert_eq!(a.in_degrees(), b.in_degrees());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = WebConfig::tiny();
+        let a = generate_web(&cfg, 1);
+        let b = generate_web(&cfg, 2);
+        assert_ne!(a.in_degrees(), b.in_degrees());
+    }
+
+    #[test]
+    fn no_empty_hosts() {
+        let web = generate_web(&WebConfig::tiny(), 3);
+        for h in web.host_ids() {
+            assert!(!web.pages_of_host(h).is_empty(), "host {h:?} empty");
+        }
+    }
+
+    #[test]
+    fn host_sizes_are_skewed() {
+        let web = generate_web(&WebConfig::tiny(), 5);
+        let sizes: Vec<usize> = web.host_ids().map(|h| web.pages_of_host(h).len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(max as f64 > 3.0 * mean, "max={max} mean={mean}");
+    }
+
+    #[test]
+    fn locality_dial_works() {
+        let mut lo_cfg = WebConfig::tiny();
+        lo_cfg.locality = 0.1;
+        let mut hi_cfg = WebConfig::tiny();
+        hi_cfg.locality = 0.9;
+        let lo = generate_web(&lo_cfg, 11).link_locality();
+        let hi = generate_web(&hi_cfg, 11).link_locality();
+        assert!(lo < 0.35, "lo={lo}");
+        assert!(hi > 0.6, "hi={hi}");
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let web = generate_web(&WebConfig::tiny(), 13);
+        let deg = web.in_degrees();
+        let mut sorted = deg.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        // Top 1% of pages should hold a disproportionate share of in-links.
+        let top = sorted.iter().take(deg.len() / 100).map(|&d| u64::from(d)).sum::<u64>();
+        let total = sorted.iter().map(|&d| u64::from(d)).sum::<u64>();
+        // Top 1% of pages hold at least twice their uniform share (the
+        // locality-diluted preferential attachment still concentrates
+        // citations; larger webs concentrate much more).
+        assert!(top as f64 / total as f64 > 0.02, "top share {}", top as f64 / total as f64);
+        // Power-law exponent in a plausible range (2..4 for PA graphs).
+        let alpha = web.in_degree_power_law_exponent(5).expect("enough tail pages");
+        assert!(alpha > 1.5 && alpha < 5.0, "alpha={alpha}");
+    }
+
+    #[test]
+    fn no_self_links() {
+        let web = generate_web(&WebConfig::tiny(), 17);
+        for p in web.page_ids() {
+            assert!(web.outlinks(p).iter().all(|&t| t != p));
+        }
+    }
+
+    #[test]
+    fn page_topics_mostly_match_host() {
+        let web = generate_web(&WebConfig::tiny(), 19);
+        let matching = web
+            .page_ids()
+            .filter(|&p| web.page(p).topic == web.host(web.page(p).host).topic)
+            .count();
+        let frac = matching as f64 / web.num_pages() as f64;
+        assert!(frac > 0.7, "coherence={frac}");
+    }
+
+    #[test]
+    fn mean_out_degree_close_to_config() {
+        let cfg = WebConfig::tiny();
+        let web = generate_web(&cfg, 23);
+        let mean = web.num_links() as f64 / web.num_pages() as f64;
+        // Self-link drops make it slightly lower than configured.
+        assert!((mean - cfg.mean_out_degree).abs() < 1.0, "mean={mean}");
+    }
+}

@@ -1,0 +1,237 @@
+//! The Web as a host-partitioned directed graph.
+//!
+//! Pages live on hosts; links are directed page→page edges. The structure
+//! is immutable once generated (evolution produces change *events*, not
+//! in-place mutation) so crawler agents can share it freely.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a page (dense, `0..num_pages`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId(pub u32);
+
+/// Identifier of a host / Web server (dense, `0..num_hosts`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+/// Identifier of a topic (dense, `0..num_topics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TopicId(pub u16);
+
+/// Static metadata of one page.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PageMeta {
+    /// Host the page lives on.
+    pub host: HostId,
+    /// Dominant topic of the page.
+    pub topic: TopicId,
+    /// Body size in bytes (drawn from a bounded Pareto at generation time).
+    pub size_bytes: u32,
+    /// Expected content changes per simulated day (heavy-tailed across
+    /// pages: most pages are static, a few change constantly).
+    pub change_rate_per_day: f32,
+}
+
+/// Static metadata of one host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostMeta {
+    /// Hostname, e.g. `"host000123.example"`. Used by hashing assigners.
+    pub name: String,
+    /// Geographic region index (0-based); used for geo-aware crawling and
+    /// multi-site query routing.
+    pub region: u16,
+    /// Dominant topic of the host (pages mostly inherit it).
+    pub topic: TopicId,
+}
+
+/// An immutable synthetic Web: pages, hosts, and the link graph in CSR form.
+#[derive(Debug, Clone)]
+pub struct SyntheticWeb {
+    pub(crate) pages: Vec<PageMeta>,
+    pub(crate) hosts: Vec<HostMeta>,
+    /// CSR offsets into `link_targets`: page `p`'s out-links are
+    /// `link_targets[link_offsets[p] .. link_offsets[p+1]]`.
+    pub(crate) link_offsets: Vec<u32>,
+    pub(crate) link_targets: Vec<PageId>,
+    /// Pages per host (CSR as well): host `h`'s pages are
+    /// `host_pages[host_offsets[h] .. host_offsets[h+1]]`.
+    pub(crate) host_offsets: Vec<u32>,
+    pub(crate) host_pages: Vec<PageId>,
+    /// Number of topics the generator used.
+    pub(crate) num_topics: u16,
+}
+
+impl SyntheticWeb {
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of topics in the generator's topic model.
+    pub fn num_topics(&self) -> u16 {
+        self.num_topics
+    }
+
+    /// Total number of links.
+    pub fn num_links(&self) -> usize {
+        self.link_targets.len()
+    }
+
+    /// Metadata of a page.
+    pub fn page(&self, p: PageId) -> &PageMeta {
+        &self.pages[p.0 as usize]
+    }
+
+    /// Metadata of a host.
+    pub fn host(&self, h: HostId) -> &HostMeta {
+        &self.hosts[h.0 as usize]
+    }
+
+    /// Out-links of a page.
+    pub fn outlinks(&self, p: PageId) -> &[PageId] {
+        let i = p.0 as usize;
+        let (lo, hi) = (self.link_offsets[i] as usize, self.link_offsets[i + 1] as usize);
+        &self.link_targets[lo..hi]
+    }
+
+    /// Pages hosted on `h`.
+    pub fn pages_of_host(&self, h: HostId) -> &[PageId] {
+        let i = h.0 as usize;
+        let (lo, hi) = (self.host_offsets[i] as usize, self.host_offsets[i + 1] as usize);
+        &self.host_pages[lo..hi]
+    }
+
+    /// Iterate over all page ids.
+    pub fn page_ids(&self) -> impl Iterator<Item = PageId> + '_ {
+        (0..self.pages.len() as u32).map(PageId)
+    }
+
+    /// Iterate over all host ids.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.hosts.len() as u32).map(HostId)
+    }
+
+    /// Compute the in-degree of every page. O(links).
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.pages.len()];
+        for &t in &self.link_targets {
+            deg[t.0 as usize] += 1;
+        }
+        deg
+    }
+
+    /// Fraction of links whose source and target are on the same host.
+    ///
+    /// This is the "link locality" the paper's Section 3 exploits; the
+    /// generator's `locality` parameter controls it directly.
+    pub fn link_locality(&self) -> f64 {
+        if self.link_targets.is_empty() {
+            return 0.0;
+        }
+        let mut local = 0usize;
+        for p in self.page_ids() {
+            let src_host = self.page(p).host;
+            for &t in self.outlinks(p) {
+                if self.page(t).host == src_host {
+                    local += 1;
+                }
+            }
+        }
+        local as f64 / self.link_targets.len() as f64
+    }
+
+    /// The `k` pages with highest in-degree, most-cited first.
+    ///
+    /// Crawling agents seed their "known URLs" set with these, which (given
+    /// the power-law in-degree) suppresses most URL-exchange traffic.
+    pub fn most_cited(&self, k: usize) -> Vec<PageId> {
+        let deg = self.in_degrees();
+        let mut ids: Vec<u32> = (0..self.pages.len() as u32).collect();
+        ids.sort_unstable_by_key(|&i| (std::cmp::Reverse(deg[i as usize]), i));
+        ids.truncate(k);
+        ids.into_iter().map(PageId).collect()
+    }
+
+    /// Fit a power-law exponent to the in-degree tail via the discrete MLE
+    /// (Clauset et al.) over pages with in-degree >= `xmin`.
+    ///
+    /// Returns `None` if fewer than 10 pages qualify.
+    pub fn in_degree_power_law_exponent(&self, xmin: u32) -> Option<f64> {
+        assert!(xmin >= 1);
+        let deg = self.in_degrees();
+        let tail: Vec<u32> = deg.into_iter().filter(|&d| d >= xmin).collect();
+        if tail.len() < 10 {
+            return None;
+        }
+        let n = tail.len() as f64;
+        let sum_ln: f64 = tail
+            .iter()
+            .map(|&d| (d as f64 / (xmin as f64 - 0.5)).ln())
+            .sum();
+        Some(1.0 + n / sum_ln)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_web, WebConfig};
+
+    fn small_web() -> SyntheticWeb {
+        generate_web(&WebConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn csr_invariants_hold() {
+        let web = small_web();
+        assert_eq!(web.link_offsets.len(), web.num_pages() + 1);
+        assert_eq!(web.host_offsets.len(), web.num_hosts() + 1);
+        assert_eq!(*web.link_offsets.last().unwrap() as usize, web.num_links());
+        assert_eq!(*web.host_offsets.last().unwrap() as usize, web.num_pages());
+        // offsets monotone
+        assert!(web.link_offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(web.host_offsets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn every_page_belongs_to_its_host_list() {
+        let web = small_web();
+        for h in web.host_ids() {
+            for &p in web.pages_of_host(h) {
+                assert_eq!(web.page(p).host, h);
+            }
+        }
+        // and the host lists partition the page set
+        let total: usize = web.host_ids().map(|h| web.pages_of_host(h).len()).sum();
+        assert_eq!(total, web.num_pages());
+    }
+
+    #[test]
+    fn in_degrees_sum_to_links() {
+        let web = small_web();
+        let sum: u64 = web.in_degrees().iter().map(|&d| u64::from(d)).sum();
+        assert_eq!(sum as usize, web.num_links());
+    }
+
+    #[test]
+    fn most_cited_sorted_descending() {
+        let web = small_web();
+        let deg = web.in_degrees();
+        let top = web.most_cited(10);
+        for w in top.windows(2) {
+            assert!(deg[w[0].0 as usize] >= deg[w[1].0 as usize]);
+        }
+    }
+
+    #[test]
+    fn link_locality_in_unit_interval() {
+        let web = small_web();
+        let l = web.link_locality();
+        assert!((0.0..=1.0).contains(&l));
+    }
+}

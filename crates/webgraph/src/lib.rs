@@ -1,0 +1,32 @@
+//! # dwr-webgraph — a synthetic, evolving Web
+//!
+//! The paper's crawling and indexing results depend on distributional
+//! properties of the Web rather than on any particular crawl:
+//!
+//! * the **in-degree of pages follows a power law** (Section 3 uses this to
+//!   justify suppressing the most-cited URLs from inter-agent exchanges);
+//! * **most links are host-local** ("the fact that most of the links on the
+//!   Web point to other pages in the same server makes it unnecessary to
+//!   transfer those URLs to a different agent");
+//! * **host sizes are heavily skewed**, which is why plain hashing of host
+//!   names balances hosts but not documents;
+//! * pages have **topics**, and hosts are topically coherent, which is what
+//!   makes topical document partitioning meaningful (Section 4);
+//! * content changes and the Web grows, which drives re-crawling.
+//!
+//! This crate builds a web with exactly those properties, from scratch, with
+//! measurable parameters: a preferential-attachment link generator with a
+//! host-locality dial, a Zipfian topic-conditioned content model, DNS and
+//! server-QoS models, and a change/growth process.
+
+pub mod content;
+pub mod dns;
+pub mod evolve;
+pub mod generate;
+pub mod graph;
+pub mod qos;
+pub mod sitemap;
+
+pub use content::{ContentModel, TermId};
+pub use generate::{generate_web, WebConfig};
+pub use graph::{HostId, PageId, SyntheticWeb, TopicId};

@@ -1,0 +1,98 @@
+//! Property-based tests of the synthetic-Web generator's invariants.
+
+use dwr_webgraph::content::ContentModel;
+use dwr_webgraph::generate::{generate_web, WebConfig};
+use dwr_webgraph::graph::TopicId;
+use dwr_webgraph::sitemap::{RobotsPolicy, SitemapIndex};
+use dwr_sim::SimRng;
+use proptest::prelude::*;
+
+fn small_cfg(pages: usize, hosts: usize, topics: u16) -> WebConfig {
+    let mut c = WebConfig::tiny();
+    c.num_pages = pages;
+    c.num_hosts = hosts;
+    c.num_topics = topics;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Structural invariants hold for any generator parameters.
+    #[test]
+    fn web_structure_invariants(
+        seed in any::<u64>(),
+        pages in 100usize..600,
+        hosts in 5usize..50,
+        topics in 1u16..12,
+        locality in 0.0f64..1.0
+    ) {
+        prop_assume!(pages >= hosts);
+        let mut cfg = small_cfg(pages, hosts, topics);
+        cfg.locality = locality;
+        let web = generate_web(&cfg, seed);
+        prop_assert_eq!(web.num_pages(), pages);
+        prop_assert_eq!(web.num_hosts(), hosts);
+        // Host lists partition the page set.
+        let total: usize = web.host_ids().map(|h| web.pages_of_host(h).len()).sum();
+        prop_assert_eq!(total, pages);
+        // No empty hosts, no self links, in-degrees consistent.
+        for h in web.host_ids() {
+            prop_assert!(!web.pages_of_host(h).is_empty());
+        }
+        let deg_sum: u64 = web.in_degrees().iter().map(|&d| u64::from(d)).sum();
+        prop_assert_eq!(deg_sum as usize, web.num_links());
+        for p in web.page_ids() {
+            prop_assert!(web.outlinks(p).iter().all(|&t| t != p));
+            prop_assert!((web.page(p).topic.0) < topics);
+        }
+    }
+
+    /// The same seed always regenerates the same web.
+    #[test]
+    fn generation_deterministic(seed in any::<u64>()) {
+        let cfg = small_cfg(200, 10, 4);
+        let a = generate_web(&cfg, seed);
+        let b = generate_web(&cfg, seed);
+        prop_assert_eq!(a.in_degrees(), b.in_degrees());
+        prop_assert_eq!(a.link_locality(), b.link_locality());
+    }
+
+    /// Documents only contain terms from the background or their own
+    /// topic's slice, never another topic's.
+    #[test]
+    fn content_never_leaks_other_topics(seed in any::<u64>(), topic in 0u16..8) {
+        let m = ContentModel::small(8);
+        let mut rng = SimRng::new(seed);
+        let doc = m.sample_document(TopicId(topic), &mut rng);
+        for (t, tf) in doc {
+            prop_assert!(tf >= 1);
+            if let Some(owner) = m.topic_of_term(t) {
+                prop_assert_eq!(owner, TopicId(topic));
+            }
+        }
+    }
+
+    /// Robots decisions are stable and the allowed count matches the
+    /// per-page predicate.
+    #[test]
+    fn robots_consistent(seed in any::<u64>(), restrictive in 0.0f64..1.0, disallow in 0.0f64..1.0) {
+        let web = generate_web(&small_cfg(200, 10, 4), 7);
+        let r = RobotsPolicy::generate(&web, restrictive, disallow, seed);
+        let direct = web.page_ids().filter(|&p| r.allowed(p, &web)).count();
+        prop_assert_eq!(direct, r.allowed_count(&web));
+    }
+
+    /// A sitemap always lists exactly the host's pages.
+    #[test]
+    fn sitemaps_list_host_pages(seed in any::<u64>(), fraction in 0.0f64..1.0) {
+        let web = generate_web(&small_cfg(200, 10, 4), 8);
+        let s = SitemapIndex::generate(&web, fraction, seed);
+        for h in web.host_ids() {
+            if s.has(h) {
+                prop_assert_eq!(s.pages(h, &web), web.pages_of_host(h));
+            }
+        }
+        prop_assert!((0.0..=1.0).contains(&s.coverage()));
+    }
+}

@@ -1,0 +1,71 @@
+//! Capacity planning with the analytical models — the tool the paper's
+//! conclusion asks for, pointed at *your* engine.
+//!
+//! ```sh
+//! cargo run --example capacity_planning
+//! ```
+
+use distributed_web_retrieval::queueing::capacity::EngineModel;
+use distributed_web_retrieval::queueing::cost::CostModel;
+use distributed_web_retrieval::queueing::ggc::GgcModel;
+use distributed_web_retrieval::queueing::mmc::MMc;
+
+fn main() {
+    // 1. Sanity-check a front-end the way Figure 6 does.
+    println!("front-end check (G/G/150):");
+    for svc_ms in [10.0, 25.0, 50.0] {
+        let m = GgcModel::front_end_150(svc_ms / 1000.0);
+        println!(
+            "  service {svc_ms:>4.0} ms -> max {:>6.0} q/s; at 80% load wait = {:.1} ms",
+            m.max_capacity(),
+            1000.0 * m.mean_wait(0.8 * m.max_capacity())
+        );
+    }
+
+    // 2. How many query processors for a target latency?
+    println!("\nbackend sizing (M/M/c, 50 ms service, 2,000 q/s):");
+    for c in [110u32, 120, 150, 200] {
+        let q = MMc::new(2_000.0, 20.0, c);
+        if q.is_stable() {
+            println!(
+                "  c = {c:>3}: utilization {:>4.0}%, P(wait) = {:>4.1}%, response = {:.1} ms",
+                100.0 * q.utilization(),
+                100.0 * q.prob_wait(),
+                1000.0 * q.mean_response_time()
+            );
+        } else {
+            println!("  c = {c:>3}: UNSTABLE (queue grows without bound)");
+        }
+    }
+
+    // 3. The whole-engine model: your 50M-page vertical engine.
+    println!("\nwhole-engine sizing for a 50M-page vertical search engine:");
+    let model = EngineModel {
+        pages: 50e6,
+        qps: 300.0,
+        ..EngineModel::default_2007()
+    };
+    match model.evaluate() {
+        Some(s) => {
+            println!("  index: {:.1} GB over {} partitions", s.index_bytes / 1e9, s.partitions);
+            println!("  machines: {} ({} replicas)", s.machines, s.replicas);
+            println!("  peak response: {:.1} ms", 1000.0 * s.peak_response_time);
+            println!(
+                "  cost: ${:.2}M capex + ${:.0}k/yr opex",
+                s.capex_dollars / 1e6,
+                s.opex_dollars_year / 1e3
+            );
+        }
+        None => println!("  no feasible sizing"),
+    }
+
+    // 4. And the paper's own 2007 exercise for reference.
+    let paper = CostModel::paper_2007().evaluate();
+    println!(
+        "\n(the paper's 2007 exercise: {:.0} machines/cluster x {:.0} clusters = {:.0} machines, ${:.0}M)",
+        paper.machines_per_cluster,
+        paper.clusters,
+        paper.total_machines,
+        paper.hardware_dollars / 1e6
+    );
+}

@@ -1,0 +1,91 @@
+//! Multi-site operation: geographic routing, diurnal offloading, site
+//! failures, replicated user state — the Section 5 scenario end to end.
+//!
+//! ```sh
+//! cargo run --example multi_site_failover --release
+//! ```
+
+use distributed_web_retrieval::avail::monthly::{
+    availability_histogram, figure5_thresholds, monthly_availability,
+};
+use distributed_web_retrieval::avail::site::SiteConfig;
+use distributed_web_retrieval::query::replica::PrimaryBackupStore;
+use distributed_web_retrieval::query::site::{simulate_multisite, RoutingPolicy, SiteSpec};
+use distributed_web_retrieval::querylog::arrival::{generate_arrivals, DiurnalProfile};
+use distributed_web_retrieval::sim::net::Topology;
+use distributed_web_retrieval::sim::DAY;
+
+fn main() {
+    let seed = 404;
+
+    // --- Three sites in three time zones. ---
+    let sites = vec![
+        SiteSpec { region: 0, servers: 12, mean_service_s: 0.1 },
+        SiteSpec { region: 1, servers: 12, mean_service_s: 0.1 },
+        SiteSpec { region: 2, servers: 12, mean_service_s: 0.1 },
+    ];
+    let profiles: Vec<DiurnalProfile> = (0..3)
+        .map(|r| DiurnalProfile { mean_qps: 70.0, amplitude: 0.9, phase: r as f64 / 3.0 })
+        .collect();
+    let arrivals = generate_arrivals(&profiles, DAY, seed);
+    let topo = Topology::geo_ring(3);
+    println!("one day, {} queries across 3 regions", arrivals.len());
+
+    let near = simulate_multisite(&arrivals, &sites, &topo, RoutingPolicy::Nearest, DAY, &[]);
+    let aware = simulate_multisite(
+        &arrivals,
+        &sites,
+        &topo,
+        RoutingPolicy::LoadAware { threshold: 0.65 },
+        DAY,
+        &[],
+    );
+    println!(
+        "nearest routing:    peak utilization {:>4.0}%, {} overload-hour queries",
+        100.0 * near.peak_utilization(),
+        near.overloaded
+    );
+    println!(
+        "load-aware routing: peak utilization {:>4.0}%, {} rerouted, {} overloaded",
+        100.0 * aware.peak_utilization(),
+        aware.rerouted,
+        aware.overloaded
+    );
+
+    // --- A site outage during the local peak. ---
+    let down: Vec<Vec<bool>> = (0..24).map(|h| vec![(9..15).contains(&h), false, false]).collect();
+    let outage = simulate_multisite(&arrivals, &sites, &topo, RoutingPolicy::Nearest, DAY, &down);
+    println!(
+        "site-0 outage 9h-15h: {} queries diverted; surviving peak {:.0}%",
+        outage.rerouted,
+        100.0 * outage.peak_utilization()
+    );
+
+    // --- How often do sites fail? The BIRN-like availability picture. ---
+    let configs: Vec<SiteConfig> = (0..16).map(|_| SiteConfig::birn_like(2)).collect();
+    let monthly = monthly_availability(&configs, 8, seed);
+    let hist = availability_histogram(&monthly, &figure5_thresholds());
+    println!(
+        "\nsimulated fleet of 16 sites over 8 months: {:.1} sites/month with an outage",
+        hist.last().copied().unwrap_or(0.0)
+    );
+
+    // --- Personalization state must survive those failures. ---
+    let mut profiles_store = PrimaryBackupStore::new(2);
+    profiles_store.put(1001, 7).expect("acked");
+    profiles_store.put(1002, 3).expect("acked");
+    println!("\nuser-profile store: primary is replica {}", profiles_store.primary());
+    profiles_store.crash(0);
+    println!(
+        "primary crashed -> new primary {}; user 1001 prefs still {:?}",
+        profiles_store.primary(),
+        profiles_store.get(1001)
+    );
+    profiles_store.recover(0);
+    profiles_store.crash(1);
+    profiles_store.crash(2);
+    println!(
+        "after recovery + two more crashes, user 1002 prefs still {:?}",
+        profiles_store.get(1002)
+    );
+}

@@ -1,0 +1,78 @@
+//! Cross-crate integration: the full web → crawl → partition → index →
+//! query life cycle, exercised through the public API of the root package.
+
+use distributed_web_retrieval::core::{EngineConfig, SearchEngineLab};
+use distributed_web_retrieval::crawler::sim::CrawlConfig;
+use distributed_web_retrieval::sim::{SECOND, HOUR};
+use distributed_web_retrieval::text::TermId;
+use distributed_web_retrieval::webgraph::generate::WebConfig;
+
+fn lab_cfg(seed: u64) -> EngineConfig {
+    let mut web = WebConfig::tiny();
+    web.num_pages = 800;
+    web.num_hosts = 40;
+    EngineConfig {
+        web,
+        crawl: CrawlConfig {
+            agents: 3,
+            connections_per_agent: 8,
+            politeness_delay: SECOND / 2,
+            ..CrawlConfig::default()
+        },
+        partitions: 4,
+        replicas: 2,
+        cache_capacity: 128,
+        query_universe: 300,
+        stream_horizon: HOUR / 4,
+        query_qps: 1.0,
+        seed,
+    }
+}
+
+#[test]
+fn full_lifecycle_is_deterministic_and_consistent() {
+    let lab1 = SearchEngineLab::build(lab_cfg(11));
+    let lab2 = SearchEngineLab::build(lab_cfg(11));
+
+    // Determinism across identical builds.
+    assert_eq!(lab1.crawl_report().fetched_pages, lab2.crawl_report().fetched_pages);
+    assert_eq!(lab1.index().sizes(), lab2.index().sizes());
+
+    // Consistency: indexed docs never exceed crawled pages.
+    let report = lab1.serve_stream();
+    assert!(report.indexed_docs as u64 <= report.crawl.fetched_pages);
+    assert_eq!(
+        report.serving.cache_hits + report.serving.full + report.serving.degraded,
+        report.queries_served
+    );
+}
+
+#[test]
+fn different_seeds_build_different_engines() {
+    let a = SearchEngineLab::build(lab_cfg(1));
+    let b = SearchEngineLab::build(lab_cfg(2));
+    assert_ne!(a.crawl_report().makespan, b.crawl_report().makespan);
+}
+
+#[test]
+fn search_results_live_in_the_corpus() {
+    let lab = SearchEngineLab::build(lab_cfg(3));
+    let q = lab.query_model().query(distributed_web_retrieval::querylog::model::QueryId(0));
+    let terms: Vec<TermId> = q.terms.iter().map(|t| TermId(t.0)).collect();
+    for hit in lab.search(&terms, 10) {
+        let doc = &lab.corpus()[hit.doc as usize];
+        // Every hit contains at least one query term.
+        assert!(
+            terms.iter().any(|t| doc.iter().any(|&(dt, _)| dt == *t)),
+            "doc {} matches no query term",
+            hit.doc
+        );
+    }
+}
+
+#[test]
+fn repeated_queries_hit_the_cache() {
+    let lab = SearchEngineLab::build(lab_cfg(4));
+    let report = lab.serve_stream();
+    assert!(report.cache_hit_ratio > 0.05, "hit ratio {}", report.cache_hit_ratio);
+}

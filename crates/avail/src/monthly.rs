@@ -10,11 +10,7 @@ use crate::site::{Site, SiteConfig};
 use dwr_sim::{SimRng, SimTime, DAY};
 
 /// Per-site, per-month availabilities: `result[site][month]`.
-pub fn monthly_availability(
-    configs: &[SiteConfig],
-    months: usize,
-    seed: u64,
-) -> Vec<Vec<f64>> {
+pub fn monthly_availability(configs: &[SiteConfig], months: usize, seed: u64) -> Vec<Vec<f64>> {
     assert!(months > 0 && !configs.is_empty());
     let month: SimTime = 30 * DAY;
     let horizon = month * months as u64;

@@ -53,9 +53,9 @@ impl Placement {
                         .collect()
                 })
                 .collect(),
-            PlacementStrategy::RoundRobin => (0..objects)
-                .map(|i| (0..r).map(|j| (i as u32 + j) % n).collect())
-                .collect(),
+            PlacementStrategy::RoundRobin => {
+                (0..objects).map(|i| (0..r).map(|j| (i as u32 + j) % n).collect()).collect()
+            }
             PlacementStrategy::BestSites => {
                 let mut order: Vec<u32> = (0..n).collect();
                 order.sort_by(|&a, &b| {
@@ -101,11 +101,7 @@ impl Placement {
         if self.sites_of.is_empty() {
             return 1.0;
         }
-        let ok = self
-            .sites_of
-            .iter()
-            .filter(|sites| sites.iter().any(|&s| up[s as usize]))
-            .count();
+        let ok = self.sites_of.iter().filter(|sites| sites.iter().any(|&s| up[s as usize])).count();
         ok as f64 / self.sites_of.len() as f64
     }
 
@@ -148,7 +144,9 @@ mod tests {
     #[test]
     fn overhead_equals_r() {
         let mut rng = SimRng::new(1);
-        for strat in [PlacementStrategy::Random, PlacementStrategy::RoundRobin, PlacementStrategy::BestSites] {
+        for strat in
+            [PlacementStrategy::Random, PlacementStrategy::RoundRobin, PlacementStrategy::BestSites]
+        {
             let p = Placement::new(strat, 100, 8, 3, &avail(8), &mut rng);
             assert!((p.storage_overhead() - 3.0).abs() < 1e-12, "{strat:?}");
         }

@@ -70,15 +70,17 @@ impl Site {
     /// Whether the site is up at time `t`.
     pub fn is_up(&self, t: SimTime) -> bool {
         // Binary search over ordered disjoint intervals.
-        self.downs.binary_search_by(|iv| {
-            if iv.end <= t {
-                std::cmp::Ordering::Less
-            } else if iv.start > t {
-                std::cmp::Ordering::Greater
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }).is_err()
+        self.downs
+            .binary_search_by(|iv| {
+                if iv.end <= t {
+                    std::cmp::Ordering::Less
+                } else if iv.start > t {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_err()
     }
 
     /// Availability over the window `[lo, hi)`.

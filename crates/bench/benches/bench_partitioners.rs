@@ -13,9 +13,8 @@ use dwr_text::index::build_index;
 fn bench_partitioners(c: &mut Criterion) {
     let f = Fixture::new(Scale::Small);
     let index = build_index(&f.corpus);
-    let workload = QueryWorkload {
-        queries: f.query_terms(256).into_iter().map(|q| (q, 1.0)).collect(),
-    };
+    let workload =
+        QueryWorkload { queries: f.query_terms(256).into_iter().map(|q| (q, 1.0)).collect() };
     let mut g = c.benchmark_group("partitioners");
     g.sample_size(10);
     g.bench_function("doc_random", |b| {

@@ -1,7 +1,8 @@
 //! Query-evaluation benchmarks: monolithic vs document-partitioned
-//! scatter-gather vs pipelined term-partitioned.
+//! scatter-gather vs pipelined term-partitioned, and sequential vs
+//! parallel scatter at increasing partition counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dwr_bench::{Fixture, Scale};
 use dwr_partition::doc::{DocPartitioner, RandomPartitioner};
 use dwr_partition::parted::PartitionedIndex;
@@ -29,9 +30,9 @@ fn bench_eval(c: &mut Criterion) {
             }
         })
     });
+    let broker = DocBroker::single_site(&pi);
     g.bench_function("doc_partitioned_8", |b| {
         b.iter(|| {
-            let mut broker = DocBroker::single_site(&pi);
             for q in &queries {
                 broker.query(q, 10);
             }
@@ -48,5 +49,41 @@ fn bench_eval(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_eval);
+/// Sequential vs parallel scatter-gather over the same partitioned
+/// index. Both paths produce bit-identical results; this group measures
+/// the wall-clock gap as partitions grow, at the corpus scale where
+/// partitioning is actually motivated (the Medium fixture). Parallel
+/// pays a fixed pool hand-off per partition, so its advantage appears
+/// once per-partition work dominates that overhead **and** the host has
+/// cores for the workers: on a single-hardware-thread machine the
+/// parallel numbers degenerate to sequential-plus-overhead, so read
+/// this comparison on a multi-core host.
+fn bench_scatter(c: &mut Criterion) {
+    let f = Fixture::new(Scale::Medium);
+    let queries = f.query_terms(32);
+    let mut g = c.benchmark_group("scatter_seq_vs_par");
+    for &parts in &[2usize, 4, 8] {
+        let assignment = RandomPartitioner { seed: 1 }.assign(&f.corpus, parts);
+        let pi = PartitionedIndex::build(&f.corpus, &assignment, parts);
+        let seq = DocBroker::single_site(&pi);
+        let par = DocBroker::single_site(&pi).parallel(parts);
+        g.bench_with_input(BenchmarkId::new("sequential", parts), &parts, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    seq.query(q, 50);
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", parts), &parts, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    par.query(q, 50);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_scatter);
 criterion_main!(benches);

@@ -7,15 +7,9 @@ use dwr_queueing::mmc::MMc;
 
 fn bench_models(c: &mut Criterion) {
     let mut g = c.benchmark_group("queueing");
-    g.bench_function("erlang_c_150", |b| {
-        b.iter(|| MMc::new(10_000.0, 100.0, 150).prob_wait())
-    });
-    g.bench_function("fig6_curve", |b| {
-        b.iter(|| GgcModel::capacity_curve(150, 0.001, 0.1, 100))
-    });
-    g.bench_function("engine_sizing", |b| {
-        b.iter(|| EngineModel::default_2007().evaluate())
-    });
+    g.bench_function("erlang_c_150", |b| b.iter(|| MMc::new(10_000.0, 100.0, 150).prob_wait()));
+    g.bench_function("fig6_curve", |b| b.iter(|| GgcModel::capacity_curve(150, 0.001, 0.1, 100)));
+    g.bench_function("engine_sizing", |b| b.iter(|| EngineModel::default_2007().evaluate()));
     g.finish();
 }
 

@@ -14,8 +14,8 @@ use dwr_bench::{Fixture, Scale, SEED};
 use dwr_partition::doc::{DocPartitioner, RandomPartitioner};
 use dwr_partition::parted::PartitionedIndex;
 use dwr_partition::term::{
-    evaluate_term_partition, BinPackingTermPartitioner, CoOccurrenceTermPartitioner,
-    QueryWorkload, RandomTermPartitioner, TermPartitioner,
+    evaluate_term_partition, BinPackingTermPartitioner, CoOccurrenceTermPartitioner, QueryWorkload,
+    RandomTermPartitioner, TermPartitioner,
 };
 use dwr_query::broker::DocBroker;
 use dwr_query::pipeline::PipelinedTermEngine;
@@ -83,7 +83,7 @@ fn main() {
 
     let assignment = RandomPartitioner { seed: SEED }.assign(&f.corpus, SERVERS);
     let pi = PartitionedIndex::build(&f.corpus, &assignment, SERVERS);
-    let mut broker = DocBroker::single_site(&pi);
+    let broker = DocBroker::single_site(&pi);
     for q in &stream {
         broker.query(q, 10);
     }
@@ -106,7 +106,10 @@ fn main() {
 
     for (name, assignment) in [
         ("term pipelined (random)", RandomTermPartitioner.assign(&global, &workload, SERVERS)),
-        ("term pipelined (bin-pack)", BinPackingTermPartitioner.assign(&global, &workload, SERVERS)),
+        (
+            "term pipelined (bin-pack)",
+            BinPackingTermPartitioner.assign(&global, &workload, SERVERS),
+        ),
     ] {
         let mut eng = PipelinedTermEngine::single_site(&global, assignment, SERVERS);
         for q in &stream {

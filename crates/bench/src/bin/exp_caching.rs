@@ -23,9 +23,7 @@ fn main() {
     let f = Fixture::new(Scale::Medium);
 
     // A day of drifting traffic: topic mixture reverses over the day.
-    let weights: Vec<f64> = (1..=f.content.num_topics())
-        .map(|r| f64::from(r).powf(-1.0))
-        .collect();
+    let weights: Vec<f64> = (1..=f.content.num_topics()).map(|r| f64::from(r).powf(-1.0)).collect();
     let drift = TopicDrift::reversal(&weights, DAY);
     let profiles = vec![DiurnalProfile { mean_qps: 2.0, amplitude: 0.6, phase: 0.0 }];
     let log = QueryLog::generate(&f.queries, &profiles, DAY, Some(&drift), SEED ^ 0xCAC4E);
@@ -55,13 +53,8 @@ fn main() {
     let run = |cache: &mut dyn ResultCache| -> f64 {
         // Warm on train, measure on test.
         for rec in train.records().iter().chain(test.records()) {
-            let terms: Vec<dwr_text::TermId> = f
-                .queries
-                .query(rec.query)
-                .terms
-                .iter()
-                .map(|t| dwr_text::TermId(t.0))
-                .collect();
+            let terms: Vec<dwr_text::TermId> =
+                f.queries.query(rec.query).terms.iter().map(|t| dwr_text::TermId(t.0)).collect();
             let key = query_key(&terms);
             if cache.get(key).is_none() {
                 cache.put(key, Vec::new());
@@ -80,7 +73,7 @@ fn main() {
     println!("\n(b) caches as fault tolerance: full backend outage mid-stream");
     let assignment = RandomPartitioner { seed: SEED }.assign(&f.corpus, 4);
     let pi = PartitionedIndex::build(&f.corpus, &assignment, 4);
-    let mut engine = DistributedEngine::new(&pi, LruCache::new(2048), 1);
+    let engine = DistributedEngine::new(&pi, LruCache::new(2048), 1);
     let mut answered_during_outage = 0u64;
     let mut failed_during_outage = 0u64;
     let records = test.records();

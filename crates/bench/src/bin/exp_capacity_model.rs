@@ -54,10 +54,7 @@ fn main() {
     }
 
     println!("\n(c) RAM-per-machine trade-off (fatter machines = fewer, slower partitions):");
-    println!(
-        "  {:>10} {:>10} {:>12} {:>12}",
-        "GB/machine", "parts", "svc (ms)", "resp (ms)"
-    );
+    println!("  {:>10} {:>10} {:>12} {:>12}", "GB/machine", "parts", "svc (ms)", "resp (ms)");
     for gb in [4.0, 8.0, 32.0, 128.0] {
         let m = EngineModel { ram_per_machine: gb * 1e9, ..base };
         if let Some(s) = m.evaluate() {

@@ -43,10 +43,11 @@ fn main() {
             .map(|(&q, &c)| {
                 let terms: Vec<dwr_text::TermId> =
                     f.queries.query(q).terms.iter().map(|t| dwr_text::TermId(t.0)).collect();
-                let docs: Vec<u32> = search_or(&reference, &terms, TOPK, &Bm25::default(), &reference)
-                    .into_iter()
-                    .map(|h| h.doc.0)
-                    .collect();
+                let docs: Vec<u32> =
+                    search_or(&reference, &terms, TOPK, &Bm25::default(), &reference)
+                        .into_iter()
+                        .map(|h| h.doc.0)
+                        .collect();
                 (terms, c as f64, docs)
             })
             .collect(),
@@ -81,10 +82,7 @@ fn main() {
     let rnd_cori = CoriSelector::from_partitions(&rnd_pi);
 
     println!("recall of the global top-{TOPK} when querying the best m partitions:");
-    println!(
-        "  {:<30} {:>7} {:>7} {:>7} {:>7}",
-        "system", "m=1", "m=2", "m=4", "m=8"
-    );
+    println!("  {:<30} {:>7} {:>7} {:>7} {:>7}", "system", "m=1", "m=2", "m=4", "m=8");
     let qd_cori = CoriSelector::from_partitions(&qd_pi);
     let rows: Vec<(&str, Vec<f64>)> = vec![
         (

@@ -63,10 +63,7 @@ fn main() {
     crash_cfg.crash = Some((AgentId(3), baseline.makespan / 4));
     let crashed =
         DistributedCrawl::new(&web, ConsistentHashAssigner::new(8, 128), crash_cfg, SEED).run();
-    println!(
-        "  {:<22} {:>10} {:>12} {:>12}",
-        "", "coverage", "duplicates", "makespan(h)"
-    );
+    println!("  {:<22} {:>10} {:>12} {:>12}", "", "coverage", "duplicates", "makespan(h)");
     println!(
         "  {:<22} {:>9.1}% {:>12} {:>12.2}",
         "no crash",

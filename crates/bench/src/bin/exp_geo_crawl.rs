@@ -34,8 +34,7 @@ fn main() {
     };
 
     let hash = DistributedCrawl::new(&web, HashAssigner::new(6), base.clone(), SEED).run();
-    let geo =
-        DistributedCrawl::new(&web, GeoAssigner::new(&agent_regions), base, SEED).run();
+    let geo = DistributedCrawl::new(&web, GeoAssigner::new(&agent_regions), base, SEED).run();
 
     println!(
         "  {:<18} {:>10} {:>12} {:>14} {:>12}",
@@ -51,10 +50,7 @@ fn main() {
             r.exchange.messages
         );
     }
-    println!(
-        "\nmakespan ratio hash/geo: {:.2}x",
-        hash.makespan as f64 / geo.makespan as f64
-    );
+    println!("\nmakespan ratio hash/geo: {:.2}x", hash.makespan as f64 / geo.makespan as f64);
     println!("\npaper shape: geographic assignment removes the cross-region fetch penalty");
     println!("from (almost) every download, finishing the crawl faster for the same");
     println!("politeness and coverage — the optimization problem of [13].");

@@ -58,12 +58,7 @@ fn main() {
     println!("  {:>10} {:>14}", "deadline", "completeness");
     for (i, &d) in deadlines.iter().enumerate() {
         let c = acc[i] / queries as f64;
-        println!(
-            "  {:>8}ms {:>13.1}%  |{}",
-            d / MILLISECOND,
-            100.0 * c,
-            bar(c, 1.0, 40)
-        );
+        println!("  {:>8}ms {:>13.1}%  |{}", d / MILLISECOND, 100.0 * c, bar(c, 1.0, 40));
     }
     println!("\npaper shape: roughly half the final answer is available at LAN latency;");
     println!("the tail waits for the WAN partitions — the case for serving incrementally.");

@@ -60,10 +60,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" ")
     };
-    println!(
-        "  {:>12} {:>12} {:>12} {:>14}",
-        "text length", "clean acc", "typo acc", "abs margin"
-    );
+    println!("  {:>12} {:>12} {:>12} {:>14}", "text length", "clean acc", "typo acc", "abs margin");
     for take in [usize::MAX, 4, 2, 1] {
         let mut clean = 0u32;
         let mut noisy = 0u32;
@@ -85,7 +82,8 @@ fn main() {
             ds.sort_unstable();
             margin_acc += (ds[1] - ds[0]) as f64;
         }
-        let label = if take == usize::MAX { "sentence".to_owned() } else { format!("{take} words") };
+        let label =
+            if take == usize::MAX { "sentence".to_owned() } else { format!("{take} words") };
         println!(
             "  {:>12} {:>11.0}% {:>11.0}% {:>14.0}",
             label,
@@ -107,13 +105,7 @@ fn main() {
         let (best, dists) = id.classify(text).expect("registered");
         let mut ds: Vec<(&str, u64)> = dists.clone();
         ds.sort_by_key(|&(_, d)| d);
-        println!(
-            "  {:<20} -> {}  (margin {} over {})",
-            label,
-            best,
-            ds[1].1 - ds[0].1,
-            ds[1].0
-        );
+        println!("  {:<20} -> {}  (margin {} over {})", label, best, ds[1].1 - ds[0].1, ds[1].0);
     }
     println!("\npaper shape: sentences classify reliably even with typos; the decision");
     println!("margin shrinks with text length, so short noisy queries start misrouting —");

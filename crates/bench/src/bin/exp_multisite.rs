@@ -49,20 +49,14 @@ fn main() {
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!("\n(b) summary:");
-    println!(
-        "  {:<24} {:>12} {:>12}",
-        "", "nearest", "load-aware"
-    );
+    println!("  {:<24} {:>12} {:>12}", "", "nearest", "load-aware");
     println!(
         "  {:<24} {:>11.0}% {:>11.0}%",
         "peak site utilization",
         100.0 * near.peak_utilization(),
         100.0 * aware.peak_utilization()
     );
-    println!(
-        "  {:<24} {:>12} {:>12}",
-        "queries rerouted", near.rerouted, aware.rerouted
-    );
+    println!("  {:<24} {:>12} {:>12}", "queries rerouted", near.rerouted, aware.rerouted);
     println!(
         "  {:<24} {:>12} {:>12}",
         "overloaded-hour queries", near.overloaded, aware.overloaded

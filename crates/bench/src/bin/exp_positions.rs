@@ -27,10 +27,8 @@ fn main() {
         .map(|(d, tf)| {
             // Reconstruct a token stream consistent with the tf vector by
             // interleaving occurrences pseudo-randomly.
-            let mut stream: Vec<u32> = tf
-                .iter()
-                .flat_map(|&(t, c)| std::iter::repeat_n(t.0, c as usize))
-                .collect();
+            let mut stream: Vec<u32> =
+                tf.iter().flat_map(|&(t, c)| std::iter::repeat_n(t.0, c as usize)).collect();
             let mut doc_rng = rng.fork(d as u64);
             doc_rng.shuffle(&mut stream);
             stream

@@ -43,10 +43,7 @@ fn main() {
     }
 
     println!("\n(b) user-state quorum availability (per-replica availability 0.9):");
-    println!(
-        "  {:<12} {:>10} {:>10} {:>10}",
-        "replicas", "read-one", "majority", "write-all"
-    );
+    println!("  {:<12} {:>10} {:>10} {:>10}", "replicas", "read-one", "majority", "write-all");
     for n in [1u32, 3, 5, 7] {
         println!(
             "  {:<12} {:>9.3}% {:>9.3}% {:>9.3}%",

@@ -34,8 +34,7 @@ fn main() {
             bar(static_alloc.max_utilization[h], 2.0, 24)
         );
     }
-    let max_stranded =
-        static_alloc.stranded_capacity.iter().copied().fold(0.0, f64::max);
+    let max_stranded = static_alloc.stranded_capacity.iter().copied().fold(0.0, f64::max);
     println!("\nsummary:");
     println!(
         "  static allocation:   peak utilization {:>4.0}%, up to {:>2.0}% of capacity stranded",

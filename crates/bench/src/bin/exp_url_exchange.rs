@@ -62,7 +62,11 @@ fn main() {
         }
         println!(
             "  {:>9} {:>12} {:>12} {:>12} {:>9.1}%",
-            k, r.exchange.sent_urls, r.exchange.suppressed, r.exchange.bytes, 100.0 * r.coverage
+            k,
+            r.exchange.sent_urls,
+            r.exchange.suppressed,
+            r.exchange.bytes,
+            100.0 * r.coverage
         );
     }
     println!("\npaper shape: traffic falls monotonically with locality and with the");

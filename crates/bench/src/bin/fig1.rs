@@ -28,7 +28,9 @@ fn main() {
     let k = 3;
 
     println!("Figure 1. The two different types of partitioning of the term-document matrix.");
-    println!("(matrix cells: '1' = term occurs in document; partitions shown as | and - separators)\n");
+    println!(
+        "(matrix cells: '1' = term occurs in document; partitions shown as | and - separators)\n"
+    );
 
     // Document partitioning: horizontal slices.
     let doc_assign = RoundRobinPartitioner.assign(&corpus, k);
@@ -53,9 +55,7 @@ fn main() {
 
     // Term partitioning: vertical slices.
     let index = build_index(&corpus);
-    let workload = QueryWorkload {
-        queries: (0..terms).map(|t| (vec![TermId(t)], 1.0)).collect(),
-    };
+    let workload = QueryWorkload { queries: (0..terms).map(|t| (vec![TermId(t)], 1.0)).collect() };
     let term_assign = BinPackingTermPartitioner.assign(&index, &workload, k);
     println!("\nTerm partitioning (vertical slices of T x D):");
     let mut term_order: Vec<u32> = (0..terms).collect();
@@ -64,7 +64,10 @@ fn main() {
     for &t in &term_order {
         print!("t{t} ");
     }
-    println!("\n        {}", term_order.iter().map(|&t| format!("p{} ", term_assign[&t])).collect::<String>());
+    println!(
+        "\n        {}",
+        term_order.iter().map(|&t| format!("p{} ", term_assign[&t])).collect::<String>()
+    );
     for (d, doc) in corpus.iter().enumerate() {
         print!("  d{d:02}   ");
         for &t in &term_order {

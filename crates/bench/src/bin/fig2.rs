@@ -42,7 +42,7 @@ fn main() {
     // --- Document-partitioned system. ---
     let assignment = RandomPartitioner { seed: SEED }.assign(&f.corpus, SERVERS);
     let pi = PartitionedIndex::build(&f.corpus, &assignment, SERVERS);
-    let mut doc_broker = DocBroker::single_site(&pi);
+    let doc_broker = DocBroker::single_site(&pi);
     for terms in &stream {
         doc_broker.query(terms, 10);
     }
@@ -51,9 +51,7 @@ fn main() {
     // --- Pipelined term-partitioned system (random term assignment, as in
     // the figure's source, which predates the bin-packing fix). ---
     let global = build_index(&f.corpus);
-    let workload = QueryWorkload {
-        queries: stream.iter().map(|t| (t.clone(), 1.0)).collect(),
-    };
+    let workload = QueryWorkload { queries: stream.iter().map(|t| (t.clone(), 1.0)).collect() };
     let term_assign = RandomTermPartitioner.assign(&global, &workload, SERVERS);
     let mut pipe = PipelinedTermEngine::single_site(&global, term_assign, SERVERS);
     for terms in &stream {

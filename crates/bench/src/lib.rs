@@ -78,11 +78,7 @@ impl Fixture {
 /// Format a bar of width proportional to `value / max` (for terminal
 /// "figures").
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    let filled = if max > 0.0 {
-        ((value / max) * width as f64).round() as usize
-    } else {
-        0
-    };
+    let filled = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
     let mut s = String::with_capacity(width);
     for i in 0..width {
         s.push(if i < filled.min(width) { '#' } else { ' ' });

@@ -60,6 +60,25 @@ impl Default for EngineConfig {
     }
 }
 
+/// How a query stream is driven through the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Worker threads for per-query parallel scatter-gather inside the
+    /// broker (`None` = evaluate partitions sequentially). Either way
+    /// the results and simulated latencies are identical.
+    pub scatter_threads: Option<usize>,
+    /// Client threads driving the shared engine concurrently. With one
+    /// client the stream is replayed in log order (deterministic cache
+    /// behaviour); with more, clients split the log and race.
+    pub clients: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions { scatter_threads: None, clients: 1 }
+    }
+}
+
 /// Report of an end-to-end run.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
@@ -73,6 +92,10 @@ pub struct EngineReport {
     pub cache_hit_ratio: f64,
     /// Queries in the stream.
     pub queries_served: u64,
+    /// Queries that reached the backend (cache misses that evaluated).
+    pub backend_queries: u64,
+    /// Mean simulated backend latency (µs) over `backend_queries`.
+    pub backend_latency_mean_us: f64,
 }
 
 /// The assembled laboratory.
@@ -99,8 +122,7 @@ impl SearchEngineLab {
 
         // Crawl.
         let assigner = ConsistentHashAssigner::new(cfg.crawl.agents, 64);
-        let crawl_report =
-            DistributedCrawl::new(&web, assigner, cfg.crawl.clone(), cfg.seed).run();
+        let crawl_report = DistributedCrawl::new(&web, assigner, cfg.crawl.clone(), cfg.seed).run();
 
         // Corpus of *crawled* pages; uncrawled pages are empty docs.
         // Re-run the crawl cheaply is not possible (report only), so we
@@ -161,18 +183,25 @@ impl SearchEngineLab {
 
     /// Answer a single ad-hoc query (no cache), top-k global hits.
     pub fn search(&self, terms: &[TermId], k: usize) -> Vec<GlobalHit> {
-        let mut broker = dwr_query::broker::DocBroker::single_site(&self.index);
+        let broker = dwr_query::broker::DocBroker::single_site(&self.index);
         broker.query(terms, k).hits
     }
 
     /// Serve a realistic query stream through the full engine (cache +
-    /// replicated partitions) and report.
+    /// replicated partitions) and report. Sequential drive, sequential
+    /// scatter — the deterministic baseline.
     pub fn serve_stream(&self) -> EngineReport {
-        let profiles = vec![DiurnalProfile {
-            mean_qps: self.cfg.query_qps,
-            amplitude: 0.6,
-            phase: 0.0,
-        }];
+        self.serve_stream_with(StreamOptions::default())
+    }
+
+    /// Serve the query stream with explicit concurrency options: a
+    /// worker pool for per-query scatter-gather, and/or multiple client
+    /// threads sharing one engine. The engine is `Send + Sync`, so the
+    /// clients drive it through a plain shared reference.
+    pub fn serve_stream_with(&self, opts: StreamOptions) -> EngineReport {
+        assert!(opts.clients >= 1, "at least one client");
+        let profiles =
+            vec![DiurnalProfile { mean_qps: self.cfg.query_qps, amplitude: 0.6, phase: 0.0 }];
         let log = QueryLog::generate(
             &self.query_model,
             &profiles,
@@ -180,15 +209,66 @@ impl SearchEngineLab {
             None,
             self.cfg.seed ^ 0xBEEF,
         );
+        // Resolve term vectors up front: shared read-only input for the
+        // client threads.
+        let stream: Vec<Vec<TermId>> = log
+            .records()
+            .iter()
+            .map(|rec| {
+                let q = self.query_model.query(rec.query);
+                q.terms.iter().map(|t| TermId(t.0)).collect()
+            })
+            .collect();
         let cache = LruCache::new(self.cfg.cache_capacity);
         let mut engine = DistributedEngine::new(&self.index, cache, self.cfg.replicas);
+        if let Some(threads) = opts.scatter_threads {
+            engine = engine.with_parallelism(threads);
+        }
+        let engine = &engine;
+
         let mut served = 0u64;
-        for rec in log.records() {
-            let q = self.query_model.query(rec.query);
-            let terms: Vec<TermId> = q.terms.iter().map(|t| TermId(t.0)).collect();
-            let (_, outcome) = engine.query(&terms, 10);
-            debug_assert!(!matches!(outcome, Served::Failed));
-            served += 1;
+        let mut backend_queries = 0u64;
+        let mut latency_sum = 0u128;
+        if opts.clients == 1 {
+            for terms in &stream {
+                let r = engine.query_full(terms, 10);
+                debug_assert!(!matches!(r.served, Served::Failed));
+                served += 1;
+                if let Some(l) = r.latency {
+                    backend_queries += 1;
+                    latency_sum += u128::from(l);
+                }
+            }
+        } else {
+            let chunk = stream.len().div_ceil(opts.clients);
+            let per_client: Vec<(u64, u64, u128)> = std::thread::scope(|s| {
+                let handles: Vec<_> = stream
+                    .chunks(chunk.max(1))
+                    .map(|slice| {
+                        s.spawn(move || {
+                            let mut served = 0u64;
+                            let mut backend = 0u64;
+                            let mut lat = 0u128;
+                            for terms in slice {
+                                let r = engine.query_full(terms, 10);
+                                debug_assert!(!matches!(r.served, Served::Failed));
+                                served += 1;
+                                if let Some(l) = r.latency {
+                                    backend += 1;
+                                    lat += u128::from(l);
+                                }
+                            }
+                            (served, backend, lat)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+            });
+            for (s, b, l) in per_client {
+                served += s;
+                backend_queries += b;
+                latency_sum += l;
+            }
         }
         EngineReport {
             crawl: self.crawl_report.clone(),
@@ -196,6 +276,12 @@ impl SearchEngineLab {
             serving: engine.stats(),
             cache_hit_ratio: engine.cache_stats().hit_ratio(),
             queries_served: served,
+            backend_queries,
+            backend_latency_mean_us: if backend_queries == 0 {
+                0.0
+            } else {
+                latency_sum as f64 / backend_queries as f64
+            },
         }
     }
 }
@@ -257,5 +343,31 @@ mod tests {
         let b = SearchEngineLab::build(small_cfg());
         assert_eq!(a.crawl_report().fetched_pages, b.crawl_report().fetched_pages);
         assert_eq!(a.index().sizes(), b.index().sizes());
+    }
+
+    #[test]
+    fn parallel_scatter_stream_matches_sequential() {
+        let lab = SearchEngineLab::build(small_cfg());
+        let seq = lab.serve_stream();
+        let par = lab.serve_stream_with(StreamOptions { scatter_threads: Some(4), clients: 1 });
+        assert_eq!(seq.queries_served, par.queries_served);
+        assert_eq!(seq.serving, par.serving);
+        assert_eq!(seq.backend_queries, par.backend_queries);
+        assert_eq!(seq.backend_latency_mean_us, par.backend_latency_mean_us);
+        assert_eq!(seq.cache_hit_ratio, par.cache_hit_ratio);
+    }
+
+    #[test]
+    fn concurrent_clients_serve_the_whole_stream() {
+        let lab = SearchEngineLab::build(small_cfg());
+        let baseline = lab.serve_stream();
+        let report = lab.serve_stream_with(StreamOptions { scatter_threads: None, clients: 4 });
+        assert_eq!(report.queries_served, baseline.queries_served);
+        // Every query is accounted exactly once across the shared engine.
+        let s = report.serving;
+        assert_eq!(s.full + s.cache_hits + s.degraded + s.stale, report.queries_served);
+        assert_eq!(s.failed, 0);
+        assert!(report.backend_queries > 0);
+        assert!(report.backend_latency_mean_us > 0.0);
     }
 }

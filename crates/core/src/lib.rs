@@ -15,5 +15,5 @@
 pub mod engine;
 pub mod taxonomy;
 
-pub use engine::{EngineConfig, EngineReport, SearchEngineLab};
+pub use engine::{EngineConfig, EngineReport, SearchEngineLab, StreamOptions};
 pub use taxonomy::{taxonomy, Issue, Module, TaxonomyEntry};

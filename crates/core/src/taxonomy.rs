@@ -151,7 +151,8 @@ pub fn taxonomy() -> Vec<TaxonomyEntry> {
             module: Querying,
             issue: Partitioning,
             topics: vec!["Query routing", "Collection selection", "Load balancing"],
-            implemented_in: "dwr-query::{broker, site, routing, arch}, dwr-partition::select, dwr-text::langid",
+            implemented_in:
+                "dwr-query::{broker, site, routing, arch}, dwr-partition::select, dwr-text::langid",
         },
         TaxonomyEntry {
             module: Querying,
@@ -183,11 +184,7 @@ pub fn render_table1() -> String {
     for module in Module::all() {
         out.push_str(&format!("{} (Sec. {})\n", module.name(), module.section()));
         for entry in taxonomy().iter().filter(|e| e.module == module) {
-            out.push_str(&format!(
-                "  {:<34} {}\n",
-                entry.issue.name(),
-                entry.topics.join(", ")
-            ));
+            out.push_str(&format!("  {:<34} {}\n", entry.issue.name(), entry.topics.join(", ")));
             out.push_str(&format!("  {:<34}   -> {}\n", "", entry.implemented_in));
         }
         out.push('\n');
@@ -225,11 +222,7 @@ mod tests {
     fn paper_cells_spot_checked() {
         let t = taxonomy();
         let cell = |m, i| {
-            t.iter()
-                .find(|e| e.module == m && e.issue == i)
-                .expect("cell exists")
-                .topics
-                .clone()
+            t.iter().find(|e| e.module == m && e.issue == i).expect("cell exists").topics.clone()
         };
         assert_eq!(cell(Module::Crawling, Issue::Partitioning), vec!["URL assignment"]);
         assert_eq!(

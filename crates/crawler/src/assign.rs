@@ -156,6 +156,9 @@ impl UrlAssigner for ConsistentHashAssigner {
 pub struct GeoAssigner {
     /// `region_agents[r]` = agents located in region `r`.
     region_agents: Vec<Vec<AgentId>>,
+    /// Home region of every agent ever seen, surviving removal — so a
+    /// recovered agent rejoins its old region.
+    region_of: BTreeMap<AgentId, u16>,
     all: Vec<AgentId>,
 }
 
@@ -166,12 +169,39 @@ impl GeoAssigner {
         assert!(!agent_regions.is_empty());
         let regions = usize::from(*agent_regions.iter().max().expect("non-empty")) + 1;
         let mut region_agents = vec![Vec::new(); regions];
+        let mut region_of = BTreeMap::new();
         let mut all = Vec::with_capacity(agent_regions.len());
         for (a, &r) in agent_regions.iter().enumerate() {
             region_agents[usize::from(r)].push(AgentId(a as u32));
+            region_of.insert(AgentId(a as u32), r);
             all.push(AgentId(a as u32));
         }
-        GeoAssigner { region_agents, all }
+        GeoAssigner { region_agents, region_of, all }
+    }
+
+    /// Add `agent` to `region` (new agent, or relocate a known one).
+    pub fn add_agent_in_region(&mut self, agent: AgentId, region: u16) {
+        if let Some(&old) = self.region_of.get(&agent) {
+            if self.all.contains(&agent) && old == region {
+                return;
+            }
+            self.region_agents[usize::from(old)].retain(|&a| a != agent);
+        }
+        if usize::from(region) >= self.region_agents.len() {
+            self.region_agents.resize(usize::from(region) + 1, Vec::new());
+        }
+        self.region_agents[usize::from(region)].push(agent);
+        self.region_agents[usize::from(region)].sort_unstable();
+        self.region_of.insert(agent, region);
+        if !self.all.contains(&agent) {
+            self.all.push(agent);
+            self.all.sort_unstable();
+        }
+    }
+
+    /// The home region of `agent`, if it has ever been placed.
+    pub fn region_of(&self, agent: AgentId) -> Option<u16> {
+        self.region_of.get(&agent).copied()
     }
 }
 
@@ -179,11 +209,7 @@ impl UrlAssigner for GeoAssigner {
     fn agent_for(&self, host: HostId, web: &SyntheticWeb) -> AgentId {
         let region = usize::from(web.host(host).region);
         let h = hash_name(&web.host(host).name);
-        let pool = self
-            .region_agents
-            .get(region)
-            .filter(|p| !p.is_empty())
-            .unwrap_or(&self.all);
+        let pool = self.region_agents.get(region).filter(|p| !p.is_empty()).unwrap_or(&self.all);
         pool[(h % pool.len() as u64) as usize]
     }
     fn agents(&self) -> Vec<AgentId> {
@@ -196,8 +222,20 @@ impl UrlAssigner for GeoAssigner {
         self.all.retain(|&a| a != agent);
         assert!(!self.all.is_empty(), "last agent removed");
     }
-    fn add_agent(&mut self, _agent: AgentId) {
-        unimplemented!("GeoAssigner needs the agent's region; rebuild instead")
+    /// Add a (new or recovered) agent. A previously seen agent rejoins
+    /// its remembered home region; an agent never seen before joins the
+    /// global fallback pool only (it serves hosts of agent-less regions)
+    /// until [`GeoAssigner::add_agent_in_region`] places it.
+    fn add_agent(&mut self, agent: AgentId) {
+        if self.all.contains(&agent) {
+            return;
+        }
+        if let Some(&region) = self.region_of.get(&agent) {
+            self.add_agent_in_region(agent, region);
+        } else {
+            self.all.push(agent);
+            self.all.sort_unstable();
+        }
     }
 }
 
@@ -211,7 +249,10 @@ pub struct AssignmentLoad {
 }
 
 /// Measure the host/page balance of an assigner over a web.
-pub fn assignment_load<A: UrlAssigner + ?Sized>(assigner: &A, web: &SyntheticWeb) -> AssignmentLoad {
+pub fn assignment_load<A: UrlAssigner + ?Sized>(
+    assigner: &A,
+    web: &SyntheticWeb,
+) -> AssignmentLoad {
     let agents = assigner.agents();
     let index: std::collections::HashMap<AgentId, usize> =
         agents.iter().enumerate().map(|(i, &a)| (a, i)).collect();
@@ -233,10 +274,8 @@ pub fn movement_fraction<A: UrlAssigner + ?Sized, B: UrlAssigner + ?Sized>(
     after: &B,
     web: &SyntheticWeb,
 ) -> f64 {
-    let moved = web
-        .host_ids()
-        .filter(|&h| before.agent_for(h, web) != after.agent_for(h, web))
-        .count();
+    let moved =
+        web.host_ids().filter(|&h| before.agent_for(h, web) != after.agent_for(h, web)).count();
     moved as f64 / web.num_hosts() as f64
 }
 
@@ -367,5 +406,66 @@ mod tests {
     fn cannot_remove_last_agent() {
         let mut a = HashAssigner::new(1);
         a.remove_agent(AgentId(0));
+    }
+
+    #[test]
+    fn geo_recovered_agent_rejoins_its_region() {
+        let web = web();
+        let original = GeoAssigner::new(&[0, 0, 1, 1]);
+        let mut geo = original.clone();
+        geo.remove_agent(AgentId(2));
+        geo.add_agent(AgentId(2)); // recovery: no panic, back to region 1
+        assert_eq!(geo.region_of(AgentId(2)), Some(1));
+        assert_eq!(geo.agents(), original.agents());
+        // Assignment is exactly what it was before the crash.
+        assert_eq!(movement_fraction(&original, &geo, &web), 0.0);
+    }
+
+    #[test]
+    fn geo_unknown_agent_joins_fallback_pool() {
+        let web = web();
+        let mut geo = GeoAssigner::new(&[0, 0, 1]);
+        geo.add_agent(AgentId(9)); // never seen, region unknown: no panic
+        assert!(geo.agents().contains(&AgentId(9)));
+        assert_eq!(geo.region_of(AgentId(9)), None);
+        // Hosts in regions that still have agents are unaffected...
+        for h in web.host_ids() {
+            assert_ne!(geo.agent_for(h, &web), AgentId(9));
+        }
+        // ...but once its region empties, the fallback pool (which now
+        // includes agent 9) serves those hosts.
+        geo.remove_agent(AgentId(2));
+        let serves_fallback = web.host_ids().any(|h| geo.agent_for(h, &web) == AgentId(9));
+        assert!(serves_fallback || web.host_ids().all(|h| web.host(h).region == 0));
+    }
+
+    #[test]
+    fn geo_add_agent_in_region_places_and_relocates() {
+        let web = web();
+        let mut geo = GeoAssigner::new(&[0, 0, 1]);
+        geo.add_agent_in_region(AgentId(3), 1);
+        assert_eq!(geo.region_of(AgentId(3)), Some(1));
+        for h in web.host_ids() {
+            let a = geo.agent_for(h, &web);
+            let region = web.host(h).region;
+            if a == AgentId(3) {
+                assert_eq!(region, 1);
+            }
+        }
+        // Relocation to a brand-new region grows the region table.
+        geo.add_agent_in_region(AgentId(3), 5);
+        assert_eq!(geo.region_of(AgentId(3)), Some(5));
+        // Idempotent re-add in the same region.
+        geo.add_agent_in_region(AgentId(3), 5);
+        assert_eq!(geo.agents().iter().filter(|a| a.0 == 3).count(), 1);
+    }
+
+    #[test]
+    fn geo_add_agent_is_idempotent_for_live_agents() {
+        let original = GeoAssigner::new(&[0, 1]);
+        let mut geo = original.clone();
+        geo.add_agent(AgentId(0));
+        geo.add_agent(AgentId(1));
+        assert_eq!(geo.agents(), original.agents());
     }
 }

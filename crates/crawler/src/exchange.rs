@@ -46,7 +46,12 @@ impl ExchangeBuffers {
     /// `known` is the shared most-cited set (may be empty).
     pub fn new(batch_size: usize, known: HashSet<PageId>) -> Self {
         assert!(batch_size > 0);
-        ExchangeBuffers { buffers: HashMap::new(), batch_size, known, stats: ExchangeStats::default() }
+        ExchangeBuffers {
+            buffers: HashMap::new(),
+            batch_size,
+            known,
+            stats: ExchangeStats::default(),
+        }
     }
 
     /// Offer a URL destined for `to`. Returns a full batch if the buffer
@@ -82,17 +87,10 @@ impl ExchangeBuffers {
     /// Flush everything, returning `(destination, batch)` pairs in
     /// destination order (deterministic).
     pub fn flush_all(&mut self) -> Vec<(AgentId, Vec<PageId>)> {
-        let mut dests: Vec<AgentId> = self
-            .buffers
-            .iter()
-            .filter(|(_, b)| !b.is_empty())
-            .map(|(&d, _)| d)
-            .collect();
+        let mut dests: Vec<AgentId> =
+            self.buffers.iter().filter(|(_, b)| !b.is_empty()).map(|(&d, _)| d).collect();
         dests.sort_unstable();
-        dests
-            .into_iter()
-            .filter_map(|d| self.flush(d).map(|b| (d, b)))
-            .collect()
+        dests.into_iter().filter_map(|d| self.flush(d).map(|b| (d, b))).collect()
     }
 
     /// Move all buffered URLs addressed to `from` into unrouted output

@@ -95,8 +95,8 @@ impl Frontier {
                 return Err(None);
             };
             // Stale heap entries (host emptied or became busy) are skipped.
-            let valid = !self.busy.contains(&host)
-                && self.queues.get(&host).is_some_and(|q| !q.is_empty());
+            let valid =
+                !self.busy.contains(&host) && self.queues.get(&host).is_some_and(|q| !q.is_empty());
             if !valid {
                 self.ready.pop();
                 continue;

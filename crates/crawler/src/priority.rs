@@ -104,8 +104,8 @@ impl PriorityFrontier {
                 return Err(None);
             };
             let host = HostId(host_raw);
-            let valid = !self.busy.contains(&host)
-                && self.queues.get(&host).is_some_and(|q| !q.is_empty());
+            let valid =
+                !self.busy.contains(&host) && self.queues.get(&host).is_some_and(|q| !q.is_empty());
             if !valid {
                 self.ready.pop();
                 continue;
@@ -209,12 +209,9 @@ pub fn evaluate_crawl_ordering(
         ids
     };
     let mean_hot_position = |order: &[PageId]| -> f64 {
-        let pos: HashMap<u32, usize> =
-            order.iter().enumerate().map(|(i, p)| (p.0, i)).collect();
+        let pos: HashMap<u32, usize> = order.iter().enumerate().map(|(i, p)| (p.0, i)).collect();
         let n = order.len().max(1) as f64;
-        hot.iter()
-            .map(|id| pos.get(id).map_or(1.0, |&i| i as f64 / n))
-            .sum::<f64>()
+        hot.iter().map(|id| pos.get(id).map_or(1.0, |&i| i as f64 / n)).sum::<f64>()
             / hot.len() as f64
     };
     OrderingReport {

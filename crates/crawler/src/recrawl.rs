@@ -76,11 +76,7 @@ pub struct RecrawlReport {
 }
 
 /// Run the re-crawl simulation. Every page starts fresh at time 0.
-pub fn simulate_recrawl(
-    web: &SyntheticWeb,
-    cfg: &RecrawlConfig,
-    seed: u64,
-) -> RecrawlReport {
+pub fn simulate_recrawl(web: &SyntheticWeb, cfg: &RecrawlConfig, seed: u64) -> RecrawlReport {
     assert!(cfg.daily_budget > 0.0 && cfg.days > 0);
     assert!(cfg.conditional_cost > 0.0 && cfg.conditional_cost <= 1.0);
     let mut change = ChangeProcess::new(web, seed);
@@ -291,11 +287,7 @@ mod tests {
     fn growth_consumes_budget_and_corpus_expands() {
         let w = web();
         let no_growth = simulate_recrawl(&w, &base_cfg(), 6);
-        let grown = simulate_recrawl(
-            &w,
-            &RecrawlConfig { growth_per_day: 100.0, ..base_cfg() },
-            6,
-        );
+        let grown = simulate_recrawl(&w, &RecrawlConfig { growth_per_day: 100.0, ..base_cfg() }, 6);
         assert!(grown.final_corpus_size > no_growth.final_corpus_size);
         assert!(grown.discovery_coverage > 0.99, "budget covers discovery");
         // Discovery fetches crowd out revisits: the *initial* corpus gets

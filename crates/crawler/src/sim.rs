@@ -297,9 +297,7 @@ impl<'w, A: UrlAssigner> DistributedCrawl<'w, A> {
                         // in-flight page was accounted there.
                         continue;
                     }
-                    agents[agent as usize]
-                        .in_flight
-                        .retain(|&(h, p)| (h, p) != (host, page));
+                    agents[agent as usize].in_flight.retain(|&(h, p)| (h, p) != (host, page));
                     match outcome {
                         FetchOutcome::Ok(_) => {
                             agents[agent as usize].frontier.complete(host, now);
@@ -421,10 +419,8 @@ impl<'w, A: UrlAssigner> DistributedCrawl<'w, A> {
                                     + batch.len() as u64 * crate::exchange::BYTES_PER_URL,
                                 &mut link_rng,
                             );
-                            queue.schedule_at(
-                                now + lat,
-                                Event::Deliver { to: dest.0, urls: batch },
-                            );
+                            queue
+                                .schedule_at(now + lat, Event::Deliver { to: dest.0, urls: batch });
                         }
                     }
                     if outstanding > 0 {

@@ -71,8 +71,7 @@ pub fn distributed_build(
     let pi = PartitionedIndex::build(corpus, assignment, k);
     let tokens = chunk_tokens(corpus, assignment, k);
     let postings = chunk_postings(corpus, assignment, k);
-    let index_time =
-        |toks: u64| -> SimTime { (toks as f64 * US_PER_TOKEN) as SimTime };
+    let index_time = |toks: u64| -> SimTime { (toks as f64 * US_PER_TOKEN) as SimTime };
 
     let report = match strategy {
         BuildStrategy::Local => {
@@ -124,9 +123,7 @@ mod tests {
     use dwr_text::TermId;
 
     fn corpus() -> Corpus {
-        (0..40)
-            .map(|d| vec![(TermId(d % 7), 1 + d % 3), (TermId(100 + d % 5), 1)])
-            .collect()
+        (0..40).map(|d| vec![(TermId(d % 7), 1 + d % 3), (TermId(100 + d % 5), 1)]).collect()
     }
 
     fn rr(n: usize, k: usize) -> Vec<u32> {
@@ -195,6 +192,11 @@ mod tests {
         let skewed: Vec<u32> = (0..c.len()).map(|d| u32::from(d >= c.len() - 4)).collect();
         let (_, b) = distributed_build(&c, &balanced, 4, BuildStrategy::Local, Link::lan());
         let (_, s) = distributed_build(&c, &skewed, 4, BuildStrategy::Local, Link::lan());
-        assert!(s.wall_time > b.wall_time, "stragglers dominate: {} vs {}", s.wall_time, b.wall_time);
+        assert!(
+            s.wall_time > b.wall_time,
+            "stragglers dominate: {} vs {}",
+            s.wall_time,
+            b.wall_time
+        );
     }
 }

@@ -79,12 +79,8 @@ impl Default for KMeansPartitioner {
 
 impl KMeansPartitioner {
     fn features(&self, corpus: &Corpus) -> (Vec<Vec<f32>>, usize) {
-        let max_term = corpus
-            .iter()
-            .flat_map(|d| d.iter().map(|&(t, _)| t.0))
-            .max()
-            .unwrap_or(0) as usize
-            + 1;
+        let max_term =
+            corpus.iter().flat_map(|d| d.iter().map(|&(t, _)| t.0)).max().unwrap_or(0) as usize + 1;
         let width = max_term.div_ceil(self.buckets).max(1);
         let feats = corpus
             .iter()
@@ -267,7 +263,10 @@ pub struct QueryDrivenPartitioner {
 
 impl DocPartitioner for QueryDrivenPartitioner {
     fn assign(&self, corpus: &Corpus, k: usize) -> Vec<u32> {
-        assert!(k >= 2, "query-driven partitioning needs >= 2 partitions (one is the outcast pool)");
+        assert!(
+            k >= 2,
+            "query-driven partitioning needs >= 2 partitions (one is the outcast pool)"
+        );
         let n = corpus.len();
         let doc_queries = self.training.doc_query_map(n);
         let recalled: Vec<usize> = (0..n).filter(|&d| !doc_queries[d].is_empty()).collect();
@@ -310,8 +309,7 @@ impl DocPartitioner for QueryDrivenPartitioner {
                 .expect("non-empty recalled set");
             centroids.push(doc_centroid(recalled[far]));
             for (ri, &d) in recalled.iter().enumerate() {
-                max_sim[ri] =
-                    max_sim[ri].max(sparse_dot(centroids.last().expect("pushed"), d));
+                max_sim[ri] = max_sim[ri].max(sparse_dot(centroids.last().expect("pushed"), d));
             }
         }
 

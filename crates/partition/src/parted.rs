@@ -4,11 +4,22 @@
 //! T×D matrix sliced horizontally into `k` sub-collections, each with its
 //! own [`InvertedIndex`] over local doc ids, plus the global↔local id
 //! mapping brokers need to merge results.
+//!
+//! # Ownership model
+//!
+//! Each partition is an [`IndexShard`] behind an `Arc`, so query
+//! processors on different threads hold their shard independently — no
+//! lifetime ties the serving path to the structure that built the index.
+//! The [`PartitionedIndex`] itself is a cheap, `Clone`-able view (a
+//! vector of `Arc` shards plus `Arc`-shared id maps); cloning it costs
+//! `k + 2` reference-count bumps, never a postings copy. Everything is
+//! immutable after `build`, hence `Send + Sync` for free.
 
 use dwr_text::index::{build_index, InvertedIndex};
 use dwr_text::{DocId, TermId};
 use dwr_webgraph::content::ContentModel;
 use dwr_webgraph::SyntheticWeb;
+use std::sync::Arc;
 
 /// A corpus: per-document sorted `(term, tf)` vectors, indexed by global
 /// document id (= page id in web-derived corpora).
@@ -23,16 +34,44 @@ pub fn corpus_from_web(web: &SyntheticWeb, content: &ContentModel, seed: u64) ->
         .collect()
 }
 
-/// A document-partitioned index.
+/// One self-contained partition: its inverted index over local doc ids
+/// plus the local→global id map a merger needs.
+///
+/// A shard is immutable after build and always held behind an `Arc`, so
+/// any number of query-processor threads can evaluate against it
+/// concurrently without locks.
 #[derive(Debug)]
+pub struct IndexShard {
+    index: InvertedIndex,
+    /// `global_of[local_doc]` = global doc id.
+    global_of: Vec<u32>,
+}
+
+impl IndexShard {
+    /// The shard's inverted index (local doc-id space).
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Documents in the shard.
+    pub fn num_docs(&self) -> usize {
+        self.global_of.len()
+    }
+
+    /// Translate a shard-local doc id to the global doc id.
+    pub fn to_global(&self, local: DocId) -> u32 {
+        self.global_of[local.0 as usize]
+    }
+}
+
+/// A document-partitioned index: `Arc`-owned shards plus shared id maps.
+#[derive(Debug, Clone)]
 pub struct PartitionedIndex {
-    parts: Vec<InvertedIndex>,
+    shards: Vec<Arc<IndexShard>>,
     /// `assignment[global_doc]` = partition.
-    assignment: Vec<u32>,
+    assignment: Arc<[u32]>,
     /// `local_of[global_doc]` = doc id within its partition.
-    local_of: Vec<DocId>,
-    /// `global_of[partition][local_doc]` = global doc id.
-    global_of: Vec<Vec<u32>>,
+    local_of: Arc<[DocId]>,
 }
 
 impl PartitionedIndex {
@@ -51,19 +90,19 @@ impl PartitionedIndex {
             local_of[doc] = DocId(global_of[p as usize].len() as u32);
             global_of[p as usize].push(doc as u32);
         }
-        let parts: Vec<InvertedIndex> = global_of
-            .iter()
+        let shards: Vec<Arc<IndexShard>> = global_of
+            .into_iter()
             .map(|globals| {
                 let sub: Corpus = globals.iter().map(|&g| corpus[g as usize].clone()).collect();
-                build_index(&sub)
+                Arc::new(IndexShard { index: build_index(&sub), global_of: globals })
             })
             .collect();
-        PartitionedIndex { parts, assignment: assignment.to_vec(), local_of, global_of }
+        PartitionedIndex { shards, assignment: assignment.into(), local_of: local_of.into() }
     }
 
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
-        self.parts.len()
+        self.shards.len()
     }
 
     /// Total documents across partitions.
@@ -73,12 +112,18 @@ impl PartitionedIndex {
 
     /// The index of one partition.
     pub fn part(&self, p: usize) -> &InvertedIndex {
-        &self.parts[p]
+        &self.shards[p].index
     }
 
-    /// All partition indexes.
-    pub fn parts(&self) -> &[InvertedIndex] {
-        &self.parts
+    /// Shared ownership of one partition's shard: the handle a
+    /// query-processor thread holds while evaluating.
+    pub fn shard(&self, p: usize) -> Arc<IndexShard> {
+        Arc::clone(&self.shards[p])
+    }
+
+    /// All shards, in partition order.
+    pub fn shards(&self) -> &[Arc<IndexShard>] {
+        &self.shards
     }
 
     /// Partition of a global document.
@@ -88,7 +133,7 @@ impl PartitionedIndex {
 
     /// Translate a partition-local hit to the global doc id.
     pub fn to_global(&self, partition: usize, local: DocId) -> u32 {
-        self.global_of[partition][local.0 as usize]
+        self.shards[partition].to_global(local)
     }
 
     /// Translate a global doc to its partition-local id.
@@ -98,12 +143,12 @@ impl PartitionedIndex {
 
     /// Documents per partition.
     pub fn sizes(&self) -> Vec<usize> {
-        self.global_of.iter().map(Vec::len).collect()
+        self.shards.iter().map(|s| s.num_docs()).collect()
     }
 
     /// Sum of posting-list df of `term` over all partitions (= global df).
     pub fn global_df(&self, term: TermId) -> u64 {
-        self.parts.iter().map(|p| u64::from(p.df(term))).sum()
+        self.shards.iter().map(|s| u64::from(s.index.df(term))).sum()
     }
 }
 

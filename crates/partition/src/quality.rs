@@ -9,9 +9,9 @@
 use crate::parted::{Corpus, PartitionedIndex};
 use crate::select::CollectionSelector;
 use dwr_sim::stats::Imbalance;
+use dwr_text::index::build_index;
 use dwr_text::score::Bm25;
 use dwr_text::search::search_or;
-use dwr_text::index::build_index;
 use dwr_text::TermId;
 
 /// Balance of document counts across partitions.
@@ -24,10 +24,7 @@ pub fn size_balance(pi: &PartitionedIndex) -> Imbalance {
 /// Returns global doc ids.
 pub fn global_top_k(corpus: &Corpus, terms: &[TermId], k: usize) -> Vec<u32> {
     let idx = build_index(corpus);
-    search_or(&idx, terms, k, &Bm25::default(), &idx)
-        .into_iter()
-        .map(|h| h.doc.0)
-        .collect()
+    search_or(&idx, terms, k, &Bm25::default(), &idx).into_iter().map(|h| h.doc.0).collect()
 }
 
 /// Recall@m-partitions of one query: the fraction of the global top-k that
@@ -43,10 +40,7 @@ pub fn recall_at_partitions(
         return 1.0;
     }
     let chosen: Vec<u32> = selector.rank(terms).into_iter().take(m).map(|(p, _)| p).collect();
-    let hit = global_topk
-        .iter()
-        .filter(|&&d| chosen.contains(&pi.partition_of(d)))
-        .count();
+    let hit = global_topk.iter().filter(|&&d| chosen.contains(&pi.partition_of(d))).count();
     hit as f64 / global_topk.len() as f64
 }
 

@@ -122,10 +122,7 @@ pub fn query_global_stats(
         lat2 = lat2.max(rtt);
         per_part.push((p, hits));
     }
-    (
-        merge_hits(pi, per_part, k),
-        ProtocolCost { rounds: 2, bytes, latency: lat1 + lat2 },
-    )
+    (merge_hits(pi, per_part, k), ProtocolCost { rounds: 2, bytes, latency: lat1 + lat2 })
 }
 
 /// Overlap@k between two result lists: |intersection| / k — the paper's

@@ -15,7 +15,12 @@ use std::collections::HashMap;
 /// A term partitioning strategy: maps query-relevant terms to servers.
 pub trait TermPartitioner {
     /// Compute `term -> server` for all terms of `index`, over `k` servers.
-    fn assign(&self, index: &InvertedIndex, workload: &QueryWorkload, k: usize) -> HashMap<u32, u32>;
+    fn assign(
+        &self,
+        index: &InvertedIndex,
+        workload: &QueryWorkload,
+        k: usize,
+    ) -> HashMap<u32, u32>;
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }
@@ -51,14 +56,20 @@ pub fn term_weight(index: &InvertedIndex, freq: f64, term: TermId) -> f64 {
 pub struct RandomTermPartitioner;
 
 impl TermPartitioner for RandomTermPartitioner {
-    fn assign(&self, index: &InvertedIndex, _workload: &QueryWorkload, k: usize) -> HashMap<u32, u32> {
+    fn assign(
+        &self,
+        index: &InvertedIndex,
+        _workload: &QueryWorkload,
+        k: usize,
+    ) -> HashMap<u32, u32> {
         assert!(k > 0);
         index
             .terms()
             .map(|(t, _)| {
                 // SplitMix-style finalizer on the term id.
-                let mut z =
-                    u64::from(t.0).wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                let mut z = u64::from(t.0)
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z ^= z >> 31;
                 (t.0, (z % k as u64) as u32)
             })
@@ -75,7 +86,12 @@ impl TermPartitioner for RandomTermPartitioner {
 pub struct BinPackingTermPartitioner;
 
 impl TermPartitioner for BinPackingTermPartitioner {
-    fn assign(&self, index: &InvertedIndex, workload: &QueryWorkload, k: usize) -> HashMap<u32, u32> {
+    fn assign(
+        &self,
+        index: &InvertedIndex,
+        workload: &QueryWorkload,
+        k: usize,
+    ) -> HashMap<u32, u32> {
         assert!(k > 0);
         let freqs = workload.term_frequencies();
         let mut weighted: Vec<(u32, f64)> = index
@@ -122,7 +138,12 @@ impl Default for CoOccurrenceTermPartitioner {
 }
 
 impl TermPartitioner for CoOccurrenceTermPartitioner {
-    fn assign(&self, index: &InvertedIndex, workload: &QueryWorkload, k: usize) -> HashMap<u32, u32> {
+    fn assign(
+        &self,
+        index: &InvertedIndex,
+        workload: &QueryWorkload,
+        k: usize,
+    ) -> HashMap<u32, u32> {
         assert!(k > 0);
         let freqs = workload.term_frequencies();
         // Co-occurrence counts between term pairs, frequency-weighted.
@@ -169,9 +190,8 @@ impl TermPartitioner for CoOccurrenceTermPartitioner {
             // Choose the highest-affinity server whose load is within
             // slack; fall back to least-loaded.
             let cap = mean_target * (1.0 + self.slack);
-            let candidate = (0..k)
-                .filter(|&s| load[s] + w <= cap || load[s] == 0.0)
-                .max_by(|&a, &b| {
+            let candidate =
+                (0..k).filter(|&s| load[s] + w <= cap || load[s] == 0.0).max_by(|&a, &b| {
                     affinity[a]
                         .partial_cmp(&affinity[b])
                         .expect("finite")

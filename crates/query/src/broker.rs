@@ -8,8 +8,22 @@
 //! The broker scatter-gathers over a [`PartitionedIndex`], optionally
 //! restricted to the top-`m` partitions of a collection selector, and
 //! accounts per-server *busy time* — the quantity Figure 2 plots.
+//!
+//! # Concurrency
+//!
+//! The broker is an immutable core plus atomic counters: it owns a cheap
+//! clone of the `Arc`-sharded index, every query method takes `&self`,
+//! and the whole type is `Send + Sync`, so any number of threads can
+//! serve queries through one shared broker.
+//!
+//! Scatter itself runs either inline (sequential) or on a
+//! [`ScatterPool`] (parallel, one task per partition). Both paths feed
+//! the same gather loop, which walks partitions **in partition order**
+//! — so merged hits, busy-time accounting, and the simulated latency
+//! model are bit-for-bit identical whichever path evaluated the shards.
 
-use dwr_partition::parted::PartitionedIndex;
+use crate::scatter::ScatterPool;
+use dwr_partition::parted::{IndexShard, PartitionedIndex};
 use dwr_partition::select::CollectionSelector;
 use dwr_sim::net::{SiteId, Topology};
 use dwr_sim::SimTime;
@@ -17,6 +31,8 @@ use dwr_text::score::Bm25;
 use dwr_text::search::search_or;
 use dwr_text::topk::TopK;
 use dwr_text::TermId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Cost of scanning one posting, in µs (the CPU/disk work unit).
 pub const US_PER_POSTING: f64 = 0.5;
@@ -46,37 +62,84 @@ pub struct BrokeredResponse {
     pub latency: SimTime,
 }
 
-/// The document-partition broker.
-pub struct DocBroker<'a> {
-    index: &'a PartitionedIndex,
+/// The document-partition broker: an immutable shared core (index,
+/// topology, scoring parameters) plus atomic accounting. `Send + Sync`;
+/// all query methods take `&self`.
+#[derive(Debug)]
+pub struct DocBroker {
+    index: PartitionedIndex,
     topo: Topology,
     broker_site: SiteId,
     /// Site of each partition server.
     part_sites: Vec<SiteId>,
     bm25: Bm25,
-    /// Accumulated busy time per partition server, µs.
-    busy: Vec<f64>,
+    /// Accumulated busy time per partition server, µs (f64 bits in an
+    /// atomic cell).
+    busy: Vec<AtomicU64>,
     /// Queries processed.
-    queries: u64,
+    queries: AtomicU64,
+    /// When set, shards are evaluated concurrently on this pool.
+    pool: Option<Arc<ScatterPool>>,
 }
 
-impl<'a> DocBroker<'a> {
+/// Evaluate one shard: local top-k, mapped to global doc ids.
+fn evaluate_shard(shard: &IndexShard, terms: &[TermId], k: usize, bm25: &Bm25) -> Vec<(u32, f32)> {
+    let idx = shard.index();
+    search_or(idx, terms, k, bm25, idx)
+        .into_iter()
+        .map(|h| (shard.to_global(h.doc), h.score))
+        .collect()
+}
+
+impl DocBroker {
     /// Create a broker over `index`. `part_sites[p]` locates partition `p`.
+    ///
+    /// The broker keeps its own (cheap, `Arc`-backed) clone of the
+    /// partitioned index, so it owns everything it needs to serve
+    /// queries and carries no borrow of the build-side structures.
     pub fn new(
-        index: &'a PartitionedIndex,
+        index: &PartitionedIndex,
         topo: Topology,
         broker_site: SiteId,
         part_sites: Vec<SiteId>,
     ) -> Self {
         assert_eq!(part_sites.len(), index.num_partitions());
-        let busy = vec![0.0; index.num_partitions()];
-        DocBroker { index, topo, broker_site, part_sites, bm25: Bm25::default(), busy, queries: 0 }
+        let busy = (0..index.num_partitions()).map(|_| AtomicU64::new(0)).collect();
+        DocBroker {
+            index: index.clone(),
+            topo,
+            broker_site,
+            part_sites,
+            bm25: Bm25::default(),
+            busy,
+            queries: AtomicU64::new(0),
+            pool: None,
+        }
     }
 
     /// Single-site convenience constructor (everything on one LAN).
-    pub fn single_site(index: &'a PartitionedIndex) -> Self {
+    pub fn single_site(index: &PartitionedIndex) -> Self {
         let sites = vec![SiteId(0); index.num_partitions()];
         Self::new(index, Topology::single_site(), SiteId(0), sites)
+    }
+
+    /// Evaluate shards concurrently on a dedicated pool of `threads`
+    /// workers. Results (hits, busy time, simulated latency) are
+    /// bit-for-bit identical to the sequential path.
+    pub fn parallel(self, threads: usize) -> Self {
+        self.with_pool(Arc::new(ScatterPool::new(threads)))
+    }
+
+    /// Evaluate shards concurrently on an existing (possibly shared)
+    /// pool.
+    pub fn with_pool(mut self, pool: Arc<ScatterPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Whether shard evaluation runs on a worker pool.
+    pub fn is_parallel(&self) -> bool {
+        self.pool.is_some()
     }
 
     /// The service time partition `p` spends on `terms`: posting volume
@@ -87,14 +150,14 @@ impl<'a> DocBroker<'a> {
     }
 
     /// Evaluate a query over all partitions.
-    pub fn query(&mut self, terms: &[TermId], k: usize) -> BrokeredResponse {
+    pub fn query(&self, terms: &[TermId], k: usize) -> BrokeredResponse {
         let all: Vec<u32> = (0..self.index.num_partitions() as u32).collect();
         self.query_selected(terms, k, &all)
     }
 
     /// Evaluate a query over the top-`m` partitions of `selector`.
     pub fn query_with_selection(
-        &mut self,
+        &self,
         terms: &[TermId],
         k: usize,
         selector: &dyn CollectionSelector,
@@ -104,23 +167,52 @@ impl<'a> DocBroker<'a> {
         self.query_selected(terms, k, &chosen)
     }
 
+    /// Scatter: per-partition result lists, in `parts` order. Runs on
+    /// the pool when configured, inline otherwise; either way the output
+    /// is indexed by task, so the gather phase is order-independent of
+    /// completion.
+    fn scatter(&self, terms: &[TermId], k: usize, parts: &[u32]) -> Vec<Vec<(u32, f32)>> {
+        match &self.pool {
+            Some(pool) if parts.len() > 1 => {
+                let shared_terms: Arc<[TermId]> = terms.into();
+                let tasks: Vec<_> = parts
+                    .iter()
+                    .map(|&p| {
+                        let shard = self.index.shard(p as usize);
+                        let terms = Arc::clone(&shared_terms);
+                        let bm25 = self.bm25;
+                        move || evaluate_shard(&shard, &terms, k, &bm25)
+                    })
+                    .collect();
+                pool.scatter(tasks)
+            }
+            _ => parts
+                .iter()
+                .map(|&p| evaluate_shard(&self.index.shard(p as usize), terms, k, &self.bm25))
+                .collect(),
+        }
+    }
+
     /// Evaluate a query over an explicit partition set.
-    pub fn query_selected(&mut self, terms: &[TermId], k: usize, parts: &[u32]) -> BrokeredResponse {
-        self.queries += 1;
+    pub fn query_selected(&self, terms: &[TermId], k: usize, parts: &[u32]) -> BrokeredResponse {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let per_part = self.scatter(terms, k, parts);
+        // Gather in partition order: deterministic merge and latency
+        // regardless of which thread finished first.
         let mut top = TopK::new(k.max(1));
         let mut slowest: SimTime = 0;
         let mut merged_hits = 0u64;
-        for &p in parts {
+        for (i, &p) in parts.iter().enumerate() {
             let pu = p as usize;
-            let idx = self.index.part(pu);
             let service = self.service_time(pu, terms);
-            self.busy[pu] += service;
-            let hits = search_or(idx, terms, k, &self.bm25, idx);
+            self.add_busy(pu, service);
+            let hits = &per_part[i];
             merged_hits += hits.len() as u64;
-            let rtt = self.topo.rtt(self.broker_site, self.part_sites[pu], 64, hits.len() as u64 * 12);
+            let rtt =
+                self.topo.rtt(self.broker_site, self.part_sites[pu], 64, hits.len() as u64 * 12);
             slowest = slowest.max(service as SimTime + rtt);
-            for h in hits {
-                top.push(self.index.to_global(pu, h.doc), h.score);
+            for &(doc, score) in hits {
+                top.push(doc, score);
             }
         }
         let merge = (merged_hits as f64 * US_PER_MERGE_HIT) as SimTime;
@@ -135,24 +227,37 @@ impl<'a> DocBroker<'a> {
         }
     }
 
+    fn add_busy(&self, p: usize, amount: f64) {
+        let cell = &self.busy[p];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + amount).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// Accumulated busy time per partition server (µs).
-    pub fn busy_time(&self) -> &[f64] {
-        &self.busy
+    pub fn busy_time(&self) -> Vec<f64> {
+        self.busy.iter().map(|b| f64::from_bits(b.load(Ordering::Relaxed))).collect()
     }
 
     /// Busy time normalized by its mean — the Figure 2 y-axis (dashed line
     /// at 1.0).
     pub fn busy_load_normalized(&self) -> Vec<f64> {
-        let mean = self.busy.iter().sum::<f64>() / self.busy.len() as f64;
+        let busy = self.busy_time();
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
         if mean <= 0.0 {
-            return vec![0.0; self.busy.len()];
+            return vec![0.0; busy.len()];
         }
-        self.busy.iter().map(|&b| b / mean).collect()
+        busy.iter().map(|&b| b / mean).collect()
     }
 
     /// Queries processed so far.
     pub fn queries_processed(&self) -> u64 {
-        self.queries
+        self.queries.load(Ordering::Relaxed)
     }
 }
 
@@ -164,9 +269,7 @@ mod tests {
     use dwr_partition::quality::global_top_k;
 
     fn corpus() -> Corpus {
-        (0..40u32)
-            .map(|d| vec![(TermId(d % 7), 1 + d % 3), (TermId(100 + d % 5), 1)])
-            .collect()
+        (0..40u32).map(|d| vec![(TermId(d % 7), 1 + d % 3), (TermId(100 + d % 5), 1)]).collect()
     }
 
     fn parted(k: usize) -> (Corpus, PartitionedIndex) {
@@ -179,7 +282,7 @@ mod tests {
     #[test]
     fn brokered_results_match_monolithic_set() {
         let (c, pi) = parted(4);
-        let mut broker = DocBroker::single_site(&pi);
+        let broker = DocBroker::single_site(&pi);
         let terms = [TermId(1), TermId(100)];
         let got: Vec<u32> = broker.query(&terms, 10).hits.iter().map(|h| h.doc).collect();
         let want = global_top_k(&c, &terms, 10);
@@ -194,7 +297,7 @@ mod tests {
     #[test]
     fn busy_load_balanced_under_round_robin() {
         let (_, pi) = parted(8);
-        let mut broker = DocBroker::single_site(&pi);
+        let broker = DocBroker::single_site(&pi);
         for q in 0..200u32 {
             broker.query(&[TermId(q % 7), TermId(100 + q % 5)], 10);
         }
@@ -208,7 +311,7 @@ mod tests {
     fn selection_reduces_partitions_and_latency() {
         let (_, pi) = parted(4);
         let sel = dwr_partition::select::CoriSelector::from_partitions(&pi);
-        let mut broker = DocBroker::single_site(&pi);
+        let broker = DocBroker::single_site(&pi);
         let terms = [TermId(1)];
         let full = broker.query(&terms, 10);
         let selective = broker.query_with_selection(&terms, 10, &sel, 2);
@@ -220,15 +323,9 @@ mod tests {
     #[test]
     fn latency_includes_network() {
         let (_, pi) = parted(2);
-        let lan = DocBroker::single_site(&pi);
-        let mut lan_broker = lan;
+        let lan_broker = DocBroker::single_site(&pi);
         let wan_topo = Topology::geo_ring(3);
-        let mut wan_broker = DocBroker::new(
-            &pi,
-            wan_topo,
-            SiteId(0),
-            vec![SiteId(1), SiteId(2)],
-        );
+        let wan_broker = DocBroker::new(&pi, wan_topo, SiteId(0), vec![SiteId(1), SiteId(2)]);
         let terms = [TermId(2)];
         let l = lan_broker.query(&terms, 10).latency;
         let w = wan_broker.query(&terms, 10).latency;
@@ -238,7 +335,7 @@ mod tests {
     #[test]
     fn busy_time_accrues_only_on_queried_partitions() {
         let (_, pi) = parted(4);
-        let mut broker = DocBroker::single_site(&pi);
+        let broker = DocBroker::single_site(&pi);
         broker.query_selected(&[TermId(1)], 10, &[0, 1]);
         let busy = broker.busy_time();
         assert!(busy[0] > 0.0 && busy[1] > 0.0);
@@ -249,8 +346,47 @@ mod tests {
     #[test]
     fn empty_query_is_harmless() {
         let (_, pi) = parted(2);
-        let mut broker = DocBroker::single_site(&pi);
+        let broker = DocBroker::single_site(&pi);
         let r = broker.query(&[], 10);
         assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn broker_is_send_sync_and_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let (_, pi) = parted(4);
+        let broker = std::sync::Arc::new(DocBroker::single_site(&pi));
+        assert_send_sync(&*broker);
+        let baseline = broker.query(&[TermId(1)], 10).hits;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let broker = std::sync::Arc::clone(&broker);
+                let baseline = baseline.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        assert_eq!(broker.query(&[TermId(1)], 10).hits, baseline);
+                    }
+                });
+            }
+        });
+        // 1 baseline + 4 threads × 25 queries, all accounted atomically.
+        assert_eq!(broker.queries_processed(), 101);
+    }
+
+    #[test]
+    fn parallel_scatter_is_bit_identical_to_sequential() {
+        let (_, pi) = parted(8);
+        let seq = DocBroker::single_site(&pi);
+        let par = DocBroker::single_site(&pi).parallel(4);
+        assert!(par.is_parallel() && !seq.is_parallel());
+        for q in 0..50u32 {
+            let terms = [TermId(q % 7), TermId(100 + q % 5)];
+            let a = seq.query(&terms, 10);
+            let b = par.query(&terms, 10);
+            assert_eq!(a.hits, b.hits, "query {q}");
+            assert_eq!(a.latency, b.latency, "query {q}");
+            assert_eq!(a.partitions_used, b.partitions_used);
+        }
+        assert_eq!(seq.busy_time(), par.busy_time());
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::broker::GlobalHit;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
 
 /// Cached value: the merged result list of a query.
 pub type CachedResults = Vec<GlobalHit>;
@@ -285,6 +286,83 @@ impl ResultCache for SdcCache {
     }
 }
 
+/// A thread-safe wrapper over any [`ResultCache`] policy: entries are
+/// spread over `n` independently-locked shards by key, so `get`/`put`
+/// take `&self` and concurrent lookups on different shards never
+/// contend.
+///
+/// With a single shard the wrapper degenerates to "the policy behind one
+/// mutex", which preserves the exact eviction behaviour of the wrapped
+/// policy — the configuration the deterministic engines use. More shards
+/// trade global recency/frequency ordering (each shard evicts locally)
+/// for lock spreading under concurrent load.
+#[derive(Debug)]
+pub struct ShardedCache<C> {
+    shards: Vec<Mutex<C>>,
+}
+
+impl<C: ResultCache> ShardedCache<C> {
+    /// Wrap one cache instance in a single shard (policy-exact).
+    pub fn single(cache: C) -> Self {
+        ShardedCache { shards: vec![Mutex::new(cache)] }
+    }
+
+    /// Build from pre-constructed per-shard caches (each typically sized
+    /// `capacity / n`).
+    pub fn from_shards(shards: Vec<C>) -> Self {
+        assert!(!shards.is_empty(), "at least one cache shard");
+        ShardedCache { shards: shards.into_iter().map(Mutex::new).collect() }
+    }
+
+    fn shard_for(&self, key: u64) -> &Mutex<C> {
+        // The engine's query keys are already well-mixed (FNV over sorted
+        // terms), so modulo is an adequate spread.
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a query, returning an owned copy of the cached results.
+    pub fn get(&self, key: u64) -> Option<CachedResults> {
+        self.shard_for(key).lock().expect("cache shard poisoned").get(key).cloned()
+    }
+
+    /// Insert a result.
+    pub fn put(&self, key: u64, value: CachedResults) {
+        self.shard_for(key).lock().expect("cache shard poisoned").put(key, value);
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Counters summed over shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            let s = s.lock().expect("cache shard poisoned").stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+
+    /// Resident entries summed over shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Policy name of the wrapped cache.
+    pub fn name(&self) -> &'static str {
+        self.shards[0].lock().expect("cache shard poisoned").name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +482,63 @@ mod tests {
             assert!(c.get(42).is_none());
             assert_eq!(c.stats().hits, 0);
         }
+    }
+
+    #[test]
+    fn sharded_single_matches_wrapped_policy() {
+        let mut plain = LruCache::new(2);
+        let sharded = ShardedCache::single(LruCache::new(2));
+        // Same operation sequence → same hits/misses/evictions.
+        let ops: &[(u64, bool)] =
+            &[(1, false), (2, false), (1, true), (3, false), (2, true), (1, true)];
+        for &(key, _) in ops {
+            if plain.get(key).is_none() {
+                plain.put(key, value(key as u32));
+            }
+            if sharded.get(key).is_none() {
+                sharded.put(key, value(key as u32));
+            }
+        }
+        assert_eq!(plain.stats(), sharded.stats());
+        assert_eq!(plain.len(), sharded.len());
+        assert_eq!(sharded.name(), "LRU");
+    }
+
+    #[test]
+    fn sharded_get_put_through_shared_reference() {
+        let c = ShardedCache::from_shards(vec![LruCache::new(4), LruCache::new(4)]);
+        assert_eq!(c.num_shards(), 2);
+        for k in 0..8u64 {
+            c.put(k, value(k as u32));
+        }
+        for k in 0..8u64 {
+            assert!(c.get(k).is_some(), "key {k} resident");
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn sharded_cache_is_usable_from_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(ShardedCache::from_shards(vec![
+            LruCache::new(64),
+            LruCache::new(64),
+            LruCache::new(64),
+            LruCache::new(64),
+        ]));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let key = t * 1000 + i;
+                        c.put(key, value(key as u32));
+                        assert!(c.get(key).is_some());
+                    }
+                });
+            }
+        });
+        let stats = c.stats();
+        assert_eq!(stats.hits, 400);
     }
 }

@@ -7,13 +7,36 @@
 //! chosen partition, merges, and falls back to *stale cached results* when
 //! a whole replica group is down ("upon query processor failures, the
 //! system returns cached results").
+//!
+//! # Concurrency
+//!
+//! The engine is split into an immutable shared core and interior-mutable
+//! accounting, so every serving method takes `&self` and the whole type
+//! is `Send + Sync`:
+//!
+//! * the [`DocBroker`] owns an `Arc`-backed clone of the partitioned
+//!   index and is itself shareable;
+//! * the result cache sits behind a [`ShardedCache`] (policy state under
+//!   per-shard mutexes);
+//! * replica groups are per-partition mutexes (their round-robin cursors
+//!   mutate on dispatch);
+//! * counters are atomics, snapshot by [`DistributedEngine::stats`].
+//!
+//! Many client threads can therefore drive one `Arc<DistributedEngine>`,
+//! and/or a single client can enable [`DistributedEngine::with_parallelism`]
+//! to evaluate the partitions of *each* query concurrently. The parallel
+//! scatter path is bit-for-bit identical to the sequential one (see
+//! [`crate::broker`]).
 
 use crate::broker::{DocBroker, GlobalHit};
-use crate::cache::ResultCache;
+use crate::cache::{ResultCache, ShardedCache};
 use crate::replica::ReplicaGroup;
 use dwr_partition::parted::PartitionedIndex;
 use dwr_partition::select::CollectionSelector;
+use dwr_sim::SimTime;
 use dwr_text::TermId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// How a query was answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,15 +71,38 @@ pub struct EngineStats {
     pub failed: u64,
 }
 
-/// The engine. Owns replica state; borrows the index and cache.
-pub struct DistributedEngine<'a, C: ResultCache> {
-    broker: DocBroker<'a>,
-    cache: C,
-    groups: Vec<ReplicaGroup>,
-    stats: EngineStats,
+/// Full outcome of one engine query.
+#[derive(Debug, Clone)]
+pub struct EngineResponse {
+    /// Merged top-k, best first.
+    pub hits: Vec<GlobalHit>,
+    /// How the query was answered.
+    pub served: Served,
+    /// Simulated backend latency (slowest partition + merge), when the
+    /// backend evaluated the query; `None` for cache/stale/failed
+    /// answers.
+    pub latency: Option<SimTime>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    cache_hits: AtomicU64,
+    full: AtomicU64,
+    degraded: AtomicU64,
+    stale: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// The engine. Owns its broker (which owns an `Arc`-backed index clone),
+/// cache, and replica state; `Send + Sync`, all methods `&self`.
+pub struct DistributedEngine<C: ResultCache> {
+    broker: DocBroker,
+    cache: ShardedCache<C>,
+    groups: Vec<Mutex<ReplicaGroup>>,
+    counters: Counters,
     /// Partitions to query per request when a selector is used.
     selection_width: Option<usize>,
-    selector: Option<&'a dyn CollectionSelector>,
+    selector: Option<Arc<dyn CollectionSelector + Send + Sync>>,
 }
 
 /// A stable cache key for a term multiset.
@@ -71,15 +117,16 @@ pub fn query_key(terms: &[TermId]) -> u64 {
     h
 }
 
-impl<'a, C: ResultCache> DistributedEngine<'a, C> {
+impl<C: ResultCache> DistributedEngine<C> {
     /// Create an engine over `index` with `replicas` per partition.
-    pub fn new(index: &'a PartitionedIndex, cache: C, replicas: usize) -> Self {
-        let groups = (0..index.num_partitions()).map(|_| ReplicaGroup::new(replicas)).collect();
+    pub fn new(index: &PartitionedIndex, cache: C, replicas: usize) -> Self {
+        let groups =
+            (0..index.num_partitions()).map(|_| Mutex::new(ReplicaGroup::new(replicas))).collect();
         DistributedEngine {
             broker: DocBroker::single_site(index),
-            cache,
+            cache: ShardedCache::single(cache),
             groups,
-            stats: EngineStats::default(),
+            counters: Counters::default(),
             selection_width: None,
             selector: None,
         }
@@ -87,82 +134,100 @@ impl<'a, C: ResultCache> DistributedEngine<'a, C> {
 
     /// Enable collection selection: only the top-`m` partitions serve each
     /// query.
-    pub fn with_selection(mut self, selector: &'a dyn CollectionSelector, m: usize) -> Self {
+    pub fn with_selection(
+        mut self,
+        selector: Arc<dyn CollectionSelector + Send + Sync>,
+        m: usize,
+    ) -> Self {
         assert!(m >= 1);
         self.selector = Some(selector);
         self.selection_width = Some(m);
         self
     }
 
+    /// Evaluate each query's partitions concurrently on a pool of
+    /// `threads` workers. Results are bit-for-bit identical to the
+    /// sequential path.
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.broker = self.broker.parallel(threads);
+        self
+    }
+
+    /// Whether partition evaluation runs on a worker pool.
+    pub fn is_parallel(&self) -> bool {
+        self.broker.is_parallel()
+    }
+
     /// Mark one replica of one partition down or up.
-    pub fn set_replica_alive(&mut self, partition: usize, replica: usize, up: bool) {
-        self.groups[partition].set_alive(replica, up);
+    pub fn set_replica_alive(&self, partition: usize, replica: usize, up: bool) {
+        self.groups[partition].lock().expect("replica group poisoned").set_alive(replica, up);
+    }
+
+    /// The partitions a query would address (before availability).
+    fn choose(&self, terms: &[TermId]) -> Vec<u32> {
+        match (&self.selector, self.selection_width) {
+            (Some(sel), Some(m)) => sel.rank(terms).into_iter().take(m).map(|(p, _)| p).collect(),
+            _ => (0..self.groups.len() as u32).collect(),
+        }
+    }
+
+    fn group_available(&self, p: u32) -> bool {
+        self.groups[p as usize].lock().expect("replica group poisoned").available()
     }
 
     /// Serve a query.
-    pub fn query(&mut self, terms: &[TermId], k: usize) -> (Vec<GlobalHit>, Served) {
+    pub fn query(&self, terms: &[TermId], k: usize) -> (Vec<GlobalHit>, Served) {
+        let r = self.query_full(terms, k);
+        (r.hits, r.served)
+    }
+
+    /// Serve a query, reporting the simulated backend latency alongside
+    /// the results.
+    pub fn query_full(&self, terms: &[TermId], k: usize) -> EngineResponse {
         let key = query_key(terms);
         if let Some(hit) = self.cache.get(key) {
-            self.stats.cache_hits += 1;
-            return (hit.clone(), Served::CacheHit);
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return EngineResponse { hits: hit, served: Served::CacheHit, latency: None };
         }
-        // Choose partitions.
-        let chosen: Vec<u32> = match (self.selector, self.selection_width) {
-            (Some(sel), Some(m)) => sel.rank(terms).into_iter().take(m).map(|(p, _)| p).collect(),
-            _ => (0..self.groups.len() as u32).collect(),
-        };
-        // Keep only partitions with a live replica.
-        let available: Vec<u32> = chosen
-            .iter()
-            .copied()
-            .filter(|&p| self.groups[p as usize].available())
-            .collect();
+        // Choose partitions, keep those with a live replica.
+        let chosen = self.choose(terms);
+        let available: Vec<u32> =
+            chosen.iter().copied().filter(|&p| self.group_available(p)).collect();
         for &p in &available {
-            let _replica = self.groups[p as usize].dispatch();
+            let _replica =
+                self.groups[p as usize].lock().expect("replica group poisoned").dispatch();
         }
         if available.is_empty() {
-            // Whole backend (for this query) is down: stale or fail.
-            // A stale answer is whatever the cache held before — but we
-            // already missed; there is nothing fresh. Re-check under the
-            // stale policy: the cache may hold it even though `get`
-            // counted a miss above only if it returned None. So: failed
-            // unless a previous result was cached, which `get` would have
-            // returned. Nothing to serve.
-            self.stats.failed += 1;
-            return (Vec::new(), Served::Failed);
+            // Whole backend (for this query) is down, and the cache
+            // already missed above: nothing to serve.
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            return EngineResponse { hits: Vec::new(), served: Served::Failed, latency: None };
         }
         let missing = chosen.len() - available.len();
         let resp = self.broker.query_selected(terms, k, &available);
         self.cache.put(key, resp.hits.clone());
-        if missing == 0 {
-            self.stats.full += 1;
-            (resp.hits, Served::Full)
+        let served = if missing == 0 {
+            self.counters.full.fetch_add(1, Ordering::Relaxed);
+            Served::Full
         } else {
-            self.stats.degraded += 1;
-            (resp.hits, Served::Degraded { missing })
-        }
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            Served::Degraded { missing }
+        };
+        EngineResponse { hits: resp.hits, served, latency: Some(resp.latency) }
     }
 
     /// Serve a query, allowing stale cache results when the backend is
     /// down (the dependability role of caches). Unlike [`Self::query`],
     /// a backend outage consults the cache *ignoring freshness*.
-    pub fn query_stale_ok(&mut self, terms: &[TermId], k: usize) -> (Vec<GlobalHit>, Served) {
-        let key = query_key(terms);
-        let backend_up = {
-            let chosen: Vec<u32> = match (self.selector, self.selection_width) {
-                (Some(sel), Some(m)) => {
-                    sel.rank(terms).into_iter().take(m).map(|(p, _)| p).collect()
-                }
-                _ => (0..self.groups.len() as u32).collect(),
-            };
-            chosen.iter().any(|&p| self.groups[p as usize].available())
-        };
+    pub fn query_stale_ok(&self, terms: &[TermId], k: usize) -> (Vec<GlobalHit>, Served) {
+        let backend_up = self.choose(terms).iter().any(|&p| self.group_available(p));
         if !backend_up {
+            let key = query_key(terms);
             if let Some(hit) = self.cache.get(key) {
-                self.stats.stale += 1;
-                return (hit.clone(), Served::StaleFromCache);
+                self.counters.stale.fetch_add(1, Ordering::Relaxed);
+                return (hit, Served::StaleFromCache);
             }
-            self.stats.failed += 1;
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
             return (Vec::new(), Served::Failed);
         }
         self.query(terms, k)
@@ -170,12 +235,23 @@ impl<'a, C: ResultCache> DistributedEngine<'a, C> {
 
     /// Counters so far.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        EngineStats {
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            full: self.counters.full.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
+            stale: self.counters.stale.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+        }
     }
 
     /// The cache's own counters.
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
         self.cache.stats()
+    }
+
+    /// The broker, for busy-time inspection.
+    pub fn broker(&self) -> &DocBroker {
+        &self.broker
     }
 }
 
@@ -187,9 +263,8 @@ mod tests {
     use dwr_partition::parted::Corpus;
 
     fn setup() -> PartitionedIndex {
-        let corpus: Corpus = (0..24u32)
-            .map(|d| vec![(TermId(d % 5), 2), (TermId(50 + d % 3), 1)])
-            .collect();
+        let corpus: Corpus =
+            (0..24u32).map(|d| vec![(TermId(d % 5), 2), (TermId(50 + d % 3), 1)]).collect();
         let a = RoundRobinPartitioner.assign(&corpus, 4);
         PartitionedIndex::build(&corpus, &a, 4)
     }
@@ -197,7 +272,7 @@ mod tests {
     #[test]
     fn cache_hit_on_repeat() {
         let pi = setup();
-        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 2);
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 2);
         let (r1, s1) = e.query(&[TermId(1)], 5);
         assert_eq!(s1, Served::Full);
         let (r2, s2) = e.query(&[TermId(1)], 5);
@@ -215,7 +290,7 @@ mod tests {
     #[test]
     fn replica_failover_keeps_full_service() {
         let pi = setup();
-        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 2);
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 2);
         e.set_replica_alive(0, 0, false); // one replica of partition 0 down
         let (_, s) = e.query(&[TermId(2)], 5);
         assert_eq!(s, Served::Full, "second replica covers");
@@ -224,7 +299,7 @@ mod tests {
     #[test]
     fn dead_group_degrades_results() {
         let pi = setup();
-        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 1);
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 1);
         e.set_replica_alive(0, 0, false); // partition 0 gone entirely
         let (hits, s) = e.query(&[TermId(2)], 24);
         assert_eq!(s, Served::Degraded { missing: 1 });
@@ -235,7 +310,7 @@ mod tests {
     #[test]
     fn stale_serving_during_total_outage() {
         let pi = setup();
-        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 1);
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 1);
         let (fresh, _) = e.query(&[TermId(3)], 5); // populate cache
         for p in 0..4 {
             e.set_replica_alive(p, 0, false);
@@ -253,7 +328,7 @@ mod tests {
     fn selection_limits_partitions() {
         let pi = setup();
         let sel = dwr_partition::select::CoriSelector::from_partitions(&pi);
-        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 1).with_selection(&sel, 2);
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 1).with_selection(Arc::new(sel), 2);
         let (hits, s) = e.query(&[TermId(1)], 24);
         assert_eq!(s, Served::Full);
         // Only 2 of 4 partitions answered: at most 12 of 24 docs reachable.
@@ -263,7 +338,7 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let pi = setup();
-        let mut e = DistributedEngine::new(&pi, LruCache::new(16), 1);
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 1);
         e.query(&[TermId(0)], 5);
         e.query(&[TermId(0)], 5);
         e.query(&[TermId(1)], 5);
@@ -271,5 +346,58 @@ mod tests {
         assert_eq!(s.full, 2);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(e.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn query_full_reports_latency_only_for_backend_answers() {
+        let pi = setup();
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 1);
+        let first = e.query_full(&[TermId(1)], 5);
+        assert_eq!(first.served, Served::Full);
+        assert!(first.latency.is_some_and(|l| l > 0));
+        let second = e.query_full(&[TermId(1)], 5);
+        assert_eq!(second.served, Served::CacheHit);
+        assert!(second.latency.is_none());
+    }
+
+    #[test]
+    fn engine_is_send_sync_and_serves_from_threads() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let pi = setup();
+        let e = Arc::new(DistributedEngine::new(&pi, LruCache::new(64), 2));
+        assert_send_sync(&*e);
+        let baseline = e.query(&[TermId(1)], 5).0;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let e = Arc::clone(&e);
+                let baseline = baseline.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        let (hits, served) = e.query(&[TermId(1)], 5);
+                        assert_eq!(hits, baseline);
+                        assert!(matches!(served, Served::CacheHit | Served::Full));
+                    }
+                });
+            }
+        });
+        let s = e.stats();
+        assert_eq!(s.cache_hits + s.full, 101);
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_engine() {
+        let pi = setup();
+        let seq = DistributedEngine::new(&pi, LruCache::new(16), 2);
+        let par = DistributedEngine::new(&pi, LruCache::new(16), 2).with_parallelism(4);
+        assert!(par.is_parallel());
+        for q in 0..20u32 {
+            let terms = [TermId(q % 5), TermId(50 + q % 3)];
+            let a = seq.query_full(&terms, 10);
+            let b = par.query_full(&terms, 10);
+            assert_eq!(a.hits, b.hits, "query {q}");
+            assert_eq!(a.served, b.served, "query {q}");
+            assert_eq!(a.latency, b.latency, "query {q}");
+        }
+        assert_eq!(seq.stats(), par.stats());
     }
 }

@@ -39,11 +39,8 @@ fn merge_lists(lists: &[Vec<GlobalHit>], k: usize) -> (Vec<GlobalHit>, u64) {
             top.push(h.doc, h.score);
         }
     }
-    let hits = top
-        .into_sorted_vec()
-        .into_iter()
-        .map(|(doc, score)| GlobalHit { doc, score })
-        .collect();
+    let hits =
+        top.into_sorted_vec().into_iter().map(|(doc, score)| GlobalHit { doc, score }).collect();
     (hits, cpu)
 }
 
@@ -51,11 +48,8 @@ fn merge_lists(lists: &[Vec<GlobalHit>], k: usize) -> (Vec<GlobalHit>, u64) {
 pub fn flat_merge(per_partition: &[Vec<GlobalHit>], k: usize, link: Link) -> MergeOutcome {
     let (hits, cpu) = merge_lists(per_partition, k);
     // All lists arrive in parallel; latency = slowest transfer + merge CPU.
-    let max_transfer = per_partition
-        .iter()
-        .map(|l| link.transfer_time(l.len() as u64 * 12))
-        .max()
-        .unwrap_or(0);
+    let max_transfer =
+        per_partition.iter().map(|l| link.transfer_time(l.len() as u64 * 12)).max().unwrap_or(0);
     MergeOutcome {
         hits,
         root_cpu_us: cpu,
@@ -99,11 +93,8 @@ pub fn tree_merge(
             let (merged, cpu) = merge_lists(group, k);
             total_cpu += cpu;
             level_max_cpu = level_max_cpu.max(cpu);
-            let transfer = group
-                .iter()
-                .map(|l| link.transfer_time(l.len() as u64 * 12))
-                .max()
-                .unwrap_or(0);
+            let transfer =
+                group.iter().map(|l| link.transfer_time(l.len() as u64 * 12)).max().unwrap_or(0);
             level_latency = level_latency.max(transfer + cpu);
             next.push(merged);
         }

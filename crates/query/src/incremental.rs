@@ -31,10 +31,7 @@ pub fn results_at(arrivals: &[PartitionArrival], deadline: SimTime, k: usize) ->
             }
         }
     }
-    top.into_sorted_vec()
-        .into_iter()
-        .map(|(doc, score)| GlobalHit { doc, score })
-        .collect()
+    top.into_sorted_vec().into_iter().map(|(doc, score)| GlobalHit { doc, score }).collect()
 }
 
 /// Completeness of the deadline-limited result set: fraction of the final
@@ -84,10 +81,7 @@ mod tests {
                 at: 10,
                 hits: vec![GlobalHit { doc: 1, score: 5.0 }, GlobalHit { doc: 2, score: 1.0 }],
             },
-            PartitionArrival {
-                at: 100,
-                hits: vec![GlobalHit { doc: 3, score: 4.0 }],
-            },
+            PartitionArrival { at: 100, hits: vec![GlobalHit { doc: 3, score: 4.0 }] },
             PartitionArrival {
                 at: 1000,
                 hits: vec![GlobalHit { doc: 4, score: 3.0 }, GlobalHit { doc: 5, score: 0.5 }],

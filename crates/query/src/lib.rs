@@ -31,9 +31,12 @@
 //! * [`personalize`] — server-side (replicated state) vs. client-side
 //!   (thin layer) personalization, Section 5's privacy/consistency
 //!   trade-off;
+//! * [`scatter`] — a fixed worker pool with deterministic in-order
+//!   gather, the substrate of true parallel scatter-gather;
 //! * [`engine`] — the assembled distributed engine: cache in front of a
 //!   selector in front of replicated partitions, with degradation
-//!   accounting.
+//!   accounting. The broker and engine are `Send + Sync` with `&self`
+//!   query methods, so threads share one engine behind an `Arc`.
 
 pub mod arch;
 pub mod broker;
@@ -45,9 +48,11 @@ pub mod personalize;
 pub mod pipeline;
 pub mod replica;
 pub mod routing;
+pub mod scatter;
 pub mod site;
 
 pub use broker::DocBroker;
-pub use cache::{LfuCache, LruCache, ResultCache, SdcCache};
+pub use cache::{LfuCache, LruCache, ResultCache, SdcCache, ShardedCache};
 pub use engine::DistributedEngine;
 pub use pipeline::PipelinedTermEngine;
+pub use scatter::ScatterPool;

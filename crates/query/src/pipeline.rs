@@ -113,8 +113,7 @@ impl<'a> PipelinedTermEngine<'a> {
             let server_terms = &by_server[&server];
             // Stage service time: postings scanned here plus the cost of
             // receiving and merging the forwarded accumulator set.
-            let postings: u64 =
-                server_terms.iter().map(|&t| u64::from(self.index.df(t))).sum();
+            let postings: u64 = server_terms.iter().map(|&t| u64::from(self.index.df(t))).sum();
             let merge_in = if prev_site.is_some() {
                 accumulators.len() as f64 * US_PER_ACCUMULATOR
             } else {
@@ -135,10 +134,8 @@ impl<'a> PipelinedTermEngine<'a> {
             for &t in server_terms {
                 if let Some(list) = self.index.postings(t) {
                     for p in list.iter() {
-                        let s = self
-                            .bm25
-                            .score(self.index, t, p.tf, self.index.doc_len(p.doc))
-                            as f32;
+                        let s =
+                            self.bm25.score(self.index, t, p.tf, self.index.doc_len(p.doc)) as f32;
                         *accumulators.entry(p.doc.0).or_insert(0.0) += s;
                     }
                 }
@@ -242,10 +239,7 @@ mod tests {
             eng.query(&[TermId(0), TermId(1 + q % 11)], 10);
         }
         let norm = eng.busy_load_normalized();
-        assert!(
-            norm[0] > 1.5,
-            "server 0 should be far above the mean: {norm:?}"
-        );
+        assert!(norm[0] > 1.5, "server 0 should be far above the mean: {norm:?}");
     }
 
     #[test]

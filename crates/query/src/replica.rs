@@ -129,10 +129,7 @@ impl PrimaryBackupStore {
         if self.replicas[self.primary].is_none() {
             self.fail_over()?;
         }
-        self.replicas[self.primary]
-            .as_ref()
-            .and_then(|r| r.get(&key))
-            .map(|&(v, _)| v)
+        self.replicas[self.primary].as_ref().and_then(|r| r.get(&key)).map(|&(v, _)| v)
     }
 
     /// Crash a replica (primary or backup). State on it is lost.

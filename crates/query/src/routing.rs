@@ -30,8 +30,7 @@ impl TopicAllocation {
         assert!(total > 0.0);
         // Start with the guaranteed one per topic.
         let spare = servers - weights.len() as u32;
-        let quotas: Vec<f64> =
-            weights.iter().map(|w| w / total * f64::from(spare)).collect();
+        let quotas: Vec<f64> = weights.iter().map(|w| w / total * f64::from(spare)).collect();
         let mut alloc: Vec<u32> = quotas.iter().map(|q| 1 + q.floor() as u32).collect();
         let mut assigned: u32 = alloc.iter().sum();
         // Largest remainders get the leftovers.
@@ -60,11 +59,7 @@ impl TopicAllocation {
     /// given each server sustains `server_qps`.
     pub fn utilization(&self, demand: &[f64], server_qps: f64) -> Vec<f64> {
         assert_eq!(demand.len(), self.servers.len());
-        demand
-            .iter()
-            .zip(&self.servers)
-            .map(|(&d, &s)| d / (f64::from(s) * server_qps))
-            .collect()
+        demand.iter().zip(&self.servers).map(|(&d, &s)| d / (f64::from(s) * server_qps)).collect()
     }
 }
 
@@ -190,7 +185,12 @@ mod tests {
         let without = simulate_drift_routing(&d, 300.0, 30, 20.0, 2 * DAY, None);
         let with = simulate_drift_routing(&d, 300.0, 30, 20.0, 2 * DAY, Some(6 * HOUR));
         assert!(with.reconfigurations >= 7);
-        assert!(with.peak() < without.peak() - 0.2, "with={} without={}", with.peak(), without.peak());
+        assert!(
+            with.peak() < without.peak() - 0.2,
+            "with={} without={}",
+            with.peak(),
+            without.peak()
+        );
     }
 
     #[test]

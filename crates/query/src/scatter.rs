@@ -1,0 +1,289 @@
+//! A small worker pool for parallel scatter-gather.
+//!
+//! The paper's Section 5 broker scatters a query to every chosen
+//! partition and gathers per-partition top-k lists. On one machine the
+//! honest analogue is a fixed pool of OS threads — one standing in for
+//! each query processor — that evaluate shards concurrently while the
+//! coordinator thread waits.
+//!
+//! Design notes:
+//!
+//! * **Fixed pool, not per-query spawn.** Threads are created once and
+//!   reused, so per-query overhead is a channel send per task, not a
+//!   `clone(2)` per partition. That is what lets parallel evaluation beat
+//!   the sequential path on real corpora.
+//! * **Deterministic gather.** [`ScatterPool::scatter`] returns results
+//!   in *task order* regardless of completion order; callers that merge
+//!   in task order therefore produce bit-for-bit the same output as a
+//!   sequential loop.
+//! * **`'static` tasks.** Work items own their inputs (`Arc` shards,
+//!   owned term vectors), so nothing borrows from the submitting stack
+//!   frame and the pool can outlive any particular query.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// A fixed-size worker pool dedicated to scatter-gather evaluation.
+pub struct ScatterPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ScatterPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScatterPool").field("threads", &self.workers.len()).finish()
+    }
+}
+
+impl ScatterPool {
+    /// Create a pool of `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), shutdown: false }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dwr-scatter-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn scatter worker")
+            })
+            .collect();
+        ScatterPool { shared, workers }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`, capped at
+    /// `cap`).
+    pub fn with_default_size(cap: usize) -> Self {
+        let n = std::thread::available_parallelism().map_or(2, usize::from);
+        Self::new(n.min(cap.max(1)))
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run every task on the pool and gather the results **in task
+    /// order**, blocking until all are done.
+    ///
+    /// # Panics
+    /// Panics if a task panics (the panic is surfaced on the caller, not
+    /// swallowed by a worker).
+    pub fn scatter<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        {
+            let mut state = self.shared.state.lock().expect("scatter pool poisoned");
+            for (i, task) in tasks.into_iter().enumerate() {
+                let tx = tx.clone();
+                state.queue.push_back(Box::new(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                    // The gatherer may have unwound already; a dead
+                    // receiver is fine.
+                    let _ = tx.send((i, result));
+                }));
+            }
+        }
+        drop(tx);
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            self.shared.work_ready.notify_one();
+        } else {
+            self.shared.work_ready.notify_all();
+        }
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, result) = rx.recv().expect("scatter worker disappeared");
+            match result {
+                Ok(v) => slots[i] = Some(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        slots.into_iter().map(|s| s.expect("every task reported")).collect()
+    }
+}
+
+impl Drop for ScatterPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("scatter pool poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Spin iterations before a worker parks on the condvar. Queries arrive
+/// back-to-back during stream serving; parking between two ~10µs shard
+/// tasks would cost more in wakeup latency than the tasks themselves, so
+/// workers stay hot for roughly the duration of one query first.
+const SPIN_ITERS: u32 = 4_096;
+
+/// Spinning helps only when workers have their own cores; on a
+/// single-hardware-thread host it steals the coordinator's CPU, so park
+/// immediately there.
+fn spin_limit() -> u32 {
+    static LIMIT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        if std::thread::available_parallelism().map_or(1, usize::from) > 1 {
+            SPIN_ITERS
+        } else {
+            0
+        }
+    })
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let limit = spin_limit();
+    let mut spins: u32 = 0;
+    loop {
+        // Fast path: grab work (or notice shutdown) without parking.
+        {
+            let mut state = shared.state.lock().expect("scatter pool poisoned");
+            if let Some(job) = state.queue.pop_front() {
+                drop(state);
+                job();
+                spins = 0;
+                continue;
+            }
+            if state.shutdown {
+                return;
+            }
+        }
+        if spins < limit {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+            continue;
+        }
+        // Slow path: park until new work or shutdown.
+        let job = {
+            let mut state = shared.state.lock().expect("scatter pool poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_ready.wait(state).expect("scatter pool poisoned");
+            }
+        };
+        spins = 0;
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = ScatterPool::new(4);
+        let tasks: Vec<_> = (0..32usize)
+            .map(|i| {
+                move || {
+                    // Stagger so completion order differs from task order.
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        ((32 - i) % 5) as u64 * 50,
+                    ));
+                    i * 10
+                }
+            })
+            .collect();
+        let got = pool.scatter(tasks);
+        assert_eq!(got, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = ScatterPool::new(2);
+        for round in 0..10usize {
+            let got = pool.scatter((0..8).map(|i| move || i + round).collect::<Vec<_>>());
+            assert_eq!(got, (0..8).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = ScatterPool::new(2);
+        let got: Vec<u32> = pool.scatter(Vec::<fn() -> u32>::new());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn work_actually_runs_on_pool_threads() {
+        let pool = ScatterPool::new(3);
+        let on_worker = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..12)
+            .map(|_| {
+                let on_worker = Arc::clone(&on_worker);
+                move || {
+                    let name = std::thread::current().name().unwrap_or("").to_string();
+                    if name.starts_with("dwr-scatter-") {
+                        on_worker.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+            .collect();
+        pool.scatter(tasks);
+        assert_eq!(on_worker.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn task_panic_propagates_to_caller() {
+        let pool = ScatterPool::new(2);
+        pool.scatter(vec![|| panic!("boom")]);
+    }
+
+    #[test]
+    fn pool_survives_a_task_panic() {
+        let pool = ScatterPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scatter(vec![|| panic!("boom")])
+        }));
+        assert!(r.is_err());
+        // Workers caught the panic; the pool still serves.
+        let got = pool.scatter(vec![|| 1, || 2, || 3]);
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ScatterPool::new(2);
+        drop(pool); // must not hang
+    }
+}

@@ -66,11 +66,7 @@ pub struct MultiSiteReport {
 impl MultiSiteReport {
     /// Peak per-site utilization over the whole horizon.
     pub fn peak_utilization(&self) -> f64 {
-        self.utilization
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0, f64::max)
+        self.utilization.iter().flatten().copied().fold(0.0, f64::max)
     }
 }
 
@@ -113,14 +109,9 @@ pub fn simulate_multisite(
         local.or_else(|| {
             // Closest by latency from the region's home site (site with
             // same region index, even if down, as the latency anchor).
-            let anchor = sites
-                .iter()
-                .position(|spec| spec.region == region)
-                .unwrap_or(0);
-            let candidates: Vec<SiteId> = (0..sites.len())
-                .filter(|&s| !down(s))
-                .map(|s| SiteId(s as u32))
-                .collect();
+            let anchor = sites.iter().position(|spec| spec.region == region).unwrap_or(0);
+            let candidates: Vec<SiteId> =
+                (0..sites.len()).filter(|&s| !down(s)).map(|s| SiteId(s as u32)).collect();
             topo.nearest(SiteId(anchor as u32), &candidates).map(|s| s.0 as usize)
         })
     };
@@ -167,9 +158,8 @@ pub fn simulate_multisite(
                 else {
                     break;
                 };
-                let Some(cool) = (0..sites.len())
-                    .filter(|&s| !down(s) && s != hot)
-                    .min_by(|&a, &b| {
+                let Some(cool) =
+                    (0..sites.len()).filter(|&s| !down(s) && s != hot).min_by(|&a, &b| {
                         util(a, &hour_load).partial_cmp(&util(b, &hour_load)).expect("finite")
                     })
                 else {
@@ -309,9 +299,8 @@ mod tests {
         let a = arrivals(1.0);
         let topo = Topology::geo_ring(3);
         // Site 0 down for hours 6..12.
-        let down: Vec<Vec<bool>> = (0..24)
-            .map(|h| vec![(6..12).contains(&h), false, false])
-            .collect();
+        let down: Vec<Vec<bool>> =
+            (0..24).map(|h| vec![(6..12).contains(&h), false, false]).collect();
         let r = simulate_multisite(&a, &sites(), &topo, RoutingPolicy::Nearest, DAY, &down);
         for h in 6..12 {
             assert_eq!(r.load[h][0], 0, "down site serves nothing (hour {h})");
@@ -322,8 +311,10 @@ mod tests {
     #[test]
     fn response_time_grows_with_load() {
         let topo = Topology::geo_ring(3);
-        let light = simulate_multisite(&arrivals(0.5), &sites(), &topo, RoutingPolicy::Nearest, DAY, &[]);
-        let heavy = simulate_multisite(&arrivals(7.0), &sites(), &topo, RoutingPolicy::Nearest, DAY, &[]);
+        let light =
+            simulate_multisite(&arrivals(0.5), &sites(), &topo, RoutingPolicy::Nearest, DAY, &[]);
+        let heavy =
+            simulate_multisite(&arrivals(7.0), &sites(), &topo, RoutingPolicy::Nearest, DAY, &[]);
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(&heavy.mean_response) > mean(&light.mean_response));
     }

@@ -36,12 +36,7 @@ impl ClickModel {
     ///
     /// `relevant[i]` flags whether result `i` is on-topic for the query.
     /// Returns the clicked pages in rank order.
-    pub fn clicks(
-        &self,
-        results: &[PageId],
-        relevant: &[bool],
-        rng: &mut SimRng,
-    ) -> Vec<PageId> {
+    pub fn clicks(&self, results: &[PageId], relevant: &[bool], rng: &mut SimRng) -> Vec<PageId> {
         assert_eq!(results.len(), relevant.len());
         let mut out = Vec::new();
         for (i, (&page, &rel)) in results.iter().zip(relevant).enumerate() {
@@ -91,12 +86,10 @@ mod tests {
         let m = ClickModel::default();
         let results = vec![PageId(0)];
         let mut rng = SimRng::new(2);
-        let rel_clicks = (0..10_000)
-            .filter(|_| !m.clicks(&results, &[true], &mut rng).is_empty())
-            .count();
-        let irr_clicks = (0..10_000)
-            .filter(|_| !m.clicks(&results, &[false], &mut rng).is_empty())
-            .count();
+        let rel_clicks =
+            (0..10_000).filter(|_| !m.clicks(&results, &[true], &mut rng).is_empty()).count();
+        let irr_clicks =
+            (0..10_000).filter(|_| !m.clicks(&results, &[false], &mut rng).is_empty()).count();
         assert!(rel_clicks as f64 > 4.0 * irr_clicks as f64);
     }
 

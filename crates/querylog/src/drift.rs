@@ -51,11 +51,7 @@ impl TopicDrift {
     /// The interpolated weights at time `t` (clamped to the horizon).
     pub fn weights_at(&self, t: SimTime) -> Vec<f64> {
         let f = (t as f64 / self.horizon as f64).min(1.0);
-        self.start
-            .iter()
-            .zip(&self.end)
-            .map(|(&a, &b)| a * (1.0 - f) + b * f)
-            .collect()
+        self.start.iter().zip(&self.end).map(|(&a, &b)| a * (1.0 - f) + b * f).collect()
     }
 
     /// Draw a topic index at time `t`.

@@ -56,9 +56,8 @@ impl QueryModel {
         assert!(universe > 0);
         let mut rng = SimRng::new(seed).fork_named("query-universe");
         let t = content.num_topics();
-        let topic_weights: Vec<f64> = (1..=t)
-            .map(|rank| (f64::from(rank)).powf(-topic_skew))
-            .collect();
+        let topic_weights: Vec<f64> =
+            (1..=t).map(|rank| (f64::from(rank)).powf(-topic_skew)).collect();
         let topic_zipf_total: f64 = topic_weights.iter().sum();
         let mut queries = Vec::with_capacity(universe);
         for _ in 0..universe {
@@ -164,15 +163,11 @@ mod tests {
     fn topic_skew_skews_topics() {
         let c = content();
         let skewed = QueryModel::generate(&c, 5000, 1.5, 0.9, 11);
-        let topic0 = (0..5000)
-            .filter(|&i| skewed.query(QueryId(i)).topic == TopicId(0))
-            .count();
+        let topic0 = (0..5000).filter(|&i| skewed.query(QueryId(i)).topic == TopicId(0)).count();
         assert!(topic0 as f64 / 5000.0 > 0.3, "topic0 share {}", topic0 as f64 / 5000.0);
 
         let uniform = QueryModel::generate(&c, 5000, 0.0, 0.9, 11);
-        let topic0u = (0..5000)
-            .filter(|&i| uniform.query(QueryId(i)).topic == TopicId(0))
-            .count();
+        let topic0u = (0..5000).filter(|&i| uniform.query(QueryId(i)).topic == TopicId(0)).count();
         assert!((topic0u as f64 / 5000.0 - 1.0 / 8.0).abs() < 0.05);
     }
 

@@ -28,4 +28,4 @@ pub mod mmc;
 pub use capacity::{EngineModel, EngineSizing};
 pub use cost::{CostModel, CostReport};
 pub use ggc::GgcModel;
-pub use mmc::{MM1, MMc};
+pub use mmc::{MMc, MM1};

@@ -181,9 +181,6 @@ mod tests {
         }
         let measured = total_resp / n as f64;
         let theory = MM1::new(lambda, mu).mean_response_time();
-        assert!(
-            (measured - theory).abs() / theory < 0.05,
-            "measured={measured} theory={theory}"
-        );
+        assert!((measured - theory).abs() / theory < 0.05, "measured={measured} theory={theory}");
     }
 }

@@ -3,7 +3,7 @@
 use dwr_queueing::capacity::EngineModel;
 use dwr_queueing::cost::CostModel;
 use dwr_queueing::ggc::GgcModel;
-use dwr_queueing::mmc::{MM1, MMc};
+use dwr_queueing::mmc::{MMc, MM1};
 use proptest::prelude::*;
 
 proptest! {

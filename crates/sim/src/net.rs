@@ -11,14 +11,13 @@
 use crate::event::SimTime;
 use crate::rng::SimRng;
 use crate::{MILLISECOND, SECOND};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a site (a group of collocated servers, per the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SiteId(pub u32);
 
 /// A point-to-point link with fixed base latency and bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// One-way base latency in microseconds.
     pub latency_us: SimTime,
@@ -103,7 +102,8 @@ impl Topology {
     }
 
     fn pair_index(&self, a: SiteId, b: SiteId) -> usize {
-        let (lo, hi) = if a.0 < b.0 { (a.0 as usize, b.0 as usize) } else { (b.0 as usize, a.0 as usize) };
+        let (lo, hi) =
+            if a.0 < b.0 { (a.0 as usize, b.0 as usize) } else { (b.0 as usize, a.0 as usize) };
         assert!(hi < self.n, "site out of range");
         // Index into the upper triangle laid out row by row.
         lo * self.n - lo * (lo + 1) / 2 + (hi - lo - 1)
@@ -140,10 +140,7 @@ impl Topology {
     /// The site nearest to `from` among `candidates` by small-message
     /// latency. Returns `None` if `candidates` is empty.
     pub fn nearest(&self, from: SiteId, candidates: &[SiteId]) -> Option<SiteId> {
-        candidates
-            .iter()
-            .copied()
-            .min_by_key(|&c| (self.transfer_time(from, c, 64), c.0))
+        candidates.iter().copied().min_by_key(|&c| (self.transfer_time(from, c, 64), c.0))
     }
 }
 

@@ -42,12 +42,8 @@ impl SimRng {
     /// recommended by the xoshiro authors.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         SimRng { s }
     }
 
@@ -59,13 +55,10 @@ impl SimRng {
     pub fn fork(&self, label: u64) -> Self {
         // Mix the label into the current state through SplitMix64 so that
         // nearby labels produce uncorrelated streams.
-        let mut sm = self.s[0] ^ self.s[1].rotate_left(17) ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let mut sm =
+            self.s[0] ^ self.s[1].rotate_left(17) ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         SimRng { s }
     }
 
@@ -84,10 +77,7 @@ impl SimRng {
     /// Next raw 64-bit output (xoshiro256++).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

@@ -22,13 +22,7 @@ pub struct Streaming {
 impl Streaming {
     /// Create an empty accumulator.
     pub fn new() -> Self {
-        Streaming {
-            n: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        Streaming { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Add one observation.
@@ -133,8 +127,7 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.data
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.data.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
     }

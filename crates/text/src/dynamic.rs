@@ -139,8 +139,7 @@ impl DynamicIndex {
         let newer = self.segments.pop().expect("two segments");
         let older = self.segments.pop().expect("two segments");
         debug_assert_eq!(older.base + older.index.num_docs(), newer.base);
-        let merged_docs =
-            u64::from(older.index.num_docs()) + u64::from(newer.index.num_docs());
+        let merged_docs = u64::from(older.index.num_docs()) + u64::from(newer.index.num_docs());
         let merged = merge_indexes(&[older.index, newer.index]);
         self.segments.push(Segment { base: older.base, index: merged });
         self.stats.merges += 1;
@@ -183,8 +182,7 @@ impl DynamicIndex {
         use crate::topk::TopK;
         // Gather global statistics over segments + a temp buffer index.
         let buffer_index = build_index(&self.buffer);
-        let mut parts: Vec<&InvertedIndex> =
-            self.segments.iter().map(|s| &s.index).collect();
+        let mut parts: Vec<&InvertedIndex> = self.segments.iter().map(|s| &s.index).collect();
         parts.push(&buffer_index);
         let stats = GlobalStats::for_terms(&parts, terms);
         let bm = crate::score::Bm25::default();
@@ -231,20 +229,15 @@ mod tests {
 
     #[test]
     fn search_matches_monolithic_rebuild() {
-        for policy in [
-            MergePolicy::Geometric { r: 2 },
-            MergePolicy::AlwaysMerge,
-            MergePolicy::NoMerge,
-        ] {
+        for policy in
+            [MergePolicy::Geometric { r: 2 }, MergePolicy::AlwaysMerge, MergePolicy::NoMerge]
+        {
             let d = filled(policy, 100);
             let corpus: Vec<Vec<(TermId, u32)>> = (0..100).map(doc).collect();
             let mono = build_index(&corpus);
             for q in [vec![TermId(1)], vec![TermId(2), TermId(101)]] {
-                let got: Vec<(u32, String)> = d
-                    .search(&q, 10)
-                    .iter()
-                    .map(|h| (h.doc.0, format!("{:.4}", h.score)))
-                    .collect();
+                let got: Vec<(u32, String)> =
+                    d.search(&q, 10).iter().map(|h| (h.doc.0, format!("{:.4}", h.score))).collect();
                 let want: Vec<(u32, String)> =
                     search_or(&mono, &q, 10, &crate::score::Bm25::default(), &mono)
                         .iter()

@@ -12,8 +12,8 @@
 //!   `dwr-bench`);
 //! * [`merge_indexes`] — k-way merge of sub-indexes over disjoint doc-id
 //!   ranges, the primitive behind distributed construction;
-//! * [`parallel_build`] — chunks the corpus across threads (crossbeam
-//!   scoped threads) and merges, a faithful single-machine analogue of the
+//! * [`parallel_build`] — chunks the corpus across threads (std scoped
+//!   threads) and merges, a faithful single-machine analogue of the
 //!   map-reduce build.
 
 use crate::postings::{PostingList, PostingListBuilder};
@@ -200,14 +200,11 @@ pub fn parallel_build(corpus: &[Vec<(TermId, u32)>], threads: usize) -> Inverted
         return InvertedIndex::default();
     }
     let chunk = corpus.len().div_ceil(threads);
-    let parts: Vec<InvertedIndex> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = corpus
-            .chunks(chunk)
-            .map(|c| s.spawn(move |_| build_index(c)))
-            .collect();
+    let parts: Vec<InvertedIndex> = std::thread::scope(|s| {
+        let handles: Vec<_> =
+            corpus.chunks(chunk).map(|c| s.spawn(move || build_index(c))).collect();
         handles.into_iter().map(|h| h.join().expect("index worker panicked")).collect()
-    })
-    .expect("scope panicked");
+    });
     merge_indexes(&parts)
 }
 
@@ -255,9 +252,7 @@ mod tests {
         if a.doc_len != b.doc_len {
             return false;
         }
-        a.terms().all(|(t, l)| {
-            b.postings(t).is_some_and(|lb| l.to_vec() == lb.to_vec())
-        })
+        a.terms().all(|(t, l)| b.postings(t).is_some_and(|lb| l.to_vec() == lb.to_vec()))
     }
 
     #[test]
@@ -277,9 +272,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_monolithic() {
-        let c: Vec<Vec<(TermId, u32)>> = (0..97)
-            .map(|i| vec![(TermId(i % 13), 1 + i % 3), (TermId(100 + i % 7), 1)])
-            .collect();
+        let c: Vec<Vec<(TermId, u32)>> =
+            (0..97).map(|i| vec![(TermId(i % 13), 1 + i % 3), (TermId(100 + i % 7), 1)]).collect();
         for threads in [1, 2, 3, 8] {
             assert!(index_eq(&build_index(&c), &parallel_build(&c, threads)), "threads={threads}");
         }

@@ -28,13 +28,7 @@ fn extract_ngrams(text: &str, n_lo: usize, n_hi: usize) -> HashMap<String, u64> 
     // Normalize: lowercase, collapse non-alphanumerics to a boundary mark.
     let norm: String = text
         .chars()
-        .map(|c| {
-            if c.is_alphanumeric() {
-                c.to_lowercase().next().unwrap_or(c)
-            } else {
-                '_'
-            }
-        })
+        .map(|c| if c.is_alphanumeric() { c.to_lowercase().next().unwrap_or(c) } else { '_' })
         .collect();
     let chars: Vec<char> = norm.chars().collect();
     let mut counts: HashMap<String, u64> = HashMap::new();
@@ -62,8 +56,7 @@ impl NGramProfile {
         let mut ranked: Vec<(String, u64)> = counts.into_iter().collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         ranked.truncate(depth as usize);
-        let ranks =
-            ranked.into_iter().enumerate().map(|(r, (g, _))| (g, r as u32)).collect();
+        let ranks = ranked.into_iter().enumerate().map(|(r, (g, _))| (g, r as u32)).collect();
         NGramProfile { ranks, depth, n_lo, n_hi }
     }
 
@@ -122,11 +115,8 @@ impl LanguageIdentifier {
         if self.languages.is_empty() {
             return None;
         }
-        let dists: Vec<(&str, u64)> = self
-            .languages
-            .iter()
-            .map(|(name, p)| (name.as_str(), p.distance(text)))
-            .collect();
+        let dists: Vec<(&str, u64)> =
+            self.languages.iter().map(|(name, p)| (name.as_str(), p.distance(text))).collect();
         let best = dists
             .iter()
             .min_by_key(|&&(name, d)| (d, name))
@@ -207,7 +197,8 @@ mod tests {
         // one" — a mixed text's best-vs-runner-up margin shrinks.
         let id = identifier();
         let pure = "der kleine hund jagt den fuchs durch die felder und spielt an der bruecke";
-        let mixed = "der kleine hund download server jagt den fuchs browser update durch die felder";
+        let mixed =
+            "der kleine hund download server jagt den fuchs browser update durch die felder";
         let margin = |text: &str| {
             let (_, dists) = id.classify(text).unwrap();
             let mut ds: Vec<u64> = dists.iter().map(|&(_, d)| d).collect();

@@ -118,10 +118,7 @@ impl PositionalListBuilder {
     /// Panics on out-of-order docs, empty positions, or unsorted positions.
     pub fn push(&mut self, doc: DocId, positions: &[u32]) {
         assert!(!positions.is_empty(), "positional posting needs positions");
-        assert!(
-            positions.windows(2).all(|w| w[0] < w[1]),
-            "positions must be strictly ascending"
-        );
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "positions must be strictly ascending");
         let delta = match self.prev_doc {
             None => doc.0,
             Some(prev) => {
@@ -254,11 +251,11 @@ mod tests {
 
     fn docs() -> Vec<Vec<u32>> {
         vec![
-            vec![1, 2, 3, 1, 2],  // "a b c a b"
-            vec![2, 1, 2, 3],     // "b a b c"
-            vec![3, 3, 3],        // "c c c"
-            vec![],               // empty
-            vec![1, 2],           // "a b"
+            vec![1, 2, 3, 1, 2], // "a b c a b"
+            vec![2, 1, 2, 3],    // "b a b c"
+            vec![3, 3, 3],       // "c c c"
+            vec![],              // empty
+            vec![1, 2],          // "a b"
         ]
     }
 

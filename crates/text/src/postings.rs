@@ -144,7 +144,11 @@ impl PostingListBuilder {
         let delta = match self.prev_doc {
             None => doc.0,
             Some(prev) => {
-                assert!(doc.0 > prev, "postings must be strictly ascending: {} after {prev}", doc.0);
+                assert!(
+                    doc.0 > prev,
+                    "postings must be strictly ascending: {} after {prev}",
+                    doc.0
+                );
                 doc.0 - prev
             }
         };
@@ -270,10 +274,7 @@ mod tests {
         let merged = concat_lists(&[&a.finish(), &b.finish()]);
         assert_eq!(merged.df(), 3);
         assert_eq!(merged.cf(), 6);
-        assert_eq!(
-            merged.to_vec().iter().map(|p| p.doc.0).collect::<Vec<_>>(),
-            vec![0, 2, 10]
-        );
+        assert_eq!(merged.to_vec().iter().map(|p| p.doc.0).collect::<Vec<_>>(), vec![0, 2, 10]);
     }
 
     #[test]

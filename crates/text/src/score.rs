@@ -110,13 +110,7 @@ impl Bm25 {
     }
 
     /// Score one term occurrence.
-    pub fn score(
-        &self,
-        stats: &impl CollectionStats,
-        term: TermId,
-        tf: u32,
-        doc_len: u32,
-    ) -> f64 {
+    pub fn score(&self, stats: &impl CollectionStats, term: TermId, tf: u32, doc_len: u32) -> f64 {
         let idf = self.idf(stats, term);
         let avg = stats.avg_doc_len().max(1.0);
         let tf = f64::from(tf);

@@ -29,12 +29,8 @@ impl SkipList {
     pub fn from_postings(list: &PostingList, stride: usize) -> Self {
         assert!(stride > 0, "stride must be positive");
         let postings = list.to_vec();
-        let skips = postings
-            .iter()
-            .enumerate()
-            .step_by(stride)
-            .map(|(i, p)| (p.doc.0, i as u32))
-            .collect();
+        let skips =
+            postings.iter().enumerate().step_by(stride).map(|(i, p)| (p.doc.0, i as u32)).collect();
         SkipList { postings, skips, stride }
     }
 
@@ -84,8 +80,7 @@ impl SkipList {
 /// Intersect two skip lists, driving from the shorter one. Returns the
 /// matching `(doc, tf_a, tf_b)` triples in ascending doc order.
 pub fn intersect(a: &SkipList, b: &SkipList) -> Vec<(DocId, u32, u32)> {
-    let (short, long, swapped) =
-        if a.len() <= b.len() { (a, b, false) } else { (b, a, true) };
+    let (short, long, swapped) = if a.len() <= b.len() { (a, b, false) } else { (b, a, true) };
     let mut out = Vec::new();
     let mut j = 0usize;
     for p in short.postings() {

@@ -174,12 +174,15 @@ mod tests {
     #[test]
     fn large_stream_matches_full_sort() {
         let mut t = TopK::new(10);
-        let scores: Vec<f32> = (0..1000u32).map(|i| ((i.wrapping_mul(2654435761u32.wrapping_mul(i))) % 997) as f32).collect();
+        let scores: Vec<f32> = (0..1000u32)
+            .map(|i| ((i.wrapping_mul(2654435761u32.wrapping_mul(i))) % 997) as f32)
+            .collect();
         for (i, &s) in scores.iter().enumerate() {
             t.push(i as u32, s);
         }
         let got = t.into_sorted_vec();
-        let mut want: Vec<(u32, f32)> = scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
+        let mut want: Vec<(u32, f32)> =
+            scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
         want.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         want.truncate(10);
         assert_eq!(got, want);

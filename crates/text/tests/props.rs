@@ -14,9 +14,8 @@ fn postings_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
     prop::collection::btree_set(0u32..1_000_000, 0..100).prop_flat_map(|docs| {
         let docs: Vec<u32> = docs.into_iter().collect();
         let n = docs.len();
-        prop::collection::vec(1u32..10_000, n).prop_map(move |tfs| {
-            docs.iter().copied().zip(tfs).collect()
-        })
+        prop::collection::vec(1u32..10_000, n)
+            .prop_map(move |tfs| docs.iter().copied().zip(tfs).collect())
     })
 }
 

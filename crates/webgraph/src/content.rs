@@ -193,10 +193,7 @@ mod tests {
         let m = model();
         let mut rng = SimRng::new(2);
         let doc = m.sample_document(TopicId(5), &mut rng);
-        let topical = doc
-            .iter()
-            .filter(|(t, _)| m.topic_of_term(*t) == Some(TopicId(5)))
-            .count();
+        let topical = doc.iter().filter(|(t, _)| m.topic_of_term(*t) == Some(TopicId(5))).count();
         let wrong_topic = doc
             .iter()
             .filter(|(t, _)| m.topic_of_term(*t).is_some_and(|tt| tt != TopicId(5)))
@@ -230,11 +227,7 @@ mod tests {
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let total: u64 = counts.iter().sum();
         let top10: u64 = counts.iter().take(10).sum();
-        assert!(
-            top10 as f64 / total as f64 > 0.08,
-            "top-10 share {}",
-            top10 as f64 / total as f64
-        );
+        assert!(top10 as f64 / total as f64 > 0.08, "top-10 share {}", top10 as f64 / total as f64);
     }
 
     #[test]

@@ -40,17 +40,18 @@ impl ChangeProcess {
             .map(|p| f64::from(web.page(p).change_rate_per_day) / DAY as f64)
             .collect();
         let mut rngs: Vec<SimRng> = web.page_ids().map(|p| root.fork(u64::from(p.0))).collect();
-        let next_change = rates_per_us
-            .iter()
-            .zip(rngs.iter_mut())
-            .map(|(&r, rng)| {
-                if r > 0.0 {
-                    Exponential::new(r).sample(rng) as SimTime
-                } else {
-                    SimTime::MAX
-                }
-            })
-            .collect();
+        let next_change =
+            rates_per_us
+                .iter()
+                .zip(rngs.iter_mut())
+                .map(|(&r, rng)| {
+                    if r > 0.0 {
+                        Exponential::new(r).sample(rng) as SimTime
+                    } else {
+                        SimTime::MAX
+                    }
+                })
+                .collect();
         ChangeProcess { next_change, rates_per_us, rngs }
     }
 

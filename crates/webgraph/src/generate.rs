@@ -75,11 +75,7 @@ impl WebConfig {
 
     /// A medium configuration for the figure-regeneration experiments.
     pub fn medium() -> Self {
-        WebConfig {
-            num_pages: 20_000,
-            num_hosts: 500,
-            ..WebConfig::default()
-        }
+        WebConfig { num_pages: 20_000, num_hosts: 500, ..WebConfig::default() }
     }
 }
 
@@ -115,7 +111,8 @@ pub fn generate_web(cfg: &WebConfig, seed: u64) -> SyntheticWeb {
         .collect();
 
     // --- Page metadata: topic, size, change rate. ---
-    let size_dist = BoundedPareto::new(cfg.min_page_bytes, cfg.max_page_bytes, cfg.page_size_exponent);
+    let size_dist =
+        BoundedPareto::new(cfg.min_page_bytes, cfg.max_page_bytes, cfg.page_size_exponent);
     let pages: Vec<PageMeta> = host_of_page
         .iter()
         .map(|&h| {
@@ -162,9 +159,11 @@ pub fn generate_web(cfg: &WebConfig, seed: u64) -> SyntheticWeb {
     // `cited` is the repeated-targets pool implementing preferential
     // attachment in O(1): sampling uniformly from it is sampling
     // proportionally to (in-degree + implicit smoothing from seeding).
-    let mut cited: Vec<PageId> = Vec::with_capacity((cfg.num_pages as f64 * cfg.mean_out_degree) as usize);
+    let mut cited: Vec<PageId> =
+        Vec::with_capacity((cfg.num_pages as f64 * cfg.mean_out_degree) as usize);
     let mut link_offsets: Vec<u32> = Vec::with_capacity(cfg.num_pages + 1);
-    let mut link_targets: Vec<PageId> = Vec::with_capacity((cfg.num_pages as f64 * cfg.mean_out_degree) as usize);
+    let mut link_targets: Vec<PageId> =
+        Vec::with_capacity((cfg.num_pages as f64 * cfg.mean_out_degree) as usize);
     link_offsets.push(0);
     // Out-degree ~ 1 + Poisson-ish via geometric mixture: draw around mean.
     #[allow(clippy::needless_range_loop)] // p is also the page id being built

@@ -4,22 +4,20 @@
 //! is immutable once generated (evolution produces change *events*, not
 //! in-place mutation) so crawler agents can share it freely.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a page (dense, `0..num_pages`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
 
 /// Identifier of a host / Web server (dense, `0..num_hosts`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HostId(pub u32);
 
 /// Identifier of a topic (dense, `0..num_topics`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TopicId(pub u16);
 
 /// Static metadata of one page.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PageMeta {
     /// Host the page lives on.
     pub host: HostId,
@@ -33,7 +31,7 @@ pub struct PageMeta {
 }
 
 /// Static metadata of one host.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HostMeta {
     /// Hostname, e.g. `"host000123.example"`. Used by hashing assigners.
     pub name: String,
@@ -169,10 +167,7 @@ impl SyntheticWeb {
             return None;
         }
         let n = tail.len() as f64;
-        let sum_ln: f64 = tail
-            .iter()
-            .map(|&d| (d as f64 / (xmin as f64 - 0.5)).ln())
-            .sum();
+        let sum_ln: f64 = tail.iter().map(|&d| (d as f64 / (xmin as f64 - 0.5)).ln()).sum();
         Some(1.0 + n / sum_ln)
     }
 }

@@ -71,9 +71,13 @@ impl QosModel {
         let mut rng = SimRng::new(seed).fork_named("qos-assign");
         let hosts = (0..num_hosts)
             .map(|_| {
-                let slowness = if rng.chance(cfg.slow_fraction) { cfg.slow_factor as f32 } else { 1.0 };
-                let failure_prob =
-                    if rng.chance(cfg.flaky_fraction) { cfg.flaky_failure_prob as f32 } else { 0.0 };
+                let slowness =
+                    if rng.chance(cfg.slow_fraction) { cfg.slow_factor as f32 } else { 1.0 };
+                let failure_prob = if rng.chance(cfg.flaky_fraction) {
+                    cfg.flaky_failure_prob as f32
+                } else {
+                    0.0
+                };
                 HostQos { slowness, failure_prob }
             })
             .collect();
@@ -145,7 +149,8 @@ mod tests {
 
     #[test]
     fn flaky_host_fails_sometimes() {
-        let cfg = QosConfig { flaky_fraction: 1.0, flaky_failure_prob: 0.5, ..QosConfig::default() };
+        let cfg =
+            QosConfig { flaky_fraction: 1.0, flaky_failure_prob: 0.5, ..QosConfig::default() };
         let mut m = QosModel::new(1, cfg, 3);
         let failures = (0..1000)
             .filter(|_| matches!(m.fetch(HostId(0), 1000), FetchOutcome::TransientFailure))

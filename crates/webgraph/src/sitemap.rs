@@ -35,13 +35,7 @@ impl RobotsPolicy {
         assert!((0.0..=1.0).contains(&disallow_fraction));
         let mut rng = SimRng::new(seed).fork_named("robots");
         let host_fraction = (0..web.num_hosts())
-            .map(|_| {
-                if rng.chance(restrictive_fraction) {
-                    disallow_fraction as f32
-                } else {
-                    0.0
-                }
-            })
+            .map(|_| if rng.chance(restrictive_fraction) { disallow_fraction as f32 } else { 0.0 })
             .collect();
         RobotsPolicy { host_fraction, seed }
     }
@@ -82,9 +76,7 @@ impl SitemapIndex {
     pub fn generate(web: &SyntheticWeb, fraction: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&fraction));
         let mut rng = SimRng::new(seed).fork_named("sitemaps");
-        SitemapIndex {
-            has_sitemap: (0..web.num_hosts()).map(|_| rng.chance(fraction)).collect(),
-        }
+        SitemapIndex { has_sitemap: (0..web.num_hosts()).map(|_| rng.chance(fraction)).collect() }
     }
 
     /// No host publishes a sitemap.

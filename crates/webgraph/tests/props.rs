@@ -1,10 +1,10 @@
 //! Property-based tests of the synthetic-Web generator's invariants.
 
+use dwr_sim::SimRng;
 use dwr_webgraph::content::ContentModel;
 use dwr_webgraph::generate::{generate_web, WebConfig};
 use dwr_webgraph::graph::TopicId;
 use dwr_webgraph::sitemap::{RobotsPolicy, SitemapIndex};
-use dwr_sim::SimRng;
 use proptest::prelude::*;
 
 fn small_cfg(pages: usize, hosts: usize, topics: u16) -> WebConfig {

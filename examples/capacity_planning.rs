@@ -40,11 +40,7 @@ fn main() {
 
     // 3. The whole-engine model: your 50M-page vertical engine.
     println!("\nwhole-engine sizing for a 50M-page vertical search engine:");
-    let model = EngineModel {
-        pages: 50e6,
-        qps: 300.0,
-        ..EngineModel::default_2007()
-    };
+    let model = EngineModel { pages: 50e6, qps: 300.0, ..EngineModel::default_2007() };
     match model.evaluate() {
         Some(s) => {
             println!("  index: {:.1} GB over {} partitions", s.index_bytes / 1e9, s.partitions);

@@ -63,8 +63,7 @@ fn main() {
     let neutral = index.search(&broad_terms, 10);
     let as_global: Vec<GlobalHit> =
         neutral.iter().map(|h| GlobalHit { doc: h.doc.0, score: h.score }).collect();
-    let personal =
-        personalize_ranking(&as_global, &profile, &|doc| topics_of[doc as usize]);
+    let personal = personalize_ranking(&as_global, &profile, &|doc| topics_of[doc as usize]);
     println!(
         "\npersonalization: topic-4 articles in the top-5 went {} -> {}",
         neutral.iter().take(5).filter(|h| topics_of[h.doc.0 as usize] == 4).count(),
@@ -74,15 +73,14 @@ fn main() {
     // --- Phrase search over a positional index of the same feed. ---
     let mut stream_rng = SimRng::new(seed ^ 0xFEED);
     // The wire phrase every topic-1 breaking-news article leads with.
-    let breaking: [u32; 2] = [content.topic_base(TopicId(1)).0, content.topic_base(TopicId(1)).0 + 1];
+    let breaking: [u32; 2] =
+        [content.topic_base(TopicId(1)).0, content.topic_base(TopicId(1)).0 + 1];
     let token_docs: Vec<Vec<u32>> = (0..500)
         .map(|i| {
             let topic = TopicId((i % 6) as u16);
             let doc = content.sample_document(topic, &mut stream_rng);
-            let mut tokens: Vec<u32> = doc
-                .iter()
-                .flat_map(|&(t, c)| std::iter::repeat_n(t.0, c as usize))
-                .collect();
+            let mut tokens: Vec<u32> =
+                doc.iter().flat_map(|&(t, c)| std::iter::repeat_n(t.0, c as usize)).collect();
             stream_rng.shuffle(&mut tokens);
             if topic.0 == 1 && i % 30 == 1 {
                 let mut with_lede = breaking.to_vec();
@@ -104,8 +102,14 @@ fn main() {
 
     // --- Route incoming queries by language. ---
     let mut lang = LanguageIdentifier::new();
-    lang.add_language("en", "the latest news about sports politics and weather across the country today");
-    lang.add_language("de", "die neuesten nachrichten ueber sport politik und wetter im ganzen land heute");
+    lang.add_language(
+        "en",
+        "the latest news about sports politics and weather across the country today",
+    );
+    lang.add_language(
+        "de",
+        "die neuesten nachrichten ueber sport politik und wetter im ganzen land heute",
+    );
     for q in ["weather today news", "wetter heute nachrichten"] {
         let (best, _) = lang.classify(q).expect("languages registered");
         println!("query '{q}' routed to the {best} index");

@@ -1,0 +1,197 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! Provides the subset of criterion's API that the `dwr-bench` benches
+//! use — `criterion_group!` / `criterion_main!`, [`Criterion`],
+//! benchmark groups, [`BenchmarkId`] and `bench_with_input` — with a
+//! simple but honest measurement loop: each benchmark is warmed up,
+//! then timed over enough iterations to fill a minimum measurement
+//! window, and the mean wall-clock time per iteration is printed.
+//! No statistics, plots, or baselines; just numbers on stdout, so the
+//! bench trajectory can still be tracked run-over-run.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Warmup time per benchmark.
+const WARMUP: Duration = Duration::from_millis(300);
+/// Minimum measurement window per benchmark.
+const MEASURE: Duration = Duration::from_millis(700);
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Create a harness with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _parent: self, group: name.to_string() }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, |b| f(b));
+        self
+    }
+}
+
+/// A named group of benchmarks (prefixes every benchmark id).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the shim's measurement
+    /// window is time-based, so the sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.group, id), |b| f(b));
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.group, id), |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId { name: name.into(), param: param.to_string() }
+    }
+
+    /// Create an id from a parameter value alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { name: String::new(), param: param.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.param)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] runs the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration, set by `iter`.
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then measuring over a window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: also estimates the per-iteration cost so the
+        // measurement loop can pick a batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.05 / est.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < MEASURE {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.ns_per_iter = total.as_secs_f64() * 1e9 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher { ns_per_iter: 0.0, iters: 0 };
+    f(&mut b);
+    let ns = b.ns_per_iter;
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("bench {name:<48} {human:>12}/iter ({} iters)", b.iters);
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

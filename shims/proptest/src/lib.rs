@@ -1,0 +1,220 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates.io mirror, so the workspace
+//! vendors the subset of proptest it actually uses as a small,
+//! dependency-free harness. Semantics:
+//!
+//! * **Deterministic**: every `(test, case)` pair derives its RNG seed
+//!   from the test's module path and the case number, so failures are
+//!   reproducible run-over-run and independent of execution order.
+//! * **No shrinking**: a failing case panics with the `Debug` rendering
+//!   of the *original* inputs instead of a minimized counterexample.
+//! * **Same surface**: `proptest! { ... }` with `#![proptest_config]`,
+//!   `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//!   range and tuple strategies, `any::<T>()`,
+//!   `prop::collection::{vec, btree_set, btree_map}`, `prop_map`,
+//!   `prop_flat_map`, and `Just`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (retried with fresh inputs) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests, mirroring proptest's macro of the same name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut accepted: u32 = 0;
+                let mut attempt: u64 = 0;
+                while accepted < cfg.cases {
+                    attempt += 1;
+                    assert!(
+                        attempt <= u64::from(cfg.cases) * 20 + 100,
+                        "proptest: too many rejected cases in {}",
+                        stringify!($name)
+                    );
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempt,
+                    );
+                    let mut desc = String::new();
+                    #[allow(clippy::redundant_closure_call)]
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            let vals = ( $( ($strat).generate(&mut rng), )+ );
+                            desc = format!("{vals:?}");
+                            let ( $($arg,)+ ) = vals;
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match result {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed: {msg}\n  inputs (not shrunk): {desc}"
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ::std::default::Default::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -2.0f64..2.0, z in 1usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..4).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_collections(
+            v in prop::collection::vec((0u32..8, any::<u8>()), 0..20),
+            s in prop::collection::btree_set(0u64..100, 0..10),
+            m in prop::collection::btree_map(0u32..50, 0u32..5, 1..8),
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(s.len() < 10);
+            prop_assert!(!m.is_empty() && m.len() < 8);
+            prop_assert!(v.iter().all(|&(a, _)| a < 8));
+        }
+
+        #[test]
+        fn maps_compose(c in prop::collection::btree_set(0u32..1000, 0..30)
+            .prop_flat_map(|docs| {
+                let n = docs.len();
+                prop::collection::vec(1u32..10, n)
+                    .prop_map(move |tfs| docs.iter().copied().zip(tfs).collect::<Vec<_>>())
+            })) {
+            prop_assert!(c.windows(2).all(|w| w[0].0 < w[1].0));
+            prop_assert!(c.iter().all(|&(_, tf)| tf >= 1));
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn strings_generate(text in ".*") {
+            let _: &str = &text;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 1);
+        let mut b = crate::test_runner::TestRng::for_case("t", 1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failure_panics_with_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u32..5) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

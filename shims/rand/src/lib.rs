@@ -1,0 +1,36 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The workspace's own generators (`dwr_sim::SimRng`) implement
+//! [`RngCore`] so adaptors written against the `rand` trait vocabulary
+//! keep compiling without a crates.io mirror. Only the trait and its
+//! error type are provided.
+
+use std::fmt;
+
+/// Error type for fallible randomness sources (never produced by the
+/// deterministic generators in this workspace).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator interface, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill; the default delegates to [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

@@ -43,7 +43,7 @@ fn replicated_engine_degrades_gracefully_and_recovers() {
     let corpus = corpus_from_web(&web, &content, SEED);
     let assignment = RandomPartitioner { seed: SEED }.assign(&corpus, 4);
     let pi = PartitionedIndex::build(&corpus, &assignment, 4);
-    let mut engine = DistributedEngine::new(&pi, LruCache::new(64), 2);
+    let engine = DistributedEngine::new(&pi, LruCache::new(64), 2);
 
     let terms = [TermId(5), TermId(20_001)];
     let (full, s) = engine.query(&terms, 20);

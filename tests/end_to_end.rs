@@ -3,7 +3,7 @@
 
 use distributed_web_retrieval::core::{EngineConfig, SearchEngineLab};
 use distributed_web_retrieval::crawler::sim::CrawlConfig;
-use distributed_web_retrieval::sim::{SECOND, HOUR};
+use distributed_web_retrieval::sim::{HOUR, SECOND};
 use distributed_web_retrieval::text::TermId;
 use distributed_web_retrieval::webgraph::generate::WebConfig;
 

@@ -51,15 +51,14 @@ fn figure2_shape_doc_balanced_term_skewed() {
     let w = world();
     let assignment = RandomPartitioner { seed: SEED }.assign(&w.corpus, SERVERS);
     let pi = PartitionedIndex::build(&w.corpus, &assignment, SERVERS);
-    let mut broker = DocBroker::single_site(&pi);
+    let broker = DocBroker::single_site(&pi);
     for q in &w.stream {
         broker.query(q, 10);
     }
     let doc = Imbalance::of(&broker.busy_load_normalized());
 
     let global = build_index(&w.corpus);
-    let workload =
-        QueryWorkload { queries: w.stream.iter().map(|q| (q.clone(), 1.0)).collect() };
+    let workload = QueryWorkload { queries: w.stream.iter().map(|q| (q.clone(), 1.0)).collect() };
     let term_assign = RandomTermPartitioner.assign(&global, &workload, SERVERS);
     let mut pipe = PipelinedTermEngine::single_site(&global, term_assign, SERVERS);
     for q in &w.stream {
@@ -79,8 +78,7 @@ fn figure2_shape_doc_balanced_term_skewed() {
 fn binpacking_shape_flattens_term_load() {
     let w = world();
     let global = build_index(&w.corpus);
-    let workload =
-        QueryWorkload { queries: w.stream.iter().map(|q| (q.clone(), 1.0)).collect() };
+    let workload = QueryWorkload { queries: w.stream.iter().map(|q| (q.clone(), 1.0)).collect() };
     let random = evaluate_term_partition(
         &global,
         &workload,
@@ -120,9 +118,7 @@ fn intro_cost_model_shape() {
 /// Figure 5's anchor: ~10 of 16 sites see an outage in an average month.
 #[test]
 fn figure5_shape_site_outage_rate() {
-    use distributed_web_retrieval::avail::monthly::{
-        availability_histogram, monthly_availability,
-    };
+    use distributed_web_retrieval::avail::monthly::{availability_histogram, monthly_availability};
     use distributed_web_retrieval::avail::site::SiteConfig;
     let sites: Vec<SiteConfig> = (0..16).map(|_| SiteConfig::birn_like(2)).collect();
     let mut acc = 0.0;

@@ -1,0 +1,104 @@
+//! The tentpole concurrency guarantee, as a property: for *any* corpus,
+//! partitioning, replica-failure pattern, and query stream, the parallel
+//! scatter-gather path produces **bit-for-bit** the same merged top-k
+//! hits, `Served` outcomes, and simulated latencies as the sequential
+//! path — and leaves identical busy-time accounting behind.
+//!
+//! This holds by construction (the gather phase walks partitions in
+//! partition order regardless of completion order); the property test
+//! keeps it true under refactoring.
+
+use dwr_partition::parted::{Corpus, PartitionedIndex};
+use dwr_query::cache::LruCache;
+use dwr_query::engine::DistributedEngine;
+use dwr_query::DocBroker;
+use dwr_sim::SimRng;
+use dwr_text::TermId;
+use proptest::prelude::*;
+
+/// Build a partitioned index from a generated corpus, assigning each doc
+/// to a partition with a seed-derived (deterministic) assignment.
+fn build_partitioned(
+    docs: &[std::collections::BTreeMap<u32, u32>],
+    k: usize,
+    seed: u64,
+) -> PartitionedIndex {
+    let corpus: Corpus =
+        docs.iter().map(|doc| doc.iter().map(|(&t, &tf)| (TermId(t), tf)).collect()).collect();
+    let mut rng = SimRng::new(seed);
+    let assignment: Vec<u32> = corpus.iter().map(|_| rng.below(k as u64) as u32).collect();
+    PartitionedIndex::build(&corpus, &assignment, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Broker level: parallel scatter ≡ sequential scatter on random
+    /// corpora and query streams, for hits, latency, and busy time.
+    #[test]
+    fn broker_parallel_equals_sequential(
+        docs in prop::collection::vec(
+            prop::collection::btree_map(0u32..30, 1u32..5, 0..6),
+            1..40,
+        ),
+        k in 1usize..6,
+        threads in 2usize..5,
+        queries in prop::collection::vec(prop::collection::vec(0u32..35, 0..4), 1..25),
+        topk in 1usize..15,
+        seed in any::<u64>(),
+    ) {
+        let pi = build_partitioned(&docs, k, seed);
+        let seq = DocBroker::single_site(&pi);
+        let par = DocBroker::single_site(&pi).parallel(threads);
+        for q in &queries {
+            let terms: Vec<TermId> = q.iter().map(|&t| TermId(t)).collect();
+            let a = seq.query(&terms, topk);
+            let b = par.query(&terms, topk);
+            prop_assert_eq!(&a.hits, &b.hits, "hits diverge on {:?}", terms);
+            prop_assert_eq!(a.latency, b.latency, "latency diverges on {:?}", terms);
+            prop_assert_eq!(a.partitions_used, b.partitions_used);
+        }
+        prop_assert_eq!(seq.busy_time(), par.busy_time());
+        prop_assert_eq!(seq.queries_processed(), par.queries_processed());
+    }
+
+    /// Engine level: the full stack (cache → replica availability →
+    /// scatter-gather) stays equivalent, including `Served` outcomes,
+    /// under random replica failures.
+    #[test]
+    fn engine_parallel_equals_sequential(
+        docs in prop::collection::vec(
+            prop::collection::btree_map(0u32..25, 1u32..4, 0..5),
+            1..30,
+        ),
+        k in 1usize..5,
+        threads in 2usize..5,
+        queries in prop::collection::vec(prop::collection::vec(0u32..30, 0..4), 1..30),
+        topk in 1usize..12,
+        dead_mask in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let pi = build_partitioned(&docs, k, seed);
+        let seq = DistributedEngine::new(&pi, LruCache::new(16), 2);
+        let par = DistributedEngine::new(&pi, LruCache::new(16), 2).with_parallelism(threads);
+        // Identical replica failures on both engines (never the whole
+        // pair of a partition: keep at least replica 1 alive so Failed
+        // vs Degraded stays reachable but deterministic).
+        for p in 0..k {
+            if dead_mask & (1 << (p % 8)) != 0 {
+                seq.set_replica_alive(p, 0, false);
+                par.set_replica_alive(p, 0, false);
+            }
+        }
+        for q in &queries {
+            let terms: Vec<TermId> = q.iter().map(|&t| TermId(t)).collect();
+            let a = seq.query_full(&terms, topk);
+            let b = par.query_full(&terms, topk);
+            prop_assert_eq!(&a.hits, &b.hits, "hits diverge on {:?}", terms);
+            prop_assert_eq!(a.served, b.served, "outcome diverges on {:?}", terms);
+            prop_assert_eq!(a.latency, b.latency, "latency diverges on {:?}", terms);
+        }
+        prop_assert_eq!(seq.stats(), par.stats());
+        prop_assert_eq!(seq.cache_stats(), par.cache_stats());
+    }
+}

@@ -55,7 +55,7 @@ fn doc_broker_closely_tracks_monolithic_result_sets() {
     let assignment = RandomPartitioner { seed: SEED }.assign(&s.corpus, K);
     let pi = PartitionedIndex::build(&s.corpus, &assignment, K);
     let reference = build_index(&s.corpus);
-    let mut broker = DocBroker::single_site(&pi);
+    let broker = DocBroker::single_site(&pi);
     let mut overlap_acc = 0.0;
     let mut counted = 0usize;
     for q in &s.queries {
@@ -80,9 +80,7 @@ fn doc_broker_closely_tracks_monolithic_result_sets() {
 fn pipelined_term_engine_matches_monolithic_exactly() {
     let s = setup();
     let reference = build_index(&s.corpus);
-    let workload = QueryWorkload {
-        queries: s.queries.iter().map(|q| (q.clone(), 1.0)).collect(),
-    };
+    let workload = QueryWorkload { queries: s.queries.iter().map(|q| (q.clone(), 1.0)).collect() };
     let assignment = BinPackingTermPartitioner.assign(&reference, &workload, K);
     let mut eng = PipelinedTermEngine::single_site(&reference, assignment, K);
     for q in &s.queries {
@@ -140,7 +138,7 @@ fn cori_selection_prunes_work_without_losing_everything() {
     let assignment = RandomPartitioner { seed: SEED }.assign(&s.corpus, K);
     let pi = PartitionedIndex::build(&s.corpus, &assignment, K);
     let cori = CoriSelector::from_partitions(&pi);
-    let mut broker = DocBroker::single_site(&pi);
+    let broker = DocBroker::single_site(&pi);
     for q in &s.queries {
         let full = broker.query(q, 10);
         let pruned = broker.query_with_selection(q, 10, &cori, 2);

@@ -24,6 +24,16 @@ impl DownInterval {
         self.end - self.start
     }
 
+    /// Whether the instant `t` falls inside the outage.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether the outage intersects the window `[lo, hi)`.
+    pub fn intersects(&self, lo: SimTime, hi: SimTime) -> bool {
+        self.start < hi && lo < self.end
+    }
+
     /// Overlap of this interval with the window `[lo, hi)`.
     pub fn overlap(&self, lo: SimTime, hi: SimTime) -> SimTime {
         let s = self.start.max(lo);
@@ -170,6 +180,20 @@ mod tests {
         }
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         assert!((mean / DAY as f64 - 10.0).abs() < 1.0, "mean gap {} days", mean / DAY as f64);
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let iv = DownInterval { start: 10, end: 20 };
+        assert!(!iv.contains(9));
+        assert!(iv.contains(10));
+        assert!(iv.contains(19));
+        assert!(!iv.contains(20), "closed-open: repair instant is up");
+        assert!(iv.intersects(0, 11));
+        assert!(iv.intersects(19, 30));
+        assert!(iv.intersects(12, 13));
+        assert!(!iv.intersects(0, 10), "window ends as outage starts");
+        assert!(!iv.intersects(20, 30), "window starts at repair");
     }
 
     #[test]

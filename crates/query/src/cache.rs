@@ -298,6 +298,9 @@ impl ResultCache for SdcCache {
 /// for lock spreading under concurrent load.
 #[derive(Debug)]
 pub struct ShardedCache<C> {
+    // Locked with poison recovery throughout: cache state is valid after
+    // any interrupted get/put (worst case a stale recency index), so one
+    // panicking client must not wedge every other thread.
     shards: Vec<Mutex<C>>,
 }
 
@@ -322,12 +325,19 @@ impl<C: ResultCache> ShardedCache<C> {
 
     /// Look up a query, returning an owned copy of the cached results.
     pub fn get(&self, key: u64) -> Option<CachedResults> {
-        self.shard_for(key).lock().expect("cache shard poisoned").get(key).cloned()
+        self.shard_for(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key)
+            .cloned()
     }
 
     /// Insert a result.
     pub fn put(&self, key: u64, value: CachedResults) {
-        self.shard_for(key).lock().expect("cache shard poisoned").put(key, value);
+        self.shard_for(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .put(key, value);
     }
 
     /// Number of shards.
@@ -339,7 +349,7 @@ impl<C: ResultCache> ShardedCache<C> {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for s in &self.shards {
-            let s = s.lock().expect("cache shard poisoned").stats();
+            let s = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats();
             total.hits += s.hits;
             total.misses += s.misses;
             total.evictions += s.evictions;
@@ -349,7 +359,10 @@ impl<C: ResultCache> ShardedCache<C> {
 
     /// Resident entries summed over shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len())
+            .sum()
     }
 
     /// Whether every shard is empty.
@@ -359,7 +372,7 @@ impl<C: ResultCache> ShardedCache<C> {
 
     /// Policy name of the wrapped cache.
     pub fn name(&self) -> &'static str {
-        self.shards[0].lock().expect("cache shard poisoned").name()
+        self.shards[0].lock().unwrap_or_else(std::sync::PoisonError::into_inner).name()
     }
 }
 
@@ -515,6 +528,56 @@ mod tests {
             assert!(c.get(k).is_some(), "key {k} resident");
         }
         assert_eq!(c.len(), 8);
+    }
+
+    /// An LRU whose `get` panics on one key — simulates a client thread
+    /// dying while it holds a shard lock.
+    struct BombCache {
+        inner: LruCache,
+        bomb: u64,
+    }
+
+    impl ResultCache for BombCache {
+        fn get(&mut self, key: u64) -> Option<&CachedResults> {
+            assert_ne!(key, self.bomb, "boom");
+            self.inner.get(key)
+        }
+        fn put(&mut self, key: u64, value: CachedResults) {
+            self.inner.put(key, value);
+        }
+        fn stats(&self) -> CacheStats {
+            self.inner.stats()
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn name(&self) -> &'static str {
+            "Bomb"
+        }
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_for_other_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(ShardedCache::single(BombCache { inner: LruCache::new(8), bomb: 77 }));
+        c.put(1, value(1));
+        // One client panics while holding the (only) shard lock.
+        let poisoner = Arc::clone(&c);
+        std::thread::spawn(move || poisoner.get(77))
+            .join()
+            .expect_err("the bomb key panics its client");
+        // Every other client keeps being served from the same shard.
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    assert_eq!(c.get(1).expect("entry survives the panic")[0].doc, 1);
+                    c.put(2, value(2));
+                    assert!(c.get(2).is_some());
+                });
+            }
+        });
+        assert!(c.stats().hits >= 6);
     }
 
     #[test]

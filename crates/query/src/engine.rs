@@ -27,16 +27,38 @@
 //! to evaluate the partitions of *each* query concurrently. The parallel
 //! scatter path is bit-for-bit identical to the sequential one (see
 //! [`crate::broker`]).
+//!
+//! # Fault injection
+//!
+//! Replica liveness can be driven by a [`FaultSchedule`]
+//! ([`DistributedEngine::with_faults`]): [`DistributedEngine::advance_to`]
+//! applies the schedule's outage state at a simulated instant, and at
+//! dispatch time the engine checks whether the chosen replica dies
+//! *mid-query*, in which case it hedges once on another live replica
+//! (subject to the optional per-query deadline,
+//! [`DistributedEngine::with_deadline`]) before dropping the partition as
+//! degraded. Selection, the availability check, and dispatch happen in
+//! **one** pass under a single lock per replica group, so a group dying
+//! concurrently can never be counted as served.
 
 use crate::broker::{DocBroker, GlobalHit};
 use crate::cache::{ResultCache, ShardedCache};
+use crate::faults::FaultSchedule;
 use crate::replica::ReplicaGroup;
 use dwr_partition::parted::PartitionedIndex;
 use dwr_partition::select::CollectionSelector;
 use dwr_sim::SimTime;
 use dwr_text::TermId;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Lock a mutex, recovering the guard when a previous holder panicked.
+/// Engine state under these locks (replica cursors, liveness bits) is
+/// valid after any interrupted operation, so one panicking client must
+/// not wedge every other thread.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How a query was answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +91,8 @@ pub struct EngineStats {
     pub stale: u64,
     /// Unanswerable.
     pub failed: u64,
+    /// Hedged retries dispatched after a replica died mid-query.
+    pub hedged: u64,
 }
 
 /// Full outcome of one engine query.
@@ -91,6 +115,19 @@ struct Counters {
     degraded: AtomicU64,
     stale: AtomicU64,
     failed: AtomicU64,
+    hedged: AtomicU64,
+}
+
+/// Outcome of the single choose-and-dispatch pass for one query.
+struct DispatchPlan {
+    /// Partitions with a successfully dispatched, surviving replica.
+    served: Vec<u32>,
+    /// Chosen partitions that could not be served.
+    missing: usize,
+    /// Extra simulated latency added by hedged retries.
+    hedge_extra: SimTime,
+    /// Hedged retries dispatched.
+    hedges: u64,
 }
 
 /// The engine. Owns its broker (which owns an `Arc`-backed index clone),
@@ -103,6 +140,12 @@ pub struct DistributedEngine<C: ResultCache> {
     /// Partitions to query per request when a selector is used.
     selection_width: Option<usize>,
     selector: Option<Arc<dyn CollectionSelector + Send + Sync>>,
+    /// Outage schedule consulted at dispatch time and by `advance_to`.
+    faults: Option<Arc<FaultSchedule>>,
+    /// Per-query latency budget gating hedged retries.
+    deadline: Option<SimTime>,
+    /// The engine's simulated clock (µs), advanced by `advance_to`.
+    clock: AtomicU64,
 }
 
 /// A stable cache key for a term multiset.
@@ -129,6 +172,9 @@ impl<C: ResultCache> DistributedEngine<C> {
             counters: Counters::default(),
             selection_width: None,
             selector: None,
+            faults: None,
+            deadline: None,
+            clock: AtomicU64::new(0),
         }
     }
 
@@ -158,9 +204,61 @@ impl<C: ResultCache> DistributedEngine<C> {
         self.broker.is_parallel()
     }
 
-    /// Mark one replica of one partition down or up.
-    pub fn set_replica_alive(&self, partition: usize, replica: usize, up: bool) {
-        self.groups[partition].lock().expect("replica group poisoned").set_alive(replica, up);
+    /// Drive replica liveness from an outage schedule: `advance_to`
+    /// applies its state, and dispatch consults it for mid-query replica
+    /// deaths (triggering hedged retries). The same `Arc` can drive
+    /// several engines, which keeps fault-equivalence tests honest.
+    pub fn with_faults(mut self, schedule: Arc<FaultSchedule>) -> Self {
+        self.faults = Some(schedule);
+        self.advance_to(self.now());
+        self
+    }
+
+    /// Bound the simulated time a query may spend on one partition:
+    /// a hedged retry is attempted only when first attempt + retry fit
+    /// within `deadline`.
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        assert!(deadline > 0);
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The engine's simulated clock.
+    pub fn now(&self) -> SimTime {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advance the simulated clock to `t` and apply the fault schedule's
+    /// outage state to every replica group. Idempotent; callable from any
+    /// thread while other threads serve queries.
+    pub fn advance_to(&self, t: SimTime) {
+        self.clock.store(t, Ordering::Relaxed);
+        let Some(faults) = &self.faults else { return };
+        for (p, group) in self.groups.iter().enumerate() {
+            let replicas = faults.num_replicas(p);
+            if replicas == 0 {
+                continue;
+            }
+            let mut g = lock_recovering(group);
+            for r in 0..replicas {
+                // Graceful on schedules wider than the group.
+                g.set_alive(r, !faults.is_down(p, r, t));
+            }
+        }
+    }
+
+    /// Mark one replica of one partition down or up. Returns `false`
+    /// (changing nothing) when either index is out of range.
+    pub fn set_replica_alive(&self, partition: usize, replica: usize, up: bool) -> bool {
+        match self.groups.get(partition) {
+            Some(g) => lock_recovering(g).set_alive(replica, up),
+            None => false,
+        }
+    }
+
+    /// Queries dispatched so far, per partition and replica.
+    pub fn dispatch_counts(&self) -> Vec<Vec<u64>> {
+        self.groups.iter().map(|g| lock_recovering(g).dispatched().to_vec()).collect()
     }
 
     /// The partitions a query would address (before availability).
@@ -172,7 +270,7 @@ impl<C: ResultCache> DistributedEngine<C> {
     }
 
     fn group_available(&self, p: u32) -> bool {
-        self.groups[p as usize].lock().expect("replica group poisoned").available()
+        self.groups.get(p as usize).is_some_and(|g| lock_recovering(g).available())
     }
 
     /// Serve a query.
@@ -184,53 +282,104 @@ impl<C: ResultCache> DistributedEngine<C> {
     /// Serve a query, reporting the simulated backend latency alongside
     /// the results.
     pub fn query_full(&self, terms: &[TermId], k: usize) -> EngineResponse {
-        let key = query_key(terms);
-        if let Some(hit) = self.cache.get(key) {
-            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return EngineResponse { hits: hit, served: Served::CacheHit, latency: None };
-        }
-        // Choose partitions, keep those with a live replica.
-        let chosen = self.choose(terms);
-        let available: Vec<u32> =
-            chosen.iter().copied().filter(|&p| self.group_available(p)).collect();
-        for &p in &available {
-            let _replica =
-                self.groups[p as usize].lock().expect("replica group poisoned").dispatch();
-        }
-        if available.is_empty() {
-            // Whole backend (for this query) is down, and the cache
-            // already missed above: nothing to serve.
-            self.counters.failed.fetch_add(1, Ordering::Relaxed);
-            return EngineResponse { hits: Vec::new(), served: Served::Failed, latency: None };
-        }
-        let missing = chosen.len() - available.len();
-        let resp = self.broker.query_selected(terms, k, &available);
-        self.cache.put(key, resp.hits.clone());
-        let served = if missing == 0 {
-            self.counters.full.fetch_add(1, Ordering::Relaxed);
-            Served::Full
-        } else {
-            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
-            Served::Degraded { missing }
-        };
-        EngineResponse { hits: resp.hits, served, latency: Some(resp.latency) }
+        self.serve(terms, k, false)
     }
 
     /// Serve a query, allowing stale cache results when the backend is
     /// down (the dependability role of caches). Unlike [`Self::query`],
     /// a backend outage consults the cache *ignoring freshness*.
     pub fn query_stale_ok(&self, terms: &[TermId], k: usize) -> (Vec<GlobalHit>, Served) {
-        let backend_up = self.choose(terms).iter().any(|&p| self.group_available(p));
-        if !backend_up {
-            let key = query_key(terms);
-            if let Some(hit) = self.cache.get(key) {
-                self.counters.stale.fetch_add(1, Ordering::Relaxed);
-                return (hit, Served::StaleFromCache);
+        let r = self.serve(terms, k, true);
+        (r.hits, r.served)
+    }
+
+    /// One pass over the chosen partitions: per group, availability and
+    /// dispatch are decided under a **single** lock acquisition, so a
+    /// group dying concurrently is observed as `None` and dropped rather
+    /// than queried anyway. When a fault schedule is attached, a replica
+    /// whose outage begins mid-query loses the attempt and the engine
+    /// hedges once on another live replica (if the deadline leaves room).
+    fn dispatch_partitions(&self, chosen: &[u32], terms: &[TermId], now: SimTime) -> DispatchPlan {
+        let mut plan = DispatchPlan {
+            served: Vec::with_capacity(chosen.len()),
+            missing: 0,
+            hedge_extra: 0,
+            hedges: 0,
+        };
+        for &p in chosen {
+            let pu = p as usize;
+            let Some(group) = self.groups.get(pu) else {
+                plan.missing += 1;
+                continue;
+            };
+            let mut group = lock_recovering(group);
+            let Some(first) = group.dispatch() else {
+                plan.missing += 1;
+                continue;
+            };
+            let Some(faults) = &self.faults else {
+                plan.served.push(p);
+                continue;
+            };
+            let svc = self.broker.service_time(pu, terms).ceil() as SimTime;
+            if !faults.fails_during(pu, first, now, now + svc) {
+                plan.served.push(p);
+                continue;
             }
-            self.counters.failed.fetch_add(1, Ordering::Relaxed);
-            return (Vec::new(), Served::Failed);
+            // First replica dies mid-query. Hedge once, on a different
+            // replica, only if attempt + retry fit the deadline.
+            let fits_deadline = self.deadline.is_none_or(|d| 2 * svc <= d);
+            let retry = if fits_deadline { group.dispatch_excluding(first) } else { None };
+            match retry {
+                Some(second) if !faults.fails_during(pu, second, now + svc, now + 2 * svc) => {
+                    plan.hedges += 1;
+                    plan.hedge_extra = plan.hedge_extra.max(svc);
+                    plan.served.push(p);
+                }
+                other => {
+                    // The retry (if any) was dispatched but also lost.
+                    plan.hedges += u64::from(other.is_some());
+                    plan.missing += 1;
+                }
+            }
         }
-        self.query(terms, k)
+        plan
+    }
+
+    /// The one serving path behind [`Self::query_full`] and
+    /// [`Self::query_stale_ok`]: cache consult, then a single
+    /// choose-and-dispatch pass, then evaluation — selection,
+    /// availability, and dispatch each happen exactly once per query.
+    fn serve(&self, terms: &[TermId], k: usize, stale_ok: bool) -> EngineResponse {
+        let now = self.now();
+        let key = query_key(terms);
+        if let Some(hit) = self.cache.get(key) {
+            if stale_ok && !self.choose(terms).iter().any(|&p| self.group_available(p)) {
+                self.counters.stale.fetch_add(1, Ordering::Relaxed);
+                return EngineResponse { hits: hit, served: Served::StaleFromCache, latency: None };
+            }
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return EngineResponse { hits: hit, served: Served::CacheHit, latency: None };
+        }
+        let chosen = self.choose(terms);
+        let plan = self.dispatch_partitions(&chosen, terms, now);
+        self.counters.hedged.fetch_add(plan.hedges, Ordering::Relaxed);
+        if plan.served.is_empty() {
+            // Whole backend (for this query) is down, and the cache
+            // already missed above: nothing to serve.
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            return EngineResponse { hits: Vec::new(), served: Served::Failed, latency: None };
+        }
+        let resp = self.broker.query_selected(terms, k, &plan.served);
+        self.cache.put(key, resp.hits.clone());
+        let served = if plan.missing == 0 {
+            self.counters.full.fetch_add(1, Ordering::Relaxed);
+            Served::Full
+        } else {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            Served::Degraded { missing: plan.missing }
+        };
+        EngineResponse { hits: resp.hits, served, latency: Some(resp.latency + plan.hedge_extra) }
     }
 
     /// Counters so far.
@@ -241,6 +390,7 @@ impl<C: ResultCache> DistributedEngine<C> {
             degraded: self.counters.degraded.load(Ordering::Relaxed),
             stale: self.counters.stale.load(Ordering::Relaxed),
             failed: self.counters.failed.load(Ordering::Relaxed),
+            hedged: self.counters.hedged.load(Ordering::Relaxed),
         }
     }
 
@@ -382,6 +532,204 @@ mod tests {
         });
         let s = e.stats();
         assert_eq!(s.cache_hits + s.full, 101);
+    }
+
+    #[test]
+    fn set_replica_alive_out_of_range_is_ignored() {
+        let pi = setup();
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 2);
+        assert!(!e.set_replica_alive(99, 0, false), "bad partition");
+        assert!(!e.set_replica_alive(0, 99, false), "bad replica");
+        assert!(e.set_replica_alive(0, 1, false));
+        let (_, s) = e.query(&[TermId(1)], 5);
+        assert_eq!(s, Served::Full, "state untouched by bad indices");
+    }
+
+    fn down(start: SimTime, end: SimTime) -> dwr_avail::failure::DownInterval {
+        dwr_avail::failure::DownInterval { start, end }
+    }
+
+    #[test]
+    fn fault_schedule_drives_replica_state() {
+        let pi = setup();
+        // Partition 0's only replica is down over the second simulated
+        // second (wide enough that queries near it don't graze it
+        // mid-flight: service times are a few hundred µs).
+        let sec = 1_000_000;
+        let schedule = FaultSchedule::from_intervals(
+            vec![vec![vec![down(sec, 2 * sec)]], vec![vec![]], vec![vec![]], vec![vec![]]],
+            10 * sec,
+        );
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 1).with_faults(Arc::new(schedule));
+        let (_, s) = e.query(&[TermId(2)], 24);
+        assert_eq!(s, Served::Full, "up before the outage");
+        e.advance_to(sec + sec / 2);
+        let (_, s) = e.query(&[TermId(3)], 24);
+        assert_eq!(s, Served::Degraded { missing: 1 }, "outage applied");
+        e.advance_to(3 * sec);
+        let (_, s) = e.query(&[TermId(4)], 24);
+        assert_eq!(s, Served::Full, "repair applied");
+        assert_eq!(e.now(), 3 * sec);
+    }
+
+    /// A 2-partition, 2-replica setting where replica 0 of partition 0
+    /// goes down just after dispatch time 0 — i.e. mid-query for any
+    /// service time > 1 µs.
+    fn setup_mid_query_death() -> (PartitionedIndex, Arc<FaultSchedule>) {
+        let corpus: Corpus = (0..24u32).map(|d| vec![(TermId(d % 5), 2)]).collect();
+        let a = RoundRobinPartitioner.assign(&corpus, 2);
+        let pi = PartitionedIndex::build(&corpus, &a, 2);
+        let schedule = FaultSchedule::from_intervals(
+            vec![vec![vec![down(1, 1_000_000)], vec![]], vec![vec![], vec![]]],
+            2_000_000,
+        );
+        (pi, Arc::new(schedule))
+    }
+
+    #[test]
+    fn mid_query_death_is_hedged_on_another_replica() {
+        let (pi, schedule) = setup_mid_query_death();
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 2).with_faults(schedule);
+        let r = e.query_full(&[TermId(1)], 10);
+        assert_eq!(r.served, Served::Full, "the hedge covers the dead replica");
+        assert_eq!(e.stats().hedged, 1);
+        let counts = e.dispatch_counts();
+        assert_eq!(counts[0], vec![1, 1], "first attempt plus hedge on partition 0");
+        assert_eq!(counts[1].iter().sum::<u64>(), 1, "partition 1 served in one attempt");
+    }
+
+    #[test]
+    fn hedge_unavailable_degrades_the_partition() {
+        let pi = setup();
+        // Single replica per partition: a mid-query death has no hedge
+        // target, so the partition is dropped as degraded.
+        let schedule = FaultSchedule::from_intervals(
+            vec![vec![vec![down(1, 1_000_000)]], vec![vec![]], vec![vec![]], vec![vec![]]],
+            2_000_000,
+        );
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 1).with_faults(Arc::new(schedule));
+        let (_, s) = e.query(&[TermId(2)], 24);
+        assert_eq!(s, Served::Degraded { missing: 1 });
+        assert_eq!(e.stats().hedged, 0);
+    }
+
+    #[test]
+    fn deadline_blocks_the_hedged_retry() {
+        let (pi, schedule) = setup_mid_query_death();
+        // A 1 µs deadline can never fit attempt + retry: degrade instead.
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 2)
+            .with_faults(schedule)
+            .with_deadline(1);
+        let (_, s) = e.query(&[TermId(1)], 10);
+        assert_eq!(s, Served::Degraded { missing: 1 });
+        assert_eq!(e.stats().hedged, 0, "no retry was dispatched");
+        assert_eq!(e.dispatch_counts()[0], vec![1, 0], "replica 1 untouched");
+    }
+
+    /// Regression for the check-then-dispatch race: pre-fix, the engine
+    /// probed availability and dispatched under *separate* lock
+    /// acquisitions and ignored a `None` dispatch, so a group dying in
+    /// between was still queried and counted `Full`. Post-fix, every
+    /// evaluated partition corresponds to exactly one successful dispatch
+    /// (no fault schedule ⇒ no hedges), an invariant this test checks
+    /// under a concurrent replica killer.
+    #[test]
+    fn full_service_implies_one_dispatch_per_partition() {
+        use std::sync::atomic::AtomicBool;
+        // A deliberately wide index: with 256 partitions, the pre-fix
+        // availability pass and dispatch pass are microseconds apart, so
+        // the killer thread lands inside the TOCTOU window even when a
+        // timeslice preemption is the only source of interleaving.
+        const P: usize = 256;
+        let corpus: Corpus = (0..P as u32).map(|d| vec![(TermId(d % 7), 1)]).collect();
+        let a = RoundRobinPartitioner.assign(&corpus, P);
+        let pi = PartitionedIndex::build(&corpus, &a, P);
+        let e = Arc::new(DistributedEngine::new(&pi, LruCache::new(4), 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let killer = {
+            let e = Arc::clone(&e);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut up = false;
+                while !stop.load(Ordering::Relaxed) {
+                    e.set_replica_alive(0, 0, up);
+                    up = !up;
+                }
+            })
+        };
+        let mut evaluated = 0u64;
+        for q in 0..5_000u32 {
+            // Distinct single-term queries: the cache never answers.
+            let (_, served) = e.query(&[TermId(1_000 + q)], 5);
+            evaluated += match served {
+                Served::Full => P as u64,
+                Served::Degraded { missing } => (P - missing) as u64,
+                Served::Failed => 0,
+                Served::CacheHit | Served::StaleFromCache => unreachable!("distinct cold queries"),
+            };
+        }
+        stop.store(true, Ordering::Relaxed);
+        killer.join().expect("killer thread");
+        let dispatched: u64 = e.dispatch_counts().iter().flatten().sum();
+        assert_eq!(
+            dispatched, evaluated,
+            "every partition counted as served must have had a successful dispatch"
+        );
+    }
+
+    /// An LRU whose `get` panics on one key: a client thread dies while
+    /// holding the cache shard lock, and the engine must keep serving
+    /// every other client.
+    struct BombCache {
+        inner: LruCache,
+        bomb: u64,
+    }
+
+    impl crate::cache::ResultCache for BombCache {
+        fn get(&mut self, key: u64) -> Option<&crate::cache::CachedResults> {
+            assert_ne!(key, self.bomb, "boom");
+            self.inner.get(key)
+        }
+        fn put(&mut self, key: u64, value: crate::cache::CachedResults) {
+            self.inner.put(key, value);
+        }
+        fn stats(&self) -> crate::cache::CacheStats {
+            self.inner.stats()
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn name(&self) -> &'static str {
+            "Bomb"
+        }
+    }
+
+    #[test]
+    fn panicked_client_does_not_wedge_other_threads() {
+        let pi = setup();
+        let bomb = query_key(&[TermId(42)]);
+        let e =
+            Arc::new(DistributedEngine::new(&pi, BombCache { inner: LruCache::new(16), bomb }, 2));
+        let baseline = e.query(&[TermId(1)], 5).0;
+        let poisoner = Arc::clone(&e);
+        std::thread::spawn(move || poisoner.query(&[TermId(42)], 5))
+            .join()
+            .expect_err("the bomb query panics its client");
+        // Other clients keep hitting the same (now-recovered) shard and
+        // the replica groups.
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let e = Arc::clone(&e);
+                let baseline = baseline.clone();
+                s.spawn(move || {
+                    let (hits, served) = e.query(&[TermId(1)], 5);
+                    assert_eq!(hits, baseline);
+                    assert!(matches!(served, Served::CacheHit | Served::Full));
+                    e.set_replica_alive(0, 0, false);
+                    e.set_replica_alive(0, 0, true);
+                });
+            }
+        });
     }
 
     #[test]

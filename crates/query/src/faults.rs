@@ -1,0 +1,186 @@
+//! Query-time fault injection: materialized outage schedules for the
+//! replicated engine.
+//!
+//! Section 5's dependability argument ("upon query processor failures,
+//! the system returns cached results") is only testable if the query
+//! path actually experiences failures. A [`FaultSchedule`] materializes
+//! one [`DownInterval`] sequence per *(partition, replica)* pair from an
+//! [`UpDownProcess`] renewal model, and the engine consumes it two ways:
+//!
+//! * [`DistributedEngine::advance_to`](crate::engine::DistributedEngine::advance_to)
+//!   applies the schedule's state at a simulated instant to every replica
+//!   group, so a query stream experiences realistic outages instead of
+//!   hand-placed `set_replica_alive` calls;
+//! * at dispatch time the engine asks [`FaultSchedule::fails_during`]
+//!   whether the chosen replica dies *mid-query*, which triggers one
+//!   hedged retry on another live replica before the partition is
+//!   dropped as degraded.
+//!
+//! Schedules are deterministic: the intervals of pair *(p, r)* depend
+//! only on the seed, the process parameters, and the labels `p` and `r`
+//! — never on how many other pairs exist. A schedule generated for
+//! `r + 1` replicas is therefore the `r`-replica schedule plus one extra
+//! independent replica per partition, which is what makes the
+//! replication-factor sweep of `exp_failover` comparable across rows.
+
+use dwr_avail::failure::{DownInterval, UpDownProcess};
+use dwr_sim::{SimRng, SimTime};
+
+/// Per-replica outage intervals over a fixed horizon, indexed by
+/// partition and replica.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    horizon: SimTime,
+    /// `outages[partition][replica]`: sorted, non-overlapping intervals.
+    outages: Vec<Vec<Vec<DownInterval>>>,
+}
+
+impl FaultSchedule {
+    /// Materialize a schedule of `partitions × replicas` independent
+    /// up-down processes over `[0, horizon)`.
+    pub fn generate(
+        partitions: usize,
+        replicas: usize,
+        process: &UpDownProcess,
+        horizon: SimTime,
+        seed: u64,
+    ) -> Self {
+        assert!(horizon > 0);
+        let root = SimRng::new(seed);
+        let outages = (0..partitions)
+            .map(|p| {
+                (0..replicas)
+                    .map(|r| {
+                        // Label-forked: the (p, r) stream is independent
+                        // of the schedule's dimensions.
+                        let mut rng = root.fork(((p as u64) << 24) | r as u64);
+                        process.down_intervals(horizon, &mut rng)
+                    })
+                    .collect()
+            })
+            .collect();
+        FaultSchedule { horizon, outages }
+    }
+
+    /// Build a schedule from hand-placed intervals (tests, replayed
+    /// traces). `outages[p][r]` must be sorted and non-overlapping.
+    pub fn from_intervals(outages: Vec<Vec<Vec<DownInterval>>>, horizon: SimTime) -> Self {
+        debug_assert!(outages
+            .iter()
+            .flatten()
+            .all(|ivs| ivs.windows(2).all(|w| w[0].end <= w[1].start)));
+        FaultSchedule { horizon, outages }
+    }
+
+    /// The schedule's time horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Number of partitions covered.
+    pub fn num_partitions(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// Number of replicas covered for partition `p` (0 when `p` is
+    /// outside the schedule).
+    pub fn num_replicas(&self, p: usize) -> usize {
+        self.outages.get(p).map_or(0, Vec::len)
+    }
+
+    /// The sorted outage intervals of replica `r` of partition `p`
+    /// (empty for pairs outside the schedule). Exposed so experiments can
+    /// align probe queries with outage boundaries.
+    pub fn intervals(&self, p: usize, r: usize) -> &[DownInterval] {
+        self.outages.get(p).and_then(|g| g.get(r)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether replica `r` of partition `p` is down at instant `t`.
+    /// Pairs outside the schedule are always up.
+    pub fn is_down(&self, p: usize, r: usize, t: SimTime) -> bool {
+        let ivs = self.intervals(p, r);
+        // Last interval starting at or before t, if any, decides.
+        let idx = ivs.partition_point(|iv| iv.start <= t);
+        idx > 0 && ivs[idx - 1].contains(t)
+    }
+
+    /// Whether replica `r` of partition `p` suffers any outage
+    /// intersecting the window `[lo, hi)` — i.e. whether a query
+    /// occupying the replica for that window would be lost.
+    pub fn fails_during(&self, p: usize, r: usize, lo: SimTime, hi: SimTime) -> bool {
+        let ivs = self.intervals(p, r);
+        // First interval ending after lo is the only candidate.
+        let idx = ivs.partition_point(|iv| iv.end <= lo);
+        ivs.get(idx).is_some_and(|iv| iv.intersects(lo, hi))
+    }
+
+    /// Total downtime of replica `r` of partition `p` over the horizon.
+    pub fn downtime(&self, p: usize, r: usize) -> SimTime {
+        self.intervals(p, r).iter().map(DownInterval::duration).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwr_sim::{DAY, HOUR};
+
+    fn iv(start: SimTime, end: SimTime) -> DownInterval {
+        DownInterval { start, end }
+    }
+
+    #[test]
+    fn is_down_follows_intervals() {
+        let s =
+            FaultSchedule::from_intervals(vec![vec![vec![iv(10, 20), iv(40, 50)], vec![]]], 100);
+        assert!(!s.is_down(0, 0, 9));
+        assert!(s.is_down(0, 0, 10));
+        assert!(s.is_down(0, 0, 19));
+        assert!(!s.is_down(0, 0, 20));
+        assert!(!s.is_down(0, 0, 30));
+        assert!(s.is_down(0, 0, 45));
+        assert!(!s.is_down(0, 1, 45), "replica with no outages is up");
+        assert!(!s.is_down(7, 0, 45), "partition outside the schedule is up");
+        assert!(!s.is_down(0, 9, 45), "replica outside the schedule is up");
+    }
+
+    #[test]
+    fn fails_during_detects_mid_query_death() {
+        let s = FaultSchedule::from_intervals(vec![vec![vec![iv(100, 200)]]], 1000);
+        assert!(s.fails_during(0, 0, 90, 110), "outage starts inside the query");
+        assert!(s.fails_during(0, 0, 150, 160), "query entirely inside the outage");
+        assert!(s.fails_during(0, 0, 190, 260), "query starts inside the outage");
+        assert!(!s.fails_during(0, 0, 0, 100), "query completes as the outage starts");
+        assert!(!s.fails_during(0, 0, 200, 300), "query starts at repair");
+        assert!(!s.fails_during(3, 1, 0, 1000), "outside the schedule never fails");
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_dimension_stable() {
+        let p = UpDownProcess::exponential(2 * DAY, 6 * HOUR);
+        let horizon = 60 * DAY;
+        let a = FaultSchedule::generate(4, 2, &p, horizon, 42);
+        let b = FaultSchedule::generate(4, 2, &p, horizon, 42);
+        let wider = FaultSchedule::generate(4, 3, &p, horizon, 42);
+        for part in 0..4 {
+            for r in 0..2 {
+                assert_eq!(a.intervals(part, r), b.intervals(part, r), "same seed, same schedule");
+                assert_eq!(
+                    a.intervals(part, r),
+                    wider.intervals(part, r),
+                    "adding replicas must not perturb existing streams"
+                );
+            }
+        }
+        assert_ne!(a.intervals(0, 0), a.intervals(0, 1), "streams are independent");
+    }
+
+    #[test]
+    fn downtime_matches_steady_state_roughly() {
+        let p = UpDownProcess::exponential(10 * DAY, DAY);
+        let horizon = 2_000 * DAY;
+        let s = FaultSchedule::generate(1, 1, &p, horizon, 7);
+        let measured = 1.0 - s.downtime(0, 0) as f64 / horizon as f64;
+        assert!((measured - p.steady_state_availability()).abs() < 0.02, "measured={measured}");
+    }
+}

@@ -31,6 +31,10 @@
 //! * [`personalize`] — server-side (replicated state) vs. client-side
 //!   (thin layer) personalization, Section 5's privacy/consistency
 //!   trade-off;
+//! * [`faults`] — query-time fault injection: [`faults::FaultSchedule`]
+//!   materializes per-replica outage intervals from
+//!   `dwr_avail::UpDownProcess` and drives engine replica state as
+//!   simulated time advances, with hedged retries on mid-query deaths;
 //! * [`scatter`] — a fixed worker pool with deterministic in-order
 //!   gather, the substrate of true parallel scatter-gather;
 //! * [`engine`] — the assembled distributed engine: cache in front of a
@@ -42,6 +46,7 @@ pub mod arch;
 pub mod broker;
 pub mod cache;
 pub mod engine;
+pub mod faults;
 pub mod hierarchy;
 pub mod incremental;
 pub mod personalize;
@@ -54,5 +59,6 @@ pub mod site;
 pub use broker::DocBroker;
 pub use cache::{LfuCache, LruCache, ResultCache, SdcCache, ShardedCache};
 pub use engine::DistributedEngine;
+pub use faults::FaultSchedule;
 pub use pipeline::PipelinedTermEngine;
 pub use scatter::ScatterPool;

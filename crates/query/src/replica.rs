@@ -38,9 +38,17 @@ impl ReplicaGroup {
         self.alive.iter().filter(|&&a| a).count()
     }
 
-    /// Mark a replica down/up.
-    pub fn set_alive(&mut self, replica: usize, up: bool) {
-        self.alive[replica] = up;
+    /// Mark a replica down/up. Returns `false` (and changes nothing) when
+    /// `replica` is out of range, so a fault schedule sized for a larger
+    /// group cannot crash the engine.
+    pub fn set_alive(&mut self, replica: usize, up: bool) -> bool {
+        match self.alive.get_mut(replica) {
+            Some(state) => {
+                *state = up;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Whether any replica can serve.
@@ -55,6 +63,22 @@ impl ReplicaGroup {
         for probe in 0..n {
             let candidate = (self.next + probe) % n;
             if self.alive[candidate] {
+                self.next = (candidate + 1) % n;
+                self.dispatched[candidate] += 1;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Dispatch one query like [`Self::dispatch`], but never to `avoid`
+    /// — the hedged-retry path, where the first replica failed mid-query
+    /// and retrying on it would just fail again.
+    pub fn dispatch_excluding(&mut self, avoid: usize) -> Option<usize> {
+        let n = self.alive.len();
+        for probe in 0..n {
+            let candidate = (self.next + probe) % n;
+            if candidate != avoid && self.alive[candidate] {
                 self.next = (candidate + 1) % n;
                 self.dispatched[candidate] += 1;
                 return Some(candidate);
@@ -132,22 +156,34 @@ impl PrimaryBackupStore {
         self.replicas[self.primary].as_ref().and_then(|r| r.get(&key)).map(|&(v, _)| v)
     }
 
-    /// Crash a replica (primary or backup). State on it is lost.
-    pub fn crash(&mut self, replica: usize) {
-        self.replicas[replica] = None;
-        if replica == self.primary {
-            let _ = self.fail_over();
+    /// Crash a replica (primary or backup). State on it is lost. Returns
+    /// `false` (and changes nothing) when `replica` is out of range.
+    pub fn crash(&mut self, replica: usize) -> bool {
+        match self.replicas.get_mut(replica) {
+            Some(slot) => {
+                *slot = None;
+                if replica == self.primary {
+                    let _ = self.fail_over();
+                }
+                true
+            }
+            None => false,
         }
     }
 
     /// Recover a crashed replica: it re-joins empty and is brought up to
-    /// date by state transfer from the primary.
-    pub fn recover(&mut self, replica: usize) {
-        if self.replicas[replica].is_some() {
-            return;
+    /// date by state transfer from the primary. A no-op on an already-live
+    /// replica; returns `false` only when `replica` is out of range.
+    pub fn recover(&mut self, replica: usize) -> bool {
+        match self.replicas.get(replica) {
+            Some(Some(_)) => true,
+            Some(None) => {
+                let snapshot = self.replicas[self.primary].clone().unwrap_or_default();
+                self.replicas[replica] = Some(snapshot);
+                true
+            }
+            None => false,
         }
-        let snapshot = self.replicas[self.primary].clone().unwrap_or_default();
-        self.replicas[replica] = Some(snapshot);
     }
 
     fn fail_over(&mut self) -> Option<()> {
@@ -192,6 +228,43 @@ mod tests {
         // Recovery restores service.
         g.set_alive(1, true);
         assert_eq!(g.dispatch(), Some(1));
+    }
+
+    #[test]
+    fn set_alive_out_of_range_is_ignored() {
+        let mut g = ReplicaGroup::new(2);
+        assert!(!g.set_alive(5, false), "out-of-range index reports failure");
+        assert_eq!(g.alive_count(), 2, "state untouched");
+        assert!(g.set_alive(1, false));
+        assert_eq!(g.alive_count(), 1);
+    }
+
+    #[test]
+    fn dispatch_excluding_avoids_the_failed_replica() {
+        let mut g = ReplicaGroup::new(3);
+        for _ in 0..30 {
+            let r = g.dispatch_excluding(1).expect("others alive");
+            assert_ne!(r, 1);
+        }
+        assert_eq!(g.dispatched()[1], 0);
+        // With only the excluded replica alive there is no hedge target.
+        g.set_alive(0, false);
+        g.set_alive(2, false);
+        assert_eq!(g.dispatch_excluding(1), None);
+        assert_eq!(g.dispatch(), Some(1), "plain dispatch still reaches it");
+    }
+
+    #[test]
+    fn crash_and_recover_out_of_range_are_ignored() {
+        let mut s = PrimaryBackupStore::new(1);
+        s.put(1, 10);
+        assert!(!s.crash(9));
+        assert!(!s.recover(9));
+        assert_eq!(s.get(1), Some(10), "state untouched by bad indices");
+        assert!(s.crash(0));
+        assert!(s.recover(0));
+        assert!(s.recover(0), "recovering a live replica is a no-op");
+        assert_eq!(s.get(1), Some(10));
     }
 
     #[test]

@@ -95,7 +95,8 @@ impl ScatterPool {
         let n = tasks.len();
         let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
         {
-            let mut state = self.shared.state.lock().expect("scatter pool poisoned");
+            let mut state =
+                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             for (i, task) in tasks.into_iter().enumerate() {
                 let tx = tx.clone();
                 state.queue.push_back(Box::new(move || {
@@ -130,7 +131,8 @@ impl ScatterPool {
 impl Drop for ScatterPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("scatter pool poisoned");
+            let mut state =
+                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             state.shutdown = true;
         }
         self.shared.work_ready.notify_all();
@@ -166,7 +168,7 @@ fn worker_loop(shared: &PoolShared) {
     loop {
         // Fast path: grab work (or notice shutdown) without parking.
         {
-            let mut state = shared.state.lock().expect("scatter pool poisoned");
+            let mut state = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(job) = state.queue.pop_front() {
                 drop(state);
                 job();
@@ -188,7 +190,7 @@ fn worker_loop(shared: &PoolShared) {
         }
         // Slow path: park until new work or shutdown.
         let job = {
-            let mut state = shared.state.lock().expect("scatter pool poisoned");
+            let mut state = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     break job;
@@ -196,7 +198,10 @@ fn worker_loop(shared: &PoolShared) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.work_ready.wait(state).expect("scatter pool poisoned");
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         spins = 0;
@@ -279,6 +284,30 @@ mod tests {
         // Workers caught the panic; the pool still serves.
         let got = pool.scatter(vec![|| 1, || 2, || 3]);
         assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panicked_task_does_not_wedge_other_threads() {
+        let pool = Arc::new(ScatterPool::new(2));
+        // Client thread A panics (the task panic is re-raised on it).
+        let poisoner = Arc::clone(&pool);
+        std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                poisoner.scatter(vec![|| panic!("boom")])
+            }));
+        })
+        .join()
+        .expect("catch_unwind contains the panic");
+        // Other client threads keep scattering on the same pool.
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let got = pool.scatter((0..8).map(|i| move || i * t).collect::<Vec<_>>());
+                    assert_eq!(got, (0..8).map(|i| i * t).collect::<Vec<_>>());
+                });
+            }
+        });
     }
 
     #[test]

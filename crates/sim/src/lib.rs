@@ -33,6 +33,8 @@ pub use rng::SimRng;
 pub const SECOND: SimTime = 1_000_000;
 /// One millisecond expressed in the simulator's microsecond clock.
 pub const MILLISECOND: SimTime = 1_000;
+/// One simulated minute.
+pub const MINUTE: SimTime = 60 * SECOND;
 /// One simulated hour.
 pub const HOUR: SimTime = 3_600 * SECOND;
 /// One simulated day.

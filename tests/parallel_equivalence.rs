@@ -8,13 +8,16 @@
 //! partition order regardless of completion order); the property test
 //! keeps it true under refactoring.
 
+use dwr_avail::UpDownProcess;
 use dwr_partition::parted::{Corpus, PartitionedIndex};
 use dwr_query::cache::LruCache;
 use dwr_query::engine::DistributedEngine;
+use dwr_query::faults::FaultSchedule;
 use dwr_query::DocBroker;
-use dwr_sim::SimRng;
+use dwr_sim::{SimRng, SimTime, DAY, HOUR};
 use dwr_text::TermId;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Build a partitioned index from a generated corpus, assigning each doc
 /// to a partition with a seed-derived (deterministic) assignment.
@@ -100,5 +103,51 @@ proptest! {
         }
         prop_assert_eq!(seq.stats(), par.stats());
         prop_assert_eq!(seq.cache_stats(), par.cache_stats());
+    }
+
+    /// Engine level, fault-injected: under one `UpDownProcess`-derived
+    /// schedule applied to both engines (same `Arc`, same `advance_to`
+    /// instants), sequential and parallel serving stay identical —
+    /// hits, `Served` outcomes, latencies (including hedge penalties),
+    /// stats, and per-replica dispatch ledgers.
+    #[test]
+    fn engine_parallel_equals_sequential_under_fault_schedule(
+        docs in prop::collection::vec(
+            prop::collection::btree_map(0u32..25, 1u32..4, 0..5),
+            1..30,
+        ),
+        k in 1usize..5,
+        replicas in 1usize..4,
+        threads in 2usize..5,
+        n_queries in 1usize..40,
+        mtbf_hours in 1u64..24,
+        mttr_hours in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let pi = build_partitioned(&docs, k, seed);
+        let horizon = 2 * DAY;
+        let process = UpDownProcess::exponential(mtbf_hours * HOUR, mttr_hours * HOUR);
+        let schedule = Arc::new(FaultSchedule::generate(k, replicas, &process, horizon, seed));
+        let seq = DistributedEngine::new(&pi, LruCache::new(16), replicas)
+            .with_faults(Arc::clone(&schedule));
+        let par = DistributedEngine::new(&pi, LruCache::new(16), replicas)
+            .with_faults(schedule)
+            .with_parallelism(threads);
+        let mut rng = SimRng::new(seed ^ 0xE0_FA_17);
+        for i in 0..n_queries {
+            let t = i as SimTime * horizon / n_queries as SimTime;
+            seq.advance_to(t);
+            par.advance_to(t);
+            let terms: Vec<TermId> =
+                (0..rng.below(4)).map(|_| TermId(rng.below(30) as u32)).collect();
+            let a = seq.query_full(&terms, 10);
+            let b = par.query_full(&terms, 10);
+            prop_assert_eq!(&a.hits, &b.hits, "hits diverge on {:?} at t={}", &terms, t);
+            prop_assert_eq!(a.served, b.served, "outcome diverges on {:?} at t={}", &terms, t);
+            prop_assert_eq!(a.latency, b.latency, "latency diverges on {:?} at t={}", &terms, t);
+        }
+        prop_assert_eq!(seq.stats(), par.stats());
+        prop_assert_eq!(seq.cache_stats(), par.cache_stats());
+        prop_assert_eq!(seq.dispatch_counts(), par.dispatch_counts());
     }
 }

@@ -58,10 +58,11 @@ impl Placement {
             }
             PlacementStrategy::BestSites => {
                 let mut order: Vec<u32> = (0..n).collect();
+                // total_cmp: a NaN availability (corrupt telemetry) must
+                // sort deterministically instead of panicking.
                 order.sort_by(|&a, &b| {
                     site_availability[b as usize]
-                        .partial_cmp(&site_availability[a as usize])
-                        .expect("availability is not NaN")
+                        .total_cmp(&site_availability[a as usize])
                         .then(a.cmp(&b))
                 });
                 let best: Vec<u32> = order.into_iter().take(r as usize).collect();
@@ -211,6 +212,28 @@ mod tests {
         let up = vec![false; 5];
         assert_eq!(p.objects_available(&up), 0.0);
         assert!(!p.query_succeeds(&up));
+    }
+
+    #[test]
+    fn nan_availability_does_not_panic_best_sites() {
+        // Regression: ranking sites by availability used partial_cmp with
+        // an expect(), so one NaN measurement panicked the placement. With
+        // total_cmp the NaN site sorts deterministically and the placement
+        // stays well-formed.
+        let mut rng = SimRng::new(9);
+        let mut a = avail(6);
+        a[2] = f64::NAN;
+        let p = Placement::new(PlacementStrategy::BestSites, 40, 6, 3, &a, &mut rng);
+        assert_eq!(p.objects(), 40);
+        for sites in &p.sites_of {
+            let mut s = sites.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 3, "3 distinct sites per object");
+        }
+        // Determinism across calls with the same inputs.
+        let q = Placement::new(PlacementStrategy::BestSites, 40, 6, 3, &a, &mut SimRng::new(9));
+        assert_eq!(p.sites_of, q.sites_of);
     }
 
     #[test]

@@ -41,6 +41,26 @@ pub struct Site {
 }
 
 impl Site {
+    /// A site that never goes down over `[0, horizon)`.
+    pub fn always_up(horizon: SimTime) -> Self {
+        assert!(horizon > 0);
+        Site { downs: Vec::new(), horizon }
+    }
+
+    /// Build a site timeline from hand-placed down intervals (tests,
+    /// replayed traces). Intervals may arrive unsorted or overlapping;
+    /// they are normalized to the disjoint ordered form, clipped to the
+    /// horizon, and empty intervals are dropped.
+    pub fn from_down_intervals(mut downs: Vec<DownInterval>, horizon: SimTime) -> Self {
+        assert!(horizon > 0);
+        for iv in &mut downs {
+            iv.end = iv.end.min(horizon);
+        }
+        downs.retain(|iv| iv.start < iv.end);
+        downs.sort_unstable_by_key(|iv| iv.start);
+        Site { downs: union(&downs), horizon }
+    }
+
     /// Simulate the site's unavailability over `[0, horizon)`.
     pub fn simulate(cfg: &SiteConfig, horizon: SimTime, rng: &mut SimRng) -> Self {
         assert!(cfg.servers > 0);
@@ -81,6 +101,15 @@ impl Site {
                 }
             })
             .is_err()
+    }
+
+    /// Whether any outage intersects the window `[lo, hi)` — i.e. whether
+    /// a query occupying the site for that window would be lost to a
+    /// whole-site failure, even if the site was up at dispatch time.
+    pub fn fails_during(&self, lo: SimTime, hi: SimTime) -> bool {
+        // First interval ending after `lo` is the only candidate.
+        let idx = self.downs.partition_point(|iv| iv.end <= lo);
+        self.downs.get(idx).is_some_and(|iv| iv.intersects(lo, hi))
     }
 
     /// Availability over the window `[lo, hi)`.
@@ -208,6 +237,45 @@ mod tests {
         assert!(a2 > a1, "a1={a1} a2={a2}");
         assert!(a3 > a2, "a2={a2} a3={a3}");
         assert!(a3 > 0.99);
+    }
+
+    #[test]
+    fn always_up_and_hand_built_traces() {
+        let up = Site::always_up(100);
+        assert!(up.is_up(0) && up.is_up(99));
+        assert!(!up.fails_during(0, 100));
+        assert_eq!(up.availability(), 1.0);
+
+        // Unsorted, overlapping, horizon-crossing input is normalized.
+        let s = Site::from_down_intervals(
+            vec![
+                DownInterval { start: 50, end: 60 },
+                DownInterval { start: 10, end: 20 },
+                DownInterval { start: 15, end: 25 },
+                DownInterval { start: 90, end: 300 },
+            ],
+            100,
+        );
+        assert_eq!(
+            s.down_intervals(),
+            &[
+                DownInterval { start: 10, end: 25 },
+                DownInterval { start: 50, end: 60 },
+                DownInterval { start: 90, end: 100 },
+            ]
+        );
+        assert!(s.is_up(9) && !s.is_up(10) && !s.is_up(24) && s.is_up(25));
+    }
+
+    #[test]
+    fn fails_during_detects_mid_window_outage() {
+        let s = Site::from_down_intervals(vec![DownInterval { start: 100, end: 200 }], 1000);
+        assert!(s.fails_during(90, 110), "outage starts inside the window");
+        assert!(s.fails_during(150, 160), "window entirely inside the outage");
+        assert!(s.fails_during(190, 260), "window starts inside the outage");
+        assert!(!s.fails_during(0, 100), "window closes as the outage starts");
+        assert!(!s.fails_during(200, 300), "window opens at repair");
+        assert!(!s.fails_during(300, 1000), "nothing after repair");
     }
 
     #[test]

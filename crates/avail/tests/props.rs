@@ -28,6 +28,23 @@ proptest! {
         }
     }
 
+    /// The binomial tail is a probability: in [0, 1] for every (n, k, p).
+    #[test]
+    fn quorum_stays_in_unit_interval(n in 1u32..16, k_off in 0u32..16, p in 0.0f64..1.0) {
+        let k = k_off % (n + 1); // include the degenerate k = 0
+        let a = at_least_k_of_n(n, k, p);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&a), "n={n} k={k} p={p} a={a}");
+    }
+
+    /// The named protocols are exactly the tail at their quorum size:
+    /// majority at ⌊n/2⌋+1, read-one at 1, write-all at n.
+    #[test]
+    fn named_quorums_agree_with_tail(n in 1u32..16, p in 0.0f64..1.0) {
+        prop_assert_eq!(majority(n, p), at_least_k_of_n(n, n / 2 + 1, p));
+        prop_assert_eq!(read_one(n, p), at_least_k_of_n(n, 1, p));
+        prop_assert_eq!(write_all(n, p), at_least_k_of_n(n, n, p));
+    }
+
     /// read-one >= majority >= write-all, always.
     #[test]
     fn quorum_ordering(n in 1u32..12, p in 0.0f64..1.0) {

@@ -6,11 +6,13 @@
 //!
 //! Run: `cargo run -p dwr-bench --bin exp_multisite`
 
+use dwr_avail::failure::DownInterval;
+use dwr_avail::site::Site;
 use dwr_bench::SEED;
 use dwr_query::site::{simulate_multisite, RoutingPolicy, SiteSpec};
 use dwr_querylog::arrival::{generate_arrivals, DiurnalProfile};
 use dwr_sim::net::Topology;
-use dwr_sim::DAY;
+use dwr_sim::{DAY, HOUR};
 
 fn main() {
     println!("E10. Multi-site routing over three time zones, one simulated day.\n");
@@ -69,12 +71,17 @@ fn main() {
     );
 
     println!("\n(c) with a 6-hour outage of site 0 (nearest routing):");
-    let down: Vec<Vec<bool>> = (0..24).map(|h| vec![(8..14).contains(&h), false, false]).collect();
-    let outage = simulate_multisite(&arrivals, &sites, &topo, RoutingPolicy::Nearest, DAY, &down);
+    let traces = vec![
+        Site::from_down_intervals(vec![DownInterval { start: 8 * HOUR, end: 14 * HOUR }], DAY),
+        Site::always_up(DAY),
+        Site::always_up(DAY),
+    ];
+    let outage = simulate_multisite(&arrivals, &sites, &topo, RoutingPolicy::Nearest, DAY, &traces);
     println!(
-        "  rerouted {} queries; peak surviving-site utilization {:.0}%",
+        "  rerouted {} queries; peak surviving-site utilization {:.0}%; {} unserved",
         outage.rerouted,
-        100.0 * outage.peak_utilization()
+        100.0 * outage.peak_utilization(),
+        outage.unserved
     );
     println!("\npaper shape: diurnal peaks rotate across time zones; load-aware routing");
     println!("shaves the local peak by shipping overflow to off-peak sites at a small");

@@ -76,6 +76,12 @@ pub enum Served {
     StaleFromCache,
     /// Backend unavailable and the cache had nothing.
     Failed,
+    /// Rejected by admission control before reaching any backend: live
+    /// capacity existed but policy (load shedding, an exhausted WAN
+    /// retry/deadline budget) refused the query. Produced only by the
+    /// site tier ([`crate::multisite::MultiSiteEngine`]); a single-site
+    /// `DistributedEngine` never sheds.
+    Shed,
 }
 
 /// Aggregate engine counters.
@@ -665,7 +671,9 @@ mod tests {
                 Served::Full => P as u64,
                 Served::Degraded { missing } => (P - missing) as u64,
                 Served::Failed => 0,
-                Served::CacheHit | Served::StaleFromCache => unreachable!("distinct cold queries"),
+                Served::CacheHit | Served::StaleFromCache | Served::Shed => {
+                    unreachable!("distinct cold queries on a single-site engine")
+                }
             };
         }
         stop.store(true, Ordering::Relaxed);

@@ -23,7 +23,16 @@
 //! independent replica per partition, which is what makes the
 //! replication-factor sweep of `exp_failover` comparable across rows.
 
+//! The site tier consumes the same renewal machinery one level up:
+//! [`site_outage_traces`] materializes one whole-site
+//! [`dwr_avail::site::Site`] timeline per site, label-forked per site
+//! index so that adding an `r+1`-th site never perturbs the first `r`
+//! traces — the property that makes `exp_site_failover`'s
+//! site-replication sweep comparable across rows (a query that failed
+//! with `r` sites can only be rescued, never newly lost, by site `r+1`).
+
 use dwr_avail::failure::{DownInterval, UpDownProcess};
+use dwr_avail::site::{Site, SiteConfig};
 use dwr_sim::{SimRng, SimTime};
 
 /// Per-replica outage intervals over a fixed horizon, indexed by
@@ -120,6 +129,31 @@ impl FaultSchedule {
     }
 }
 
+/// Materialize one whole-site outage timeline per site over
+/// `[0, horizon)`, all drawn from `cfg`'s failure processes.
+///
+/// Trace `s` is generated from `SimRng::new(seed).fork(s)`, so it depends
+/// only on the seed, the config, and the site's index — never on how many
+/// sites exist. The traces for `n` sites are therefore a prefix of the
+/// traces for `n + 1`, which keeps site-replication sweeps comparable:
+/// the instants where *all* of `n + 1` sites are down are a subset of the
+/// instants where all of `n` are.
+pub fn site_outage_traces(
+    n_sites: usize,
+    cfg: &SiteConfig,
+    horizon: SimTime,
+    seed: u64,
+) -> Vec<Site> {
+    assert!(horizon > 0);
+    let root = SimRng::new(seed);
+    (0..n_sites)
+        .map(|s| {
+            let mut rng = root.fork(0x517E_0000 | s as u64);
+            Site::simulate(cfg, horizon, &mut rng)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +207,28 @@ mod tests {
             }
         }
         assert_ne!(a.intervals(0, 0), a.intervals(0, 1), "streams are independent");
+    }
+
+    #[test]
+    fn site_traces_are_deterministic_and_dimension_stable() {
+        let cfg = SiteConfig::birn_like(2);
+        let a = site_outage_traces(3, &cfg, 90 * DAY, 11);
+        let b = site_outage_traces(3, &cfg, 90 * DAY, 11);
+        let wider = site_outage_traces(4, &cfg, 90 * DAY, 11);
+        for s in 0..3 {
+            assert_eq!(a[s].down_intervals(), b[s].down_intervals(), "same seed, same trace");
+            assert_eq!(
+                a[s].down_intervals(),
+                wider[s].down_intervals(),
+                "adding a site must not perturb existing traces"
+            );
+        }
+        assert_ne!(a[0].down_intervals(), a[1].down_intervals(), "per-site traces are independent");
+        assert_ne!(
+            site_outage_traces(1, &cfg, 90 * DAY, 12)[0].down_intervals(),
+            a[0].down_intervals(),
+            "seed matters"
+        );
     }
 
     #[test]

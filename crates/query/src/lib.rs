@@ -20,6 +20,11 @@
 //! * [`site`] — multi-site routing: geographic (DNS-style) routing,
 //!   load-aware offloading across time zones \[33\], and site-failure
 //!   failover;
+//! * [`multisite`] — the *live* site tier: a [`multisite::MultiSiteEngine`]
+//!   owns one fault-injected engine per site plus a WAN topology, drives
+//!   per-site liveness from `dwr_avail::site::Site` outage traces, and
+//!   serves queries end-to-end with nearest-live routing, budgeted WAN
+//!   failover, and explicit load shedding;
 //! * [`incremental`] — incremental result delivery: fast processors answer
 //!   first, remote ones top up later;
 //! * [`hierarchy`] — flat vs. tree-of-coordinators result merging ("it is
@@ -49,6 +54,7 @@ pub mod engine;
 pub mod faults;
 pub mod hierarchy;
 pub mod incremental;
+pub mod multisite;
 pub mod personalize;
 pub mod pipeline;
 pub mod replica;
@@ -60,5 +66,6 @@ pub use broker::DocBroker;
 pub use cache::{LfuCache, LruCache, ResultCache, SdcCache, ShardedCache};
 pub use engine::DistributedEngine;
 pub use faults::FaultSchedule;
+pub use multisite::{MultiSiteConfig, MultiSiteEngine, MultiSiteStats, SiteEngineSpec};
 pub use pipeline::PipelinedTermEngine;
 pub use scatter::ScatterPool;

@@ -35,10 +35,12 @@ impl TopicAllocation {
         let mut assigned: u32 = alloc.iter().sum();
         // Largest remainders get the leftovers.
         let mut order: Vec<usize> = (0..weights.len()).collect();
+        // total_cmp: an infinite weight makes its quota (and every
+        // remainder involving it) NaN; the sort must stay deterministic
+        // instead of panicking mid-apportionment.
         order.sort_by(|&a, &b| {
             (quotas[b] - quotas[b].floor())
-                .partial_cmp(&(quotas[a] - quotas[a].floor()))
-                .expect("finite")
+                .total_cmp(&(quotas[a] - quotas[a].floor()))
                 .then(a.cmp(&b))
         });
         let mut i = 0;
@@ -159,6 +161,20 @@ mod tests {
         let max = util.iter().copied().fold(0.0, f64::max);
         let min = util.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max / min < 1.6, "util={util:?}");
+    }
+
+    #[test]
+    fn non_finite_weight_does_not_panic_provision() {
+        // Regression: an infinite topic weight (a degenerate popularity
+        // estimate) makes every quota involving it NaN; the largest-
+        // remainder sort used partial_cmp().expect("finite") and panicked.
+        // With total_cmp the apportionment completes and stays valid.
+        let a = TopicAllocation::provision(&[1.0, f64::INFINITY, 2.0], 9);
+        assert_eq!(a.servers().iter().sum::<u32>(), 9, "all servers assigned");
+        assert!(a.servers().iter().all(|&s| s >= 1), "minimum respected");
+        // Deterministic across calls.
+        let b = TopicAllocation::provision(&[1.0, f64::INFINITY, 2.0], 9);
+        assert_eq!(a, b);
     }
 
     fn reversal_drift() -> TopicDrift {

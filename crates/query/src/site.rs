@@ -8,8 +8,13 @@
 //!
 //! The simulation works in hourly buckets: regional diurnal arrivals are
 //! routed to sites under a policy, per-site utilization feeds an M/M/c
-//! response-time estimate, and site outages divert traffic.
+//! response-time estimate, and site outages divert traffic. Outages come
+//! from materialized [`dwr_avail::site::Site`] timelines — the same
+//! traces that drive the live [`crate::multisite::MultiSiteEngine`] — so
+//! the analytic model and the served-query engine can be run against the
+//! identical failure history.
 
+use dwr_avail::site::Site;
 use dwr_querylog::arrival::Arrival;
 use dwr_queueing::mmc::MMc;
 use dwr_sim::net::{SiteId, Topology};
@@ -61,6 +66,11 @@ pub struct MultiSiteReport {
     /// Queries arriving in hours where their chosen site was overloaded
     /// (utilization ≥ 1 — the queue would grow without bound).
     pub overloaded: u64,
+    /// Queries that found **no live site at all** in their hour. They are
+    /// excluded from every load and response-time total — an explicit
+    /// loss, not an overload. (They used to be folded into `overloaded`,
+    /// which double-booked them as served-but-slow.)
+    pub unserved: u64,
 }
 
 impl MultiSiteReport {
@@ -72,21 +82,27 @@ impl MultiSiteReport {
 
 /// Route hourly traffic to sites and evaluate response times.
 ///
-/// `site_down[h][s]` marks site `s` unavailable during hour `h` (pass an
-/// empty slice for no outages). A down site serves nothing; its traffic
-/// goes to the nearest live site.
+/// `outages` holds one materialized [`Site`] timeline per site (pass an
+/// empty slice for no outages); site `s` is treated as down in an hour
+/// when its trace says it was unavailable for **most** of that hour
+/// (availability < 0.5 over the bucket). A down site serves nothing; its
+/// traffic goes to the nearest live site, and hours where *no* site is
+/// live are counted in [`MultiSiteReport::unserved`].
 pub fn simulate_multisite(
     arrivals: &[Arrival],
     sites: &[SiteSpec],
     topo: &Topology,
     policy: RoutingPolicy,
     horizon: SimTime,
-    site_down: &[Vec<bool>],
+    outages: &[Site],
 ) -> MultiSiteReport {
     assert!(!sites.is_empty());
     assert_eq!(topo.sites(), sites.len());
+    assert!(
+        outages.is_empty() || outages.len() == sites.len(),
+        "one outage trace per site, or none"
+    );
     let hours = horizon.div_ceil(HOUR) as usize;
-    assert!(site_down.is_empty() || site_down.len() >= hours);
 
     // Bucket arrivals per (hour, region).
     let regions = usize::from(sites.iter().map(|s| s.region).max().unwrap_or(0)) + 1;
@@ -119,12 +135,14 @@ pub fn simulate_multisite(
     let mut load = vec![vec![0u64; sites.len()]; hours];
     let mut rerouted = 0u64;
     let mut overloaded = 0u64;
+    let mut unserved = 0u64;
     let mut utilization = vec![vec![0f64; sites.len()]; hours];
     let mut mean_response = vec![0f64; hours];
 
     for h in 0..hours {
+        let (hour_lo, hour_hi) = (h as SimTime * HOUR, (h as SimTime + 1) * HOUR);
         let down = |s: usize| -> bool {
-            !site_down.is_empty() && site_down[h].get(s).copied().unwrap_or(false)
+            !outages.is_empty() && outages[s].availability_in(hour_lo, hour_hi) < 0.5
         };
         // First pass: nearest-site routing.
         let mut hour_load = vec![0u64; sites.len()];
@@ -142,7 +160,7 @@ pub fn simulate_multisite(
                         rerouted += count;
                     }
                 }
-                None => overloaded += count, // nowhere to go
+                None => unserved += count, // no live site at all this hour
             }
         }
         // Second pass: load-aware spill.
@@ -150,18 +168,20 @@ pub fn simulate_multisite(
             loop {
                 // Find the most overloaded site above threshold.
                 let util = |s: usize, l: &[u64]| l[s] as f64 / 3600.0 / sites[s].capacity_qps();
+                // total_cmp: a site with NaN capacity (degenerate spec,
+                // e.g. zero servers at zero service time) yields NaN
+                // utilization; the spill loop must stay deterministic
+                // instead of panicking. NaN sorts above every finite
+                // value, so such a site is never picked as `cool`.
                 let Some(hot) = (0..sites.len())
                     .filter(|&s| !down(s) && util(s, &hour_load) > threshold)
-                    .max_by(|&a, &b| {
-                        util(a, &hour_load).partial_cmp(&util(b, &hour_load)).expect("finite")
-                    })
+                    .max_by(|&a, &b| util(a, &hour_load).total_cmp(&util(b, &hour_load)))
                 else {
                     break;
                 };
-                let Some(cool) =
-                    (0..sites.len()).filter(|&s| !down(s) && s != hot).min_by(|&a, &b| {
-                        util(a, &hour_load).partial_cmp(&util(b, &hour_load)).expect("finite")
-                    })
+                let Some(cool) = (0..sites.len())
+                    .filter(|&s| !down(s) && s != hot)
+                    .min_by(|&a, &b| util(a, &hour_load).total_cmp(&util(b, &hour_load)))
                 else {
                     break;
                 };
@@ -226,14 +246,33 @@ pub fn simulate_multisite(
         mean_response[h] = if resp_n > 0 { resp_acc / resp_n as f64 } else { 0.0 };
     }
 
-    MultiSiteReport { load, utilization, mean_response, rerouted, overloaded }
+    MultiSiteReport { load, utilization, mean_response, rerouted, overloaded, unserved }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dwr_avail::failure::DownInterval;
     use dwr_querylog::arrival::{generate_arrivals, DiurnalProfile};
     use dwr_sim::DAY;
+
+    /// Outage traces where site `s` is down exactly over `hours[s]`
+    /// (hour ranges), all over one day.
+    fn traces(hours: &[std::ops::Range<u64>]) -> Vec<Site> {
+        hours
+            .iter()
+            .map(|r| {
+                if r.is_empty() {
+                    Site::always_up(DAY)
+                } else {
+                    Site::from_down_intervals(
+                        vec![DownInterval { start: r.start * HOUR, end: r.end * HOUR }],
+                        DAY,
+                    )
+                }
+            })
+            .collect()
+    }
 
     fn sites() -> Vec<SiteSpec> {
         // Small capacities keep the arrival streams cheap to materialize.
@@ -299,13 +338,80 @@ mod tests {
         let a = arrivals(1.0);
         let topo = Topology::geo_ring(3);
         // Site 0 down for hours 6..12.
-        let down: Vec<Vec<bool>> =
-            (0..24).map(|h| vec![(6..12).contains(&h), false, false]).collect();
+        let down = traces(&[6..12, 0..0, 0..0]);
         let r = simulate_multisite(&a, &sites(), &topo, RoutingPolicy::Nearest, DAY, &down);
         for h in 6..12 {
             assert_eq!(r.load[h][0], 0, "down site serves nothing (hour {h})");
         }
         assert!(r.rerouted > 0, "diverted traffic counts as rerouted");
+        assert_eq!(r.unserved, 0, "two sites stayed live throughout");
+        let total: u64 = r.load.iter().flatten().sum();
+        assert_eq!(total as usize, a.len(), "everything was still served");
+    }
+
+    #[test]
+    fn all_sites_down_counts_unserved_not_overloaded() {
+        let a = arrivals(1.0);
+        let topo = Topology::geo_ring(3);
+        // Every site down for hour 6: those arrivals have nowhere to go.
+        let down = traces(&[6..7, 6..7, 6..7]);
+        let r = simulate_multisite(&a, &sites(), &topo, RoutingPolicy::Nearest, DAY, &down);
+        let lost = a.iter().filter(|q| (q.time / HOUR) == 6).count() as u64;
+        assert!(lost > 0, "the fixture has traffic in hour 6");
+        assert_eq!(r.unserved, lost, "exactly the dead hour's arrivals are unserved");
+        assert_eq!(r.overloaded, 0, "lost queries are not misfiled as overload");
+        let total: u64 = r.load.iter().flatten().sum();
+        assert_eq!(total + r.unserved, a.len() as u64, "load totals exclude the lost hour");
+        assert_eq!(r.load[6], vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn partial_hour_outage_rounds_to_majority() {
+        let a = arrivals(1.0);
+        let topo = Topology::geo_ring(3);
+        // Site 0 down 20 minutes of hour 3 (stays up for the bucket) and
+        // 40 minutes of hour 8 (counts as down for the bucket).
+        let down = vec![
+            Site::from_down_intervals(
+                vec![
+                    DownInterval { start: 3 * HOUR, end: 3 * HOUR + 20 * dwr_sim::MINUTE },
+                    DownInterval { start: 8 * HOUR, end: 8 * HOUR + 40 * dwr_sim::MINUTE },
+                ],
+                DAY,
+            ),
+            Site::always_up(DAY),
+            Site::always_up(DAY),
+        ];
+        let r = simulate_multisite(&a, &sites(), &topo, RoutingPolicy::Nearest, DAY, &down);
+        assert!(r.load[3][0] > 0, "minor blip does not kill the hour");
+        assert_eq!(r.load[8][0], 0, "majority-down hour serves nothing");
+    }
+
+    #[test]
+    fn nan_capacity_does_not_panic_load_aware_spill() {
+        // Regression: a degenerate site spec (0 servers, 0 service time)
+        // has NaN capacity, so its utilization is NaN; the load-aware
+        // spill loop compared utilizations with partial_cmp().expect and
+        // panicked. total_cmp keeps the pass deterministic: the NaN site
+        // sorts above every finite utilization and is never chosen as the
+        // spill target.
+        let degenerate = vec![
+            SiteSpec { region: 0, servers: 4, mean_service_s: 0.5 },
+            SiteSpec { region: 1, servers: 4, mean_service_s: 0.5 },
+            SiteSpec { region: 2, servers: 0, mean_service_s: 0.0 },
+        ];
+        let a = arrivals(6.0); // hot enough to trigger spilling
+        let topo = Topology::geo_ring(3);
+        let r = simulate_multisite(
+            &a,
+            &degenerate,
+            &topo,
+            RoutingPolicy::LoadAware { threshold: 0.6 },
+            DAY,
+            &[],
+        );
+        let total: u64 = r.load.iter().flatten().sum();
+        assert_eq!(total + r.unserved, a.len() as u64, "no query vanished");
     }
 
     #[test]

@@ -142,6 +142,17 @@ impl Topology {
     pub fn nearest(&self, from: SiteId, candidates: &[SiteId]) -> Option<SiteId> {
         candidates.iter().copied().min_by_key(|&c| (self.transfer_time(from, c, 64), c.0))
     }
+
+    /// Every site ordered by small-message latency from `from` (the
+    /// failover preference order of the site tier): `from` itself first
+    /// (intra-site latency is the smallest by construction of any sane
+    /// topology), then by increasing WAN latency, ties broken by site id
+    /// so the order is deterministic and independent of iteration order.
+    pub fn order_by_latency(&self, from: SiteId) -> Vec<SiteId> {
+        let mut order: Vec<SiteId> = (0..self.n as u32).map(SiteId).collect();
+        order.sort_by_key(|&s| (self.transfer_time(from, s, 64), s.0));
+        order
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +226,56 @@ mod tests {
     fn nearest_includes_self() {
         let topo = Topology::geo_ring(3);
         assert_eq!(topo.nearest(SiteId(1), &[SiteId(0), SiteId(1)]), Some(SiteId(1)));
+    }
+
+    #[test]
+    fn nearest_empty_candidates_is_none() {
+        let topo = Topology::uniform(4, Link::wan(), Link::lan());
+        for s in 0..4u32 {
+            assert_eq!(topo.nearest(SiteId(s), &[]), None);
+        }
+    }
+
+    #[test]
+    fn nearest_self_as_candidate_wins() {
+        // The intra-site (LAN) link beats every WAN link, so whenever the
+        // origin is among the candidates it must win — regardless of its
+        // position in the slice.
+        let topo = Topology::geo_ring(5);
+        for s in 0..5u32 {
+            let all: Vec<SiteId> = (0..5).map(SiteId).collect();
+            assert_eq!(topo.nearest(SiteId(s), &all), Some(SiteId(s)));
+            let reversed: Vec<SiteId> = (0..5).rev().map(SiteId).collect();
+            assert_eq!(topo.nearest(SiteId(s), &reversed), Some(SiteId(s)));
+        }
+    }
+
+    #[test]
+    fn nearest_tie_break_is_deterministic() {
+        // Uniform topology: every remote candidate is equidistant. The
+        // lowest site id must win, on every call, for any candidate order.
+        let topo = Topology::uniform(6, Link::wan(), Link::lan());
+        let a = [SiteId(4), SiteId(2), SiteId(5)];
+        let b = [SiteId(5), SiteId(4), SiteId(2)];
+        for _ in 0..3 {
+            assert_eq!(topo.nearest(SiteId(0), &a), Some(SiteId(2)));
+            assert_eq!(topo.nearest(SiteId(0), &b), Some(SiteId(2)));
+        }
+    }
+
+    #[test]
+    fn order_by_latency_is_total_and_deterministic() {
+        let topo = Topology::geo_ring(5);
+        let order = topo.order_by_latency(SiteId(3));
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], SiteId(3), "self first (LAN beats WAN)");
+        // Ring neighbours (2 and 4) before the far sites, ties by id.
+        assert_eq!(&order[1..3], &[SiteId(2), SiteId(4)]);
+        assert_eq!(&order[3..], &[SiteId(0), SiteId(1)]);
+        assert_eq!(order, topo.order_by_latency(SiteId(3)), "stable across calls");
+        // Latencies are non-decreasing along the order.
+        let lat: Vec<_> = order.iter().map(|&s| topo.transfer_time(SiteId(3), s, 64)).collect();
+        assert!(lat.windows(2).all(|w| w[0] <= w[1]), "{lat:?}");
     }
 
     #[test]

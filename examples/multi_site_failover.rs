@@ -5,15 +5,24 @@
 //! cargo run --example multi_site_failover --release
 //! ```
 
+use distributed_web_retrieval::avail::failure::DownInterval;
 use distributed_web_retrieval::avail::monthly::{
     availability_histogram, figure5_thresholds, monthly_availability,
 };
-use distributed_web_retrieval::avail::site::SiteConfig;
+use distributed_web_retrieval::avail::site::{Site, SiteConfig};
+use distributed_web_retrieval::partition::doc::{DocPartitioner, RoundRobinPartitioner};
+use distributed_web_retrieval::partition::parted::{Corpus, PartitionedIndex};
+use distributed_web_retrieval::query::cache::LruCache;
+use distributed_web_retrieval::query::engine::DistributedEngine;
+use distributed_web_retrieval::query::multisite::{
+    MultiSiteConfig, MultiSiteEngine, SiteEngineSpec,
+};
 use distributed_web_retrieval::query::replica::PrimaryBackupStore;
 use distributed_web_retrieval::query::site::{simulate_multisite, RoutingPolicy, SiteSpec};
 use distributed_web_retrieval::querylog::arrival::{generate_arrivals, DiurnalProfile};
 use distributed_web_retrieval::sim::net::Topology;
-use distributed_web_retrieval::sim::DAY;
+use distributed_web_retrieval::sim::{SimTime, DAY, HOUR};
+use distributed_web_retrieval::text::TermId;
 
 fn main() {
     let seed = 404;
@@ -52,13 +61,55 @@ fn main() {
         aware.overloaded
     );
 
-    // --- A site outage during the local peak. ---
-    let down: Vec<Vec<bool>> = (0..24).map(|h| vec![(9..15).contains(&h), false, false]).collect();
-    let outage = simulate_multisite(&arrivals, &sites, &topo, RoutingPolicy::Nearest, DAY, &down);
+    // --- A site outage during the local peak (analytic model). ---
+    let traces = vec![
+        Site::from_down_intervals(vec![DownInterval { start: 9 * HOUR, end: 15 * HOUR }], DAY),
+        Site::always_up(DAY),
+        Site::always_up(DAY),
+    ];
+    let outage = simulate_multisite(&arrivals, &sites, &topo, RoutingPolicy::Nearest, DAY, &traces);
     println!(
-        "site-0 outage 9h-15h: {} queries diverted; surviving peak {:.0}%",
+        "site-0 outage 9h-15h: {} queries diverted; surviving peak {:.0}%; {} unserved",
         outage.rerouted,
-        100.0 * outage.peak_utilization()
+        100.0 * outage.peak_utilization(),
+        outage.unserved
+    );
+
+    // --- The same outage served live by the MultiSiteEngine. ---
+    // One small engine per site over the same corpus; site 0's queries
+    // fail over to the ring neighbours while its trace says "down".
+    let corpus: Corpus =
+        (0..60u32).map(|d| vec![(TermId(d % 8), 2), (TermId(100 + d % 5), 1)]).collect();
+    let assignment = RoundRobinPartitioner.assign(&corpus, 4);
+    let pi = PartitionedIndex::build(&corpus, &assignment, 4);
+    let engine = MultiSiteEngine::new(
+        traces
+            .iter()
+            .enumerate()
+            .map(|(s, trace)| SiteEngineSpec {
+                region: s as u16,
+                capacity_qps: 100.0,
+                engine: DistributedEngine::new(&pi, LruCache::new(64), 2),
+                outages: trace.clone(),
+            })
+            .collect(),
+        topo.clone(),
+        MultiSiteConfig::default(),
+    );
+    let n = 600u64;
+    for i in 0..n {
+        engine.advance_to(i as SimTime * DAY / n as SimTime);
+        engine.query((i % 3) as u16, &[TermId((i % 8) as u32)], 10);
+    }
+    let live = engine.stats();
+    println!(
+        "live engine, {} queries: {} local, {} remote ({} WAN hops), {} shed, {} failed",
+        live.total(),
+        live.served_local,
+        live.served_remote,
+        live.wan_hops,
+        live.shed(),
+        live.failed
     );
 
     // --- How often do sites fail? The BIRN-like availability picture. ---

@@ -77,6 +77,10 @@ macro_rules! prop_assert_ne {
             l
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
 }
 
 /// Discard the current case (retried with fresh inputs) unless `cond`

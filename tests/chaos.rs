@@ -75,6 +75,7 @@ fn single_thread_chaos(
             Served::Degraded { missing } => {
                 assert!(missing >= 1 && missing < partitions.max(2), "missing={missing}");
             }
+            Served::Shed => unreachable!("a single-site engine never sheds"),
             Served::CacheHit | Served::Full | Served::StaleFromCache => {}
         }
     }

@@ -7,8 +7,11 @@
 //! tolerance."
 //!
 //! Run: `cargo run -p dwr-bench --bin exp_caching` (use --release)
+//! CI smoke: `... -- --smoke --json` (small fixture, short stream, and a
+//! machine-readable `BENCH_caching.json` next to the text report)
 
-use dwr_bench::{Fixture, Scale, SEED};
+use dwr_bench::{emit_json, json_requested, smoke_requested, Fixture, Scale, SEED};
+use dwr_obs::Json;
 use dwr_partition::doc::{DocPartitioner, RandomPartitioner};
 use dwr_partition::parted::PartitionedIndex;
 use dwr_query::cache::{LfuCache, LruCache, ResultCache, SdcCache};
@@ -16,21 +19,25 @@ use dwr_query::engine::{query_key, DistributedEngine, Served};
 use dwr_querylog::arrival::DiurnalProfile;
 use dwr_querylog::drift::TopicDrift;
 use dwr_querylog::log::QueryLog;
-use dwr_sim::DAY;
+use dwr_sim::{DAY, HOUR};
 
 fn main() {
+    let smoke = smoke_requested();
     println!("E8. Result caching: LRU vs LFU vs SDC, plus failure masking.\n");
-    let f = Fixture::new(Scale::Medium);
+    let f = Fixture::new(if smoke { Scale::Small } else { Scale::Medium });
 
-    // A day of drifting traffic: topic mixture reverses over the day.
+    // A day of drifting traffic: topic mixture reverses over the horizon
+    // (a couple of hours in smoke runs).
+    let horizon = if smoke { 2 * HOUR } else { DAY };
     let weights: Vec<f64> = (1..=f.content.num_topics()).map(|r| f64::from(r).powf(-1.0)).collect();
-    let drift = TopicDrift::reversal(&weights, DAY);
+    let drift = TopicDrift::reversal(&weights, horizon);
     let profiles = vec![DiurnalProfile { mean_qps: 2.0, amplitude: 0.6, phase: 0.0 }];
-    let log = QueryLog::generate(&f.queries, &profiles, DAY, Some(&drift), SEED ^ 0xCAC4E);
+    let log = QueryLog::generate(&f.queries, &profiles, horizon, Some(&drift), SEED ^ 0xCAC4E);
     let (train, test) = log.split_at_fraction(0.5);
     println!(
-        "stream: {} queries/day, train {} / test {}, topic drift on",
+        "stream: {} queries over {} h, train {} / test {}, topic drift on",
         log.len(),
+        horizon / HOUR,
         train.len(),
         test.len()
     );
@@ -65,9 +72,10 @@ fn main() {
     let mut lru = LruCache::new(cap);
     let mut lfu = LfuCache::new(cap);
     let mut sdc = SdcCache::new(cap, 0.5, &keys_by_freq);
-    println!("  {:<10} {:>9.1}%", "LRU", 100.0 * run(&mut lru));
-    println!("  {:<10} {:>9.1}%", "LFU", 100.0 * run(&mut lfu));
-    println!("  {:<10} {:>9.1}%", "SDC", 100.0 * run(&mut sdc));
+    let (hr_lru, hr_lfu, hr_sdc) = (run(&mut lru), run(&mut lfu), run(&mut sdc));
+    println!("  {:<10} {:>9.1}%", "LRU", 100.0 * hr_lru);
+    println!("  {:<10} {:>9.1}%", "LFU", 100.0 * hr_lfu);
+    println!("  {:<10} {:>9.1}%", "SDC", 100.0 * hr_sdc);
 
     // (b) Failure masking: a full backend outage; the cache serves stale.
     println!("\n(b) caches as fault tolerance: full backend outage mid-stream");
@@ -111,4 +119,30 @@ fn main() {
     println!("\npaper shape: SDC >= LRU/LFU under drift (static half pins the stable head,");
     println!("dynamic half follows the drift); a warm cache masks a large share of a");
     println!("backend outage.");
+
+    if json_requested() {
+        emit_json(
+            "caching",
+            &Json::obj([
+                ("experiment", Json::str("E8")),
+                ("smoke", smoke.into()),
+                ("queries", log.len().into()),
+                (
+                    "hit_ratio",
+                    Json::obj([
+                        ("lru", hr_lru.into()),
+                        ("lfu", hr_lfu.into()),
+                        ("sdc", hr_sdc.into()),
+                    ]),
+                ),
+                (
+                    "outage_masking",
+                    Json::obj([
+                        ("answered_stale", answered_during_outage.into()),
+                        ("failed", failed_during_outage.into()),
+                    ]),
+                ),
+            ]),
+        );
+    }
 }

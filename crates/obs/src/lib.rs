@@ -1,0 +1,56 @@
+//! # dwr-obs — zero-cost observability for the serving path
+//!
+//! The paper's Section 4 warning — "the capacity of the busiest server
+//! limits the total capacity of the system" — and its headline artifacts
+//! (Figure 2's per-server busy load, Figure 6's capacity curve) are all
+//! *measurement* claims. This crate is the measurement layer: live
+//! instruments on the query path instead of post-hoc bookkeeping, so
+//! per-stage latency tails, per-shard busy load, failover traces, and
+//! cache hit curves come from the serving stack itself.
+//!
+//! * [`instrument`] — lock-free primitives: atomic [`Counter`]s and
+//!   [`Gauge`]s, plus a mergeable log-bucketed [`Histogram`] (atomic
+//!   buckets, p50/p90/p99/p999, exact min/max/count) whose bucket layout
+//!   is shared with `dwr_sim::stats::Percentiles`;
+//! * [`registry`] — a [`Registry`] of named instruments with
+//!   [`Snapshot`] export in aligned-text and JSON forms;
+//! * [`span`] — a sampled per-query [`SpanRecorder`]: a fixed-capacity
+//!   ring buffer of [`Span`]s recording the stages of one query keyed to
+//!   the deterministic sim clock (broker admit → cache lookup → scatter
+//!   dispatch → per-shard service → gather → hedge/failover attempts →
+//!   WAN hops);
+//! * [`recorder`] — the [`Recorder`] trait the serving stack is
+//!   instrumented against. [`NoopRecorder`] is a zero-sized type whose
+//!   `record` inlines to nothing, so the uninstrumented path pays no
+//!   cost; [`ObsRecorder`] routes [`Event`]s into instruments and spans;
+//! * [`report`] — live Figure-2-style per-server busy-load tables and
+//!   per-stage latency-tail breakdowns;
+//! * [`json`] — a minimal dependency-free JSON writer used by snapshot
+//!   export and the bench harness.
+//!
+//! # Determinism rules
+//!
+//! Recorders observe, they never steer: an instrumented engine produces
+//! bit-for-bit the same results, latencies, and offline counters as the
+//! uninstrumented one (`tests/observability.rs` at the workspace root
+//! pins this for the no-op recorder, sequential and parallel). All
+//! events are emitted from the *coordinating* thread in deterministic
+//! order — per-shard service in task order, exactly like the gather
+//! path — so a sequential engine and its parallel twin emit identical
+//! event streams and their snapshots agree exactly. Under concurrent
+//! *clients*, counters and bucket counts remain exact; only float
+//! accumulations (`sum`, busy-µs gauges) may differ across interleavings
+//! by rounding, the same caveat the offline busy-time accounting has.
+
+pub mod instrument;
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use instrument::{Counter, Gauge, Histogram};
+pub use json::Json;
+pub use recorder::{Event, NoopRecorder, ObsConfig, ObsRecorder, Outcome, Recorder, SiteOutcome};
+pub use registry::{InstrumentSnapshot, Registry, Snapshot};
+pub use span::{Span, SpanEvent, SpanRecorder, Stage};

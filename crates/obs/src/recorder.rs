@@ -1,0 +1,642 @@
+//! The [`Recorder`] trait the serving stack is instrumented against,
+//! its zero-cost no-op, and the live [`ObsRecorder`].
+//!
+//! The serving crates (`dwr-query`) are generic over `R: Recorder` with
+//! `R = NoopRecorder` as the default type parameter, so existing call
+//! sites compile unchanged and pay nothing: [`NoopRecorder::record`] is
+//! an inlined empty body on a zero-sized type, and event *construction*
+//! feeding it is dead code the optimizer removes
+//! (`exp_observability` pins this with a timing assert, and
+//! `tests/observability.rs` pins that results stay bit-for-bit
+//! identical).
+//!
+//! [`ObsRecorder`] is the live implementation: it routes every
+//! [`Event`] into lock-free instruments in a [`Registry`] plus a sampled
+//! [`SpanRecorder`]. Events are emitted by the *coordinating* thread of
+//! each query in deterministic order (see the crate docs), so metric
+//! streams agree between sequential and parallel engines.
+
+use crate::instrument::{Counter, Gauge, Histogram};
+use crate::registry::{Registry, Snapshot};
+use crate::span::{Span, SpanRecorder, Stage};
+use dwr_sim::SimTime;
+use std::sync::Arc;
+
+/// How a single-site engine answered a query (mirror of
+/// `dwr_query::engine::Served`, payload-free for `Copy` events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Fresh results straight from the cache.
+    CacheHit,
+    /// Evaluated on the full chosen partition set.
+    Full,
+    /// Evaluated with some partitions unavailable.
+    Degraded,
+    /// Served stale results from the cache during an outage.
+    StaleFromCache,
+    /// Backend unavailable and the cache had nothing.
+    Failed,
+    /// Refused by admission control.
+    Shed,
+}
+
+/// How the site tier resolved a query (mirror of the
+/// `dwr_query::multisite::MultiSiteStats` buckets: every query lands in
+/// exactly one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteOutcome {
+    /// Served by the query's nearest (anchor) site.
+    ServedLocal,
+    /// Served by a remote site after failover or spill.
+    ServedRemote,
+    /// Every live site was over its admission threshold.
+    ShedOverload,
+    /// Deadline or attempt cap exhausted while live sites remained.
+    ShedDeadline,
+    /// No site was live at dispatch time.
+    Failed,
+}
+
+/// One instrumentation point on the serving path. All variants carry the
+/// query key (`qid`) and the sim-clock instant (`now`); everything is
+/// `Copy`, so constructing an event for the no-op recorder costs nothing
+/// after inlining.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A single-site engine admitted a query.
+    QueryStart {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+    },
+    /// The result cache was consulted.
+    CacheLookup {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Whether the lookup hit.
+        hit: bool,
+    },
+    /// The broker scattered the query across partitions.
+    ScatterDispatch {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Partitions dispatched to.
+        partitions: u32,
+    },
+    /// One partition finished service (emitted by the gather loop in
+    /// partition order — identical for sequential and parallel scatter).
+    ShardService {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Partition id.
+        partition: u32,
+        /// Simulated service time, µs.
+        service_us: f64,
+    },
+    /// The gather phase merged all partition results.
+    GatherDone {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Hits received across partitions before top-k.
+        merged_hits: u64,
+        /// Simulated backend latency (slowest partition + merge), µs.
+        latency_us: SimTime,
+    },
+    /// A hedged retry was dispatched after a replica died mid-query.
+    Hedge {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Partition hedged.
+        partition: u32,
+        /// Extra service time the retry spent, µs.
+        extra_us: f64,
+    },
+    /// Terminal single-site outcome (exactly one per engine query).
+    Outcome {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// How the query was answered.
+        outcome: Outcome,
+        /// Simulated latency for backend-evaluated answers.
+        latency_us: Option<SimTime>,
+    },
+    /// The site tier dispatched an attempt to a site.
+    SiteAttempt {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Site attempted.
+        site: u32,
+        /// Whether the site is remote to the query's anchor.
+        remote: bool,
+    },
+    /// A site attempt was lost and the query failed over.
+    SiteFailover {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Site whose attempt was lost.
+        site: u32,
+        /// Backoff charged for this loss, µs.
+        backoff_us: SimTime,
+    },
+    /// The query crossed the WAN to a remote site.
+    WanHop {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Anchor site.
+        from: u32,
+        /// Remote site.
+        to: u32,
+        /// WAN round trip charged, µs.
+        rtt_us: SimTime,
+    },
+    /// Terminal site-tier outcome (exactly one per site-tier query).
+    SiteOutcome {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Which accounting bucket the query landed in.
+        outcome: SiteOutcome,
+        /// Serving site, when one answered.
+        site: Option<u32>,
+        /// WAN hops taken.
+        hops: u32,
+        /// Whether the served answer was degraded/stale.
+        degraded: bool,
+        /// WAN + backoff latency added on top of backend service, µs
+        /// (0 for unserved queries — matching `MultiSiteStats`).
+        added_latency_us: SimTime,
+        /// End-to-end simulated latency, when served.
+        latency_us: Option<SimTime>,
+    },
+}
+
+/// An observability sink for serving-path [`Event`]s.
+///
+/// Implementations must be cheap and must never influence serving
+/// behaviour: recorders observe, they never steer.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Record one event.
+    fn record(&self, event: Event);
+
+    /// Whether recording is active. Instrumented code may use this to
+    /// skip *preparing* data that only a live recorder would consume
+    /// (e.g. computing a query key outside the serving path proper).
+    #[inline]
+    fn is_live(&self) -> bool {
+        true
+    }
+}
+
+/// The zero-cost default: a zero-sized recorder whose `record` inlines
+/// to an empty body, so instrumented code compiles to exactly the
+/// uninstrumented code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn record(&self, _event: Event) {}
+
+    #[inline(always)]
+    fn is_live(&self) -> bool {
+        false
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for Arc<R> {
+    #[inline]
+    fn record(&self, event: Event) {
+        (**self).record(event);
+    }
+
+    #[inline]
+    fn is_live(&self) -> bool {
+        (**self).is_live()
+    }
+}
+
+/// Shape of the serving stack an [`ObsRecorder`] instruments.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Partitions per engine (sizes the per-shard gauges/counters).
+    pub partitions: usize,
+    /// Sites in the tier; 0 for a single-site engine. Nonzero switches
+    /// the span protocol: spans open on [`Event::SiteAttempt`] and close
+    /// on [`Event::SiteOutcome`] instead of `QueryStart`/`Outcome`.
+    pub sites: usize,
+    /// Trace 1 query in this many (0 disables span tracing).
+    pub span_sample: u64,
+    /// Finished spans retained in the ring.
+    pub span_capacity: usize,
+}
+
+impl ObsConfig {
+    /// Config for one single-site engine with `partitions` shards.
+    pub fn single_site(partitions: usize) -> Self {
+        ObsConfig { partitions, sites: 0, span_sample: 997, span_capacity: 64 }
+    }
+
+    /// Config for a site tier: `sites` engines of `partitions` shards.
+    pub fn multi_site(partitions: usize, sites: usize) -> Self {
+        assert!(sites > 0);
+        ObsConfig { partitions, sites, span_sample: 997, span_capacity: 64 }
+    }
+
+    /// Override the span sampling rate (1 = every query, 0 = none).
+    pub fn sample(mut self, every: u64) -> Self {
+        self.span_sample = every;
+        self
+    }
+}
+
+/// Per-site-tier instruments, present only when `sites > 0`.
+#[derive(Debug)]
+struct SiteInstruments {
+    attempts: Arc<Counter>,
+    served_local: Arc<Counter>,
+    served_remote: Arc<Counter>,
+    degraded: Arc<Counter>,
+    shed_overload: Arc<Counter>,
+    shed_deadline: Arc<Counter>,
+    failed: Arc<Counter>,
+    failovers: Arc<Counter>,
+    /// WAN hops of *served* queries — the `MultiSiteStats` definition.
+    wan_hops: Arc<Counter>,
+    /// Every hop attempted, served or not.
+    wan_hops_attempted: Arc<Counter>,
+    added_latency_us: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    wan_rtt_us: Arc<Histogram>,
+    backoff_us: Arc<Histogram>,
+    /// `site.{s:02}.served` per site.
+    per_site_served: Vec<Arc<Counter>>,
+}
+
+/// The live recorder: lock-free instruments in a [`Registry`] plus a
+/// sampled [`SpanRecorder`]. Share one per serving stack behind an
+/// `Arc` (a site tier's engines must all hold the same instance so the
+/// accounting is coherent).
+#[derive(Debug)]
+pub struct ObsRecorder {
+    registry: Registry,
+    spans: SpanRecorder,
+    multi_site: bool,
+    // Hot-path handles, registered once at construction so `record`
+    // never takes the registry lock.
+    queries: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    out_cache_hit: Arc<Counter>,
+    out_full: Arc<Counter>,
+    out_degraded: Arc<Counter>,
+    out_stale: Arc<Counter>,
+    out_failed: Arc<Counter>,
+    out_shed: Arc<Counter>,
+    hedges: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    hedge_extra_us: Arc<Histogram>,
+    scatter_batches: Arc<Counter>,
+    scatter_tasks: Arc<Counter>,
+    broker_queries: Arc<Counter>,
+    gather_merged_hits: Arc<Counter>,
+    gather_latency_us: Arc<Histogram>,
+    shard_service_us: Arc<Histogram>,
+    /// `shard.{p:03}.busy_us` — accumulated in event order on the
+    /// coordinating thread, so it matches `DocBroker::busy_time`
+    /// bit-for-bit.
+    shard_busy: Vec<Arc<Gauge>>,
+    shard_queries: Vec<Arc<Counter>>,
+    site: Option<SiteInstruments>,
+}
+
+impl ObsRecorder {
+    /// Build a recorder (and its registry of named instruments) for a
+    /// stack of the given shape.
+    pub fn new(cfg: ObsConfig) -> Self {
+        let registry = Registry::new();
+        let shard_busy =
+            (0..cfg.partitions).map(|p| registry.gauge(&format!("shard.{p:03}.busy_us"))).collect();
+        let shard_queries = (0..cfg.partitions)
+            .map(|p| registry.counter(&format!("shard.{p:03}.queries")))
+            .collect();
+        let site = (cfg.sites > 0).then(|| SiteInstruments {
+            attempts: registry.counter("site.attempts"),
+            served_local: registry.counter("site.served_local"),
+            served_remote: registry.counter("site.served_remote"),
+            degraded: registry.counter("site.degraded"),
+            shed_overload: registry.counter("site.shed_overload"),
+            shed_deadline: registry.counter("site.shed_deadline"),
+            failed: registry.counter("site.failed"),
+            failovers: registry.counter("site.failovers"),
+            wan_hops: registry.counter("site.wan_hops"),
+            wan_hops_attempted: registry.counter("site.wan_hops_attempted"),
+            added_latency_us: registry.counter("site.added_latency_us"),
+            latency_us: registry.histogram("site.latency_us"),
+            wan_rtt_us: registry.histogram("wan.rtt_us"),
+            backoff_us: registry.histogram("site.backoff_us"),
+            per_site_served: (0..cfg.sites)
+                .map(|s| registry.counter(&format!("site.{s:02}.served")))
+                .collect(),
+        });
+        ObsRecorder {
+            spans: SpanRecorder::new(cfg.span_sample, cfg.span_capacity),
+            multi_site: site.is_some(),
+            queries: registry.counter("engine.queries"),
+            cache_hits: registry.counter("cache.hits"),
+            cache_misses: registry.counter("cache.misses"),
+            out_cache_hit: registry.counter("engine.served.cache_hit"),
+            out_full: registry.counter("engine.served.full"),
+            out_degraded: registry.counter("engine.served.degraded"),
+            out_stale: registry.counter("engine.served.stale"),
+            out_failed: registry.counter("engine.served.failed"),
+            out_shed: registry.counter("engine.served.shed"),
+            hedges: registry.counter("engine.hedges"),
+            latency_us: registry.histogram("engine.latency_us"),
+            hedge_extra_us: registry.histogram("engine.hedge_extra_us"),
+            scatter_batches: registry.counter("scatter.batches"),
+            scatter_tasks: registry.counter("scatter.tasks"),
+            broker_queries: registry.counter("broker.queries"),
+            gather_merged_hits: registry.counter("gather.merged_hits"),
+            gather_latency_us: registry.histogram("gather.latency_us"),
+            shard_service_us: registry.histogram("shard.service_us"),
+            shard_busy,
+            shard_queries,
+            site,
+            registry,
+        }
+    }
+
+    /// The registry, for ad-hoc lookups and extra instruments.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time export of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Finished sampled spans, oldest first.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.spans()
+    }
+
+    /// Live per-shard busy time, µs — the Figure 2 quantity, read from
+    /// the instruments instead of the broker.
+    pub fn busy_us(&self) -> Vec<f64> {
+        self.shard_busy.iter().map(|g| g.get()).collect()
+    }
+
+    /// Live busy load normalized by its mean (Figure 2's y-axis).
+    pub fn busy_load_normalized(&self) -> Vec<f64> {
+        let busy = self.busy_us();
+        let mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+        if mean <= 0.0 {
+            return vec![0.0; busy.len()];
+        }
+        busy.iter().map(|&b| b / mean).collect()
+    }
+
+    /// Live per-shard query counts.
+    pub fn shard_queries(&self) -> Vec<u64> {
+        self.shard_queries.iter().map(|c| c.get()).collect()
+    }
+
+    /// Live per-site served counts (empty for single-site configs).
+    pub fn site_served(&self) -> Vec<u64> {
+        self.site
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.per_site_served.iter().map(|c| c.get()).collect())
+    }
+}
+
+impl Recorder for ObsRecorder {
+    fn record(&self, event: Event) {
+        match event {
+            Event::QueryStart { qid, now } => {
+                self.queries.inc();
+                if self.multi_site {
+                    self.spans.touch(qid, now, Stage::Admit, 0.0);
+                } else {
+                    self.spans.enter(qid, now, Stage::Admit, 0.0);
+                }
+            }
+            Event::CacheLookup { qid, now, hit } => {
+                if hit { &self.cache_hits } else { &self.cache_misses }.inc();
+                self.spans.touch(qid, now, Stage::CacheLookup, f64::from(u8::from(hit)));
+            }
+            Event::ScatterDispatch { qid, now, partitions } => {
+                self.scatter_batches.inc();
+                self.scatter_tasks.add(u64::from(partitions));
+                self.spans.touch(qid, now, Stage::ScatterDispatch, f64::from(partitions));
+            }
+            Event::ShardService { qid, now, partition, service_us } => {
+                self.shard_service_us.record(service_us);
+                if let Some(g) = self.shard_busy.get(partition as usize) {
+                    g.add(service_us);
+                }
+                if let Some(c) = self.shard_queries.get(partition as usize) {
+                    c.inc();
+                }
+                self.spans.touch(qid, now, Stage::ShardService, service_us);
+            }
+            Event::GatherDone { qid, now, merged_hits, latency_us } => {
+                self.broker_queries.inc();
+                self.gather_merged_hits.add(merged_hits);
+                self.gather_latency_us.record(latency_us as f64);
+                self.spans.touch(qid, now, Stage::Gather, latency_us as f64);
+            }
+            Event::Hedge { qid, now, partition: _, extra_us } => {
+                self.hedges.inc();
+                self.hedge_extra_us.record(extra_us);
+                self.spans.touch(qid, now, Stage::Hedge, extra_us);
+            }
+            Event::Outcome { qid, now, outcome, latency_us } => {
+                match outcome {
+                    Outcome::CacheHit => self.out_cache_hit.inc(),
+                    Outcome::Full => self.out_full.inc(),
+                    Outcome::Degraded => self.out_degraded.inc(),
+                    Outcome::StaleFromCache => self.out_stale.inc(),
+                    Outcome::Failed => self.out_failed.inc(),
+                    Outcome::Shed => self.out_shed.inc(),
+                }
+                if let Some(l) = latency_us {
+                    self.latency_us.record(l as f64);
+                }
+                let v = latency_us.unwrap_or(0) as f64;
+                if self.multi_site {
+                    self.spans.touch(qid, now, Stage::Outcome, v);
+                } else {
+                    self.spans.close(qid, now, Stage::Outcome, v);
+                }
+            }
+            Event::SiteAttempt { qid, now, site, remote: _ } => {
+                if let Some(s) = &self.site {
+                    s.attempts.inc();
+                }
+                self.spans.enter(qid, now, Stage::SiteAttempt, f64::from(site));
+            }
+            Event::SiteFailover { qid, now, site: _, backoff_us } => {
+                if let Some(s) = &self.site {
+                    s.failovers.inc();
+                    s.backoff_us.record(backoff_us as f64);
+                }
+                self.spans.touch(qid, now, Stage::SiteFailover, backoff_us as f64);
+            }
+            Event::WanHop { qid, now, from: _, to: _, rtt_us } => {
+                if let Some(s) = &self.site {
+                    s.wan_hops_attempted.inc();
+                    s.wan_rtt_us.record(rtt_us as f64);
+                }
+                self.spans.touch(qid, now, Stage::WanHop, rtt_us as f64);
+            }
+            Event::SiteOutcome {
+                qid,
+                now,
+                outcome,
+                site,
+                hops,
+                degraded,
+                added_latency_us,
+                latency_us,
+            } => {
+                if let Some(s) = &self.site {
+                    match outcome {
+                        SiteOutcome::ServedLocal => s.served_local.inc(),
+                        SiteOutcome::ServedRemote => s.served_remote.inc(),
+                        SiteOutcome::ShedOverload => s.shed_overload.inc(),
+                        SiteOutcome::ShedDeadline => s.shed_deadline.inc(),
+                        SiteOutcome::Failed => s.failed.inc(),
+                    }
+                    if degraded {
+                        s.degraded.inc();
+                    }
+                    let served =
+                        matches!(outcome, SiteOutcome::ServedLocal | SiteOutcome::ServedRemote);
+                    if served {
+                        s.wan_hops.add(u64::from(hops));
+                        s.added_latency_us.add(added_latency_us);
+                    }
+                    if let Some(site) = site {
+                        if let Some(c) = s.per_site_served.get(site as usize) {
+                            c.inc();
+                        }
+                    }
+                    if let Some(l) = latency_us {
+                        s.latency_us.record(l as f64);
+                    }
+                }
+                self.spans.close(qid, now, Stage::Outcome, latency_us.unwrap_or(0) as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_zero_sized_and_dead() {
+        assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+        assert!(!NoopRecorder.is_live());
+        NoopRecorder.record(Event::QueryStart { qid: 1, now: 0 });
+    }
+
+    #[test]
+    fn single_site_events_land_in_instruments_and_spans() {
+        let rec = ObsRecorder::new(ObsConfig::single_site(2).sample(1));
+        let qid = 42;
+        rec.record(Event::QueryStart { qid, now: 0 });
+        rec.record(Event::CacheLookup { qid, now: 0, hit: false });
+        rec.record(Event::ScatterDispatch { qid, now: 0, partitions: 2 });
+        rec.record(Event::ShardService { qid, now: 0, partition: 0, service_us: 200.0 });
+        rec.record(Event::ShardService { qid, now: 0, partition: 1, service_us: 300.0 });
+        rec.record(Event::GatherDone { qid, now: 0, merged_hits: 7, latency_us: 310 });
+        rec.record(Event::Outcome { qid, now: 310, outcome: Outcome::Full, latency_us: Some(310) });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("engine.queries"), Some(1));
+        assert_eq!(snap.counter("cache.misses"), Some(1));
+        assert_eq!(snap.counter("engine.served.full"), Some(1));
+        assert_eq!(snap.counter("scatter.tasks"), Some(2));
+        assert_eq!(snap.counter("broker.queries"), Some(1));
+        assert_eq!(rec.busy_us(), vec![200.0, 300.0]);
+        assert_eq!(rec.shard_queries(), vec![1, 1]);
+        assert_eq!(snap.histogram("engine.latency_us").map(|p| p.count()), Some(1));
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1, "span closed on Outcome");
+        assert_eq!(spans[0].events.len(), 7);
+        assert!(snap.counter("site.attempts").is_none(), "no site tier instruments");
+    }
+
+    #[test]
+    fn multi_site_spans_open_on_site_attempt_and_close_on_site_outcome() {
+        let rec = ObsRecorder::new(ObsConfig::multi_site(2, 3).sample(1));
+        let qid = 7;
+        rec.record(Event::SiteAttempt { qid, now: 0, site: 1, remote: false });
+        rec.record(Event::QueryStart { qid, now: 0 });
+        rec.record(Event::Outcome { qid, now: 9, outcome: Outcome::Failed, latency_us: None });
+        rec.record(Event::SiteFailover { qid, now: 9, site: 1, backoff_us: 50 });
+        rec.record(Event::WanHop { qid, now: 59, from: 1, to: 2, rtt_us: 80_000 });
+        rec.record(Event::SiteAttempt { qid, now: 59, site: 2, remote: true });
+        rec.record(Event::QueryStart { qid, now: 59 });
+        rec.record(Event::Outcome { qid, now: 700, outcome: Outcome::Full, latency_us: Some(641) });
+        rec.record(Event::SiteOutcome {
+            qid,
+            now: 700,
+            outcome: SiteOutcome::ServedRemote,
+            site: Some(2),
+            hops: 1,
+            degraded: false,
+            added_latency_us: 80_050,
+            latency_us: Some(80_691),
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("site.attempts"), Some(2));
+        assert_eq!(snap.counter("site.failovers"), Some(1));
+        assert_eq!(snap.counter("site.served_remote"), Some(1));
+        assert_eq!(snap.counter("site.wan_hops"), Some(1));
+        assert_eq!(snap.counter("site.added_latency_us"), Some(80_050));
+        assert_eq!(snap.counter("engine.queries"), Some(2), "one per attempt");
+        assert_eq!(rec.site_served(), vec![0, 0, 1]);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1, "one span across both attempts");
+        assert_eq!(spans[0].events.len(), 9);
+    }
+
+    #[test]
+    fn out_of_range_partition_is_ignored() {
+        let rec = ObsRecorder::new(ObsConfig::single_site(1).sample(0));
+        rec.record(Event::ShardService { qid: 1, now: 0, partition: 99, service_us: 5.0 });
+        assert_eq!(rec.busy_us(), vec![0.0]);
+        assert_eq!(rec.snapshot().histogram("shard.service_us").map(|p| p.count()), Some(1));
+    }
+
+    #[test]
+    fn arc_recorder_delegates() {
+        let rec = Arc::new(ObsRecorder::new(ObsConfig::single_site(1).sample(0)));
+        assert!(Recorder::is_live(&rec));
+        Recorder::record(&rec, Event::QueryStart { qid: 1, now: 0 });
+        assert_eq!(rec.snapshot().counter("engine.queries"), Some(1));
+    }
+}

@@ -1,0 +1,100 @@
+//! Live load reports: Figure-2-style per-server busy load and per-stage
+//! latency-tail breakdowns, rendered from instruments instead of offline
+//! bookkeeping.
+
+use dwr_sim::stats::Percentiles;
+
+/// A proportional ASCII bar of `frac` (clamped to [0, 1]) in `width`
+/// cells.
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// The Figure 2 table from live per-shard busy gauges: busy time per
+/// server, load normalized by the mean (dashed line at 1.00), and the
+/// peak/mean ratio the paper's capacity argument hinges on.
+pub fn busy_load_report(busy_us: &[f64]) -> String {
+    if busy_us.is_empty() {
+        return "  (no servers)\n".to_string();
+    }
+    let mean = busy_us.iter().sum::<f64>() / busy_us.len() as f64;
+    let peak = busy_us.iter().cloned().fold(0.0_f64, f64::max);
+    let mut out = String::new();
+    out.push_str("  server   busy_ms      load\n");
+    for (i, &b) in busy_us.iter().enumerate() {
+        let load = if mean > 0.0 { b / mean } else { 0.0 };
+        let frac = if peak > 0.0 { b / peak } else { 0.0 };
+        out.push_str(&format!("  {i:>6}  {:>8.1}  {load:>8.3}  {}\n", b / 1_000.0, bar(frac, 30)));
+    }
+    let ratio = if mean > 0.0 { peak / mean } else { 0.0 };
+    out.push_str(&format!(
+        "    mean  {:>8.1}      1.000  (peak/mean {ratio:.3}: the busiest server bounds capacity)\n",
+        mean / 1_000.0
+    ));
+    out
+}
+
+/// A per-stage latency-tail table from histogram snapshots: one row per
+/// named stage with count, mean, and the p50/p90/p99/p999 tail.
+pub fn stage_tail_report<'a>(stages: &[(&'a str, &'a Percentiles)]) -> String {
+    let width = stages.iter().map(|(n, _)| n.len()).max().unwrap_or(5).max(5);
+    let mut out = format!(
+        "  {:<width$}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+        "stage", "n", "mean_us", "p50_us", "p90_us", "p99_us", "p999_us", "max_us"
+    );
+    for (name, p) in stages {
+        if p.is_empty() {
+            out.push_str(&format!("  {name:<width$}  {:>9}  (no samples)\n", 0));
+            continue;
+        }
+        out.push_str(&format!(
+            "  {name:<width$}  {:>9}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}\n",
+            p.count(),
+            p.mean(),
+            p.p50(),
+            p.p90(),
+            p.p99(),
+            p.p999(),
+            p.max()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_report_shows_loads_and_ratio() {
+        let r = busy_load_report(&[1_000.0, 3_000.0]);
+        assert!(r.contains("0.500"), "{r}");
+        assert!(r.contains("1.500"), "{r}");
+        assert!(r.contains("peak/mean 1.500"), "{r}");
+    }
+
+    #[test]
+    fn busy_report_handles_empty_and_idle() {
+        assert!(busy_load_report(&[]).contains("no servers"));
+        let idle = busy_load_report(&[0.0, 0.0]);
+        assert!(idle.contains("0.000"), "{idle}");
+    }
+
+    #[test]
+    fn stage_report_renders_rows() {
+        let mut p = Percentiles::new();
+        for i in 1..=100u64 {
+            p.push(i as f64);
+        }
+        let empty = Percentiles::new();
+        let r = stage_tail_report(&[("shard_service", &p), ("hedge", &empty)]);
+        assert!(r.contains("shard_service"), "{r}");
+        assert!(r.contains("100"), "{r}");
+        assert!(r.contains("(no samples)"), "{r}");
+    }
+}

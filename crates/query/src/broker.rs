@@ -23,6 +23,7 @@
 //! model are bit-for-bit identical whichever path evaluated the shards.
 
 use crate::scatter::ScatterPool;
+use dwr_obs::{Event, NoopRecorder, Recorder};
 use dwr_partition::parted::{IndexShard, PartitionedIndex};
 use dwr_partition::select::CollectionSelector;
 use dwr_sim::net::{SiteId, Topology};
@@ -65,8 +66,12 @@ pub struct BrokeredResponse {
 /// The document-partition broker: an immutable shared core (index,
 /// topology, scoring parameters) plus atomic accounting. `Send + Sync`;
 /// all query methods take `&self`.
+///
+/// Generic over an observability [`Recorder`]; the default
+/// [`NoopRecorder`] is a zero-sized type whose events compile away, so
+/// uninstrumented brokers are exactly the pre-instrumentation code.
 #[derive(Debug)]
-pub struct DocBroker {
+pub struct DocBroker<R: Recorder = NoopRecorder> {
     index: PartitionedIndex,
     topo: Topology,
     broker_site: SiteId,
@@ -80,6 +85,9 @@ pub struct DocBroker {
     queries: AtomicU64,
     /// When set, shards are evaluated concurrently on this pool.
     pool: Option<Arc<ScatterPool>>,
+    /// Observability sink; all events are emitted from the coordinating
+    /// thread in deterministic order.
+    recorder: R,
 }
 
 /// Evaluate one shard: local top-k, mapped to global doc ids.
@@ -114,6 +122,7 @@ impl DocBroker {
             busy,
             queries: AtomicU64::new(0),
             pool: None,
+            recorder: NoopRecorder,
         }
     }
 
@@ -121,6 +130,30 @@ impl DocBroker {
     pub fn single_site(index: &PartitionedIndex) -> Self {
         let sites = vec![SiteId(0); index.num_partitions()];
         Self::new(index, Topology::single_site(), SiteId(0), sites)
+    }
+}
+
+impl<R: Recorder> DocBroker<R> {
+    /// Swap in an observability recorder (events flow to it from every
+    /// query method). Counters and results are unaffected: recorders
+    /// observe, they never steer.
+    pub fn with_recorder<R2: Recorder>(self, recorder: R2) -> DocBroker<R2> {
+        DocBroker {
+            index: self.index,
+            topo: self.topo,
+            broker_site: self.broker_site,
+            part_sites: self.part_sites,
+            bm25: self.bm25,
+            busy: self.busy,
+            queries: self.queries,
+            pool: self.pool,
+            recorder,
+        }
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
     /// Evaluate shards concurrently on a dedicated pool of `threads`
@@ -170,8 +203,17 @@ impl DocBroker {
     /// Scatter: per-partition result lists, in `parts` order. Runs on
     /// the pool when configured, inline otherwise; either way the output
     /// is indexed by task, so the gather phase is order-independent of
-    /// completion.
-    fn scatter(&self, terms: &[TermId], k: usize, parts: &[u32]) -> Vec<Vec<(u32, f32)>> {
+    /// completion. Both branches emit the same single
+    /// [`Event::ScatterDispatch`] (identical payload), keeping the
+    /// sequential and parallel event streams indistinguishable.
+    fn scatter(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        parts: &[u32],
+        qid: u64,
+        now: SimTime,
+    ) -> Vec<Vec<(u32, f32)>> {
         match &self.pool {
             Some(pool) if parts.len() > 1 => {
                 let shared_terms: Arc<[TermId]> = terms.into();
@@ -184,21 +226,47 @@ impl DocBroker {
                         move || evaluate_shard(&shard, &terms, k, &bm25)
                     })
                     .collect();
-                pool.scatter(tasks)
+                pool.scatter_recorded(tasks, &self.recorder, qid, now)
             }
-            _ => parts
-                .iter()
-                .map(|&p| evaluate_shard(&self.index.shard(p as usize), terms, k, &self.bm25))
-                .collect(),
+            _ => {
+                self.recorder.record(Event::ScatterDispatch {
+                    qid,
+                    now,
+                    partitions: parts.len() as u32,
+                });
+                parts
+                    .iter()
+                    .map(|&p| evaluate_shard(&self.index.shard(p as usize), terms, k, &self.bm25))
+                    .collect()
+            }
         }
     }
 
     /// Evaluate a query over an explicit partition set.
     pub fn query_selected(&self, terms: &[TermId], k: usize, parts: &[u32]) -> BrokeredResponse {
+        // Standalone brokers have no sim clock and compute the query key
+        // only when someone is listening.
+        let qid = if self.recorder.is_live() { crate::engine::query_key(terms) } else { 0 };
+        self.query_selected_at(terms, k, parts, qid, 0)
+    }
+
+    /// As [`Self::query_selected`], with the caller supplying the query
+    /// key and sim-clock instant stamped onto observability events (the
+    /// engine path, which has both at hand).
+    pub fn query_selected_at(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        parts: &[u32],
+        qid: u64,
+        now: SimTime,
+    ) -> BrokeredResponse {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let per_part = self.scatter(terms, k, parts);
+        let per_part = self.scatter(terms, k, parts, qid, now);
         // Gather in partition order: deterministic merge and latency
-        // regardless of which thread finished first.
+        // regardless of which thread finished first. Per-shard events are
+        // emitted here (not by workers), so their order is deterministic
+        // too.
         let mut top = TopK::new(k.max(1));
         let mut slowest: SimTime = 0;
         let mut merged_hits = 0u64;
@@ -206,6 +274,12 @@ impl DocBroker {
             let pu = p as usize;
             let service = self.service_time(pu, terms);
             self.add_busy(pu, service);
+            self.recorder.record(Event::ShardService {
+                qid,
+                now,
+                partition: p,
+                service_us: service,
+            });
             let hits = &per_part[i];
             merged_hits += hits.len() as u64;
             let rtt =
@@ -216,6 +290,8 @@ impl DocBroker {
             }
         }
         let merge = (merged_hits as f64 * US_PER_MERGE_HIT) as SimTime;
+        let latency = slowest + merge;
+        self.recorder.record(Event::GatherDone { qid, now, merged_hits, latency_us: latency });
         BrokeredResponse {
             hits: top
                 .into_sorted_vec()
@@ -223,7 +299,7 @@ impl DocBroker {
                 .map(|(doc, score)| GlobalHit { doc, score })
                 .collect(),
             partitions_used: parts.len(),
-            latency: slowest + merge,
+            latency,
         }
     }
 

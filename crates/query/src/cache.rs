@@ -30,7 +30,10 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit ratio (0 when no lookups).
+    /// Hit ratio. A cache with zero lookups reports 0.0, **not** NaN:
+    /// downstream consumers sort, difference, and plot these ratios
+    /// (`exp_caching`, the E8 staleness experiment), and a NaN would
+    /// poison every comparison it touches.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -332,6 +335,20 @@ impl<C: ResultCache> ShardedCache<C> {
             .cloned()
     }
 
+    /// As [`Self::get`], announcing the lookup (hit or miss) to
+    /// `recorder` — one [`dwr_obs::Event::CacheLookup`] per call, after
+    /// the shard lock is released.
+    pub fn get_recorded<R: dwr_obs::Recorder + ?Sized>(
+        &self,
+        key: u64,
+        recorder: &R,
+        now: dwr_sim::SimTime,
+    ) -> Option<CachedResults> {
+        let hit = self.get(key);
+        recorder.record(dwr_obs::Event::CacheLookup { qid: key, now, hit: hit.is_some() });
+        hit
+    }
+
     /// Insert a result.
     pub fn put(&self, key: u64, value: CachedResults) {
         self.shard_for(key)
@@ -432,6 +449,47 @@ mod tests {
             c.put(k, value(k as u32));
         }
         assert!(c.get(100).is_some(), "static entry survived the flood");
+    }
+
+    /// Regression: `hit_ratio` on a cache that has never been consulted
+    /// must be 0.0, not NaN (0/0). NaN here would poison comparisons and
+    /// sorts in every experiment that ranks policies by hit ratio.
+    #[test]
+    fn hit_ratio_with_zero_lookups_is_zero_not_nan() {
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+        for c in
+            [&LruCache::new(4) as &dyn ResultCache, &LfuCache::new(4), &SdcCache::new(4, 0.5, &[1])]
+        {
+            let r = c.stats().hit_ratio();
+            assert!(!r.is_nan(), "{}: NaN hit ratio before any lookup", c.name());
+            assert_eq!(r, 0.0, "{}", c.name());
+        }
+        // Sharded wrapper, and a stats value with evictions but no
+        // lookups (puts only), stay finite too.
+        let sharded = ShardedCache::single(LruCache::new(1));
+        sharded.put(1, value(1));
+        sharded.put(2, value(2)); // evicts 1: evictions=1, lookups=0
+        let s = sharded.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 0, 1));
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert!(s.hit_ratio().partial_cmp(&0.5).is_some(), "comparable, not NaN");
+    }
+
+    #[test]
+    fn get_recorded_counts_hits_and_misses() {
+        use dwr_obs::{ObsConfig, ObsRecorder, Recorder};
+        let rec = ObsRecorder::new(ObsConfig::single_site(1));
+        assert!(rec.is_live());
+        let c = ShardedCache::single(LruCache::new(4));
+        c.put(1, value(1));
+        assert!(c.get_recorded(1, &rec, 0).is_some());
+        assert!(c.get_recorded(2, &rec, 0).is_none());
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(1));
+        assert_eq!(snap.counter("cache.misses"), Some(1));
+        // Obs counters agree with the cache's own accounting.
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
     }
 
     #[test]

@@ -45,6 +45,7 @@ use crate::broker::{DocBroker, GlobalHit};
 use crate::cache::{ResultCache, ShardedCache};
 use crate::faults::FaultSchedule;
 use crate::replica::ReplicaGroup;
+use dwr_obs::{Event, NoopRecorder, Outcome as ObsOutcome, Recorder};
 use dwr_partition::parted::PartitionedIndex;
 use dwr_partition::select::CollectionSelector;
 use dwr_sim::SimTime;
@@ -138,8 +139,14 @@ struct DispatchPlan {
 
 /// The engine. Owns its broker (which owns an `Arc`-backed index clone),
 /// cache, and replica state; `Send + Sync`, all methods `&self`.
-pub struct DistributedEngine<C: ResultCache> {
-    broker: DocBroker,
+///
+/// Generic over an observability [`Recorder`] (default: the zero-sized
+/// [`NoopRecorder`], which compiles the instrumentation away entirely).
+/// Attach a live recorder with [`DistributedEngine::with_obs`]; results
+/// are bit-for-bit identical either way — recorders observe, they never
+/// steer (`tests/observability.rs` pins this).
+pub struct DistributedEngine<C: ResultCache, R: Recorder = NoopRecorder> {
+    broker: DocBroker<R>,
     cache: ShardedCache<C>,
     groups: Vec<Mutex<ReplicaGroup>>,
     counters: Counters,
@@ -152,6 +159,9 @@ pub struct DistributedEngine<C: ResultCache> {
     deadline: Option<SimTime>,
     /// The engine's simulated clock (µs), advanced by `advance_to`.
     clock: AtomicU64,
+    /// Observability sink (cloned into the broker so both emit to the
+    /// same instruments).
+    recorder: R,
 }
 
 /// A stable cache key for a term multiset.
@@ -181,7 +191,36 @@ impl<C: ResultCache> DistributedEngine<C> {
             faults: None,
             deadline: None,
             clock: AtomicU64::new(0),
+            recorder: NoopRecorder,
         }
+    }
+}
+
+impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
+    /// Swap in an observability recorder: every stage of every query
+    /// (admission, cache lookup, scatter, per-shard service, gather,
+    /// hedges, outcome) flows to it as [`Event`]s. The recorder is
+    /// cloned into the broker so engine- and broker-level events land in
+    /// the same instruments; share one `Arc<ObsRecorder>` across engines
+    /// for tier-wide accounting.
+    pub fn with_obs<R2: Recorder + Clone>(self, recorder: R2) -> DistributedEngine<C, R2> {
+        DistributedEngine {
+            broker: self.broker.with_recorder(recorder.clone()),
+            cache: self.cache,
+            groups: self.groups,
+            counters: self.counters,
+            selection_width: self.selection_width,
+            selector: self.selector,
+            faults: self.faults,
+            deadline: self.deadline,
+            clock: self.clock,
+            recorder,
+        }
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
     /// Enable collection selection: only the top-`m` partitions serve each
@@ -305,7 +344,13 @@ impl<C: ResultCache> DistributedEngine<C> {
     /// than queried anyway. When a fault schedule is attached, a replica
     /// whose outage begins mid-query loses the attempt and the engine
     /// hedges once on another live replica (if the deadline leaves room).
-    fn dispatch_partitions(&self, chosen: &[u32], terms: &[TermId], now: SimTime) -> DispatchPlan {
+    fn dispatch_partitions(
+        &self,
+        chosen: &[u32],
+        terms: &[TermId],
+        now: SimTime,
+        qid: u64,
+    ) -> DispatchPlan {
         let mut plan = DispatchPlan {
             served: Vec::with_capacity(chosen.len()),
             missing: 0,
@@ -340,11 +385,25 @@ impl<C: ResultCache> DistributedEngine<C> {
                 Some(second) if !faults.fails_during(pu, second, now + svc, now + 2 * svc) => {
                     plan.hedges += 1;
                     plan.hedge_extra = plan.hedge_extra.max(svc);
+                    self.recorder.record(Event::Hedge {
+                        qid,
+                        now,
+                        partition: p,
+                        extra_us: svc as f64,
+                    });
                     plan.served.push(p);
                 }
                 other => {
                     // The retry (if any) was dispatched but also lost.
                     plan.hedges += u64::from(other.is_some());
+                    if other.is_some() {
+                        self.recorder.record(Event::Hedge {
+                            qid,
+                            now,
+                            partition: p,
+                            extra_us: svc as f64,
+                        });
+                    }
                     plan.missing += 1;
                 }
             }
@@ -359,33 +418,50 @@ impl<C: ResultCache> DistributedEngine<C> {
     fn serve(&self, terms: &[TermId], k: usize, stale_ok: bool) -> EngineResponse {
         let now = self.now();
         let key = query_key(terms);
-        if let Some(hit) = self.cache.get(key) {
+        self.recorder.record(Event::QueryStart { qid: key, now });
+        if let Some(hit) = self.cache.get_recorded(key, &self.recorder, now) {
             if stale_ok && !self.choose(terms).iter().any(|&p| self.group_available(p)) {
                 self.counters.stale.fetch_add(1, Ordering::Relaxed);
+                self.record_outcome(key, now, ObsOutcome::StaleFromCache, None);
                 return EngineResponse { hits: hit, served: Served::StaleFromCache, latency: None };
             }
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.record_outcome(key, now, ObsOutcome::CacheHit, None);
             return EngineResponse { hits: hit, served: Served::CacheHit, latency: None };
         }
         let chosen = self.choose(terms);
-        let plan = self.dispatch_partitions(&chosen, terms, now);
+        let plan = self.dispatch_partitions(&chosen, terms, now, key);
         self.counters.hedged.fetch_add(plan.hedges, Ordering::Relaxed);
         if plan.served.is_empty() {
             // Whole backend (for this query) is down, and the cache
             // already missed above: nothing to serve.
             self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            self.record_outcome(key, now, ObsOutcome::Failed, None);
             return EngineResponse { hits: Vec::new(), served: Served::Failed, latency: None };
         }
-        let resp = self.broker.query_selected(terms, k, &plan.served);
+        let resp = self.broker.query_selected_at(terms, k, &plan.served, key, now);
         self.cache.put(key, resp.hits.clone());
+        let latency = resp.latency + plan.hedge_extra;
         let served = if plan.missing == 0 {
             self.counters.full.fetch_add(1, Ordering::Relaxed);
+            self.record_outcome(key, now, ObsOutcome::Full, Some(latency));
             Served::Full
         } else {
             self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            self.record_outcome(key, now, ObsOutcome::Degraded, Some(latency));
             Served::Degraded { missing: plan.missing }
         };
-        EngineResponse { hits: resp.hits, served, latency: Some(resp.latency + plan.hedge_extra) }
+        EngineResponse { hits: resp.hits, served, latency: Some(latency) }
+    }
+
+    fn record_outcome(
+        &self,
+        qid: u64,
+        now: SimTime,
+        outcome: ObsOutcome,
+        latency: Option<SimTime>,
+    ) {
+        self.recorder.record(Event::Outcome { qid, now, outcome, latency_us: latency });
     }
 
     /// Counters so far.
@@ -406,7 +482,7 @@ impl<C: ResultCache> DistributedEngine<C> {
     }
 
     /// The broker, for busy-time inspection.
-    pub fn broker(&self) -> &DocBroker {
+    pub fn broker(&self) -> &DocBroker<R> {
         &self.broker
     }
 }

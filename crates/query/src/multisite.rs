@@ -42,8 +42,9 @@
 
 use crate::broker::GlobalHit;
 use crate::cache::ResultCache;
-use crate::engine::{DistributedEngine, Served};
+use crate::engine::{query_key, DistributedEngine, Served};
 use dwr_avail::site::Site;
+use dwr_obs::{Event, NoopRecorder, Recorder, SiteOutcome};
 use dwr_sim::net::{SiteId, Topology};
 use dwr_sim::{SimTime, MILLISECOND, MINUTE, SECOND};
 use dwr_text::TermId;
@@ -95,15 +96,17 @@ impl Default for MultiSiteConfig {
 }
 
 /// One site handed to [`MultiSiteEngine::new`].
-pub struct SiteEngineSpec<C: ResultCache> {
+pub struct SiteEngineSpec<C: ResultCache, R: Recorder = NoopRecorder> {
     /// The region whose queries are local to this site.
     pub region: u16,
     /// Serving capacity, queries/second — the denominator of measured
     /// utilization for admission control.
     pub capacity_qps: f64,
     /// The site's serving stack (optionally fault-injected itself; its
-    /// clock is driven by [`MultiSiteEngine::advance_to`]).
-    pub engine: DistributedEngine<C>,
+    /// clock is driven by [`MultiSiteEngine::advance_to`]). For coherent
+    /// tier-wide accounting, every site's engine must carry the *same*
+    /// recorder instance (share an `Arc<ObsRecorder>`).
+    pub engine: DistributedEngine<C, R>,
     /// The site's whole-site outage timeline.
     pub outages: Site,
 }
@@ -115,15 +118,15 @@ struct UtilWindow {
     admitted: u64,
 }
 
-struct SiteNode<C: ResultCache> {
+struct SiteNode<C: ResultCache, R: Recorder> {
     region: u16,
     capacity_qps: f64,
-    engine: DistributedEngine<C>,
+    engine: DistributedEngine<C, R>,
     outages: Site,
     window: Mutex<UtilWindow>,
 }
 
-impl<C: ResultCache> SiteNode<C> {
+impl<C: ResultCache, R: Recorder> SiteNode<C, R> {
     /// The site's admission quota per utilization window.
     fn quota(&self, cfg: &MultiSiteConfig) -> f64 {
         cfg.shed_threshold * self.capacity_qps * (cfg.util_window as f64 / SECOND as f64)
@@ -242,22 +245,27 @@ pub struct MultiSiteResponse {
 
 /// The site tier: one engine per site, outage-trace liveness, WAN
 /// failover with budgets, and load shedding. See the module docs.
-pub struct MultiSiteEngine<C: ResultCache> {
-    sites: Vec<SiteNode<C>>,
+pub struct MultiSiteEngine<C: ResultCache, R: Recorder = NoopRecorder> {
+    sites: Vec<SiteNode<C, R>>,
     topo: Topology,
     cfg: MultiSiteConfig,
     counters: Counters,
     clock: AtomicU64,
+    /// The tier's own observability sink — a clone of the first site's
+    /// recorder (every site must share one instance; see
+    /// [`SiteEngineSpec::engine`]).
+    recorder: R,
 }
 
-impl<C: ResultCache> MultiSiteEngine<C> {
+impl<C: ResultCache, R: Recorder + Clone> MultiSiteEngine<C, R> {
     /// Assemble the tier from per-site stacks, a WAN topology, and the
     /// routing/robustness knobs.
-    pub fn new(sites: Vec<SiteEngineSpec<C>>, topo: Topology, cfg: MultiSiteConfig) -> Self {
+    pub fn new(sites: Vec<SiteEngineSpec<C, R>>, topo: Topology, cfg: MultiSiteConfig) -> Self {
         assert!(!sites.is_empty());
         assert_eq!(topo.sites(), sites.len(), "one topology node per site");
         assert!(cfg.deadline > 0 && cfg.max_attempts >= 1);
         assert!(cfg.shed_threshold > 0.0 && cfg.util_window > 0);
+        let recorder = sites[0].engine.recorder().clone();
         let sites = sites
             .into_iter()
             .map(|s| SiteNode {
@@ -274,6 +282,7 @@ impl<C: ResultCache> MultiSiteEngine<C> {
             cfg,
             counters: Counters::default(),
             clock: AtomicU64::new(0),
+            recorder,
         }
     }
 
@@ -298,8 +307,13 @@ impl<C: ResultCache> MultiSiteEngine<C> {
     }
 
     /// The per-site serving stack, for inspection.
-    pub fn site_engine(&self, site: usize) -> &DistributedEngine<C> {
+    pub fn site_engine(&self, site: usize) -> &DistributedEngine<C, R> {
         &self.sites[site].engine
+    }
+
+    /// The tier's observability recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
     /// Sites whose outage trace says they are up at `t`.
@@ -325,6 +339,9 @@ impl<C: ResultCache> MultiSiteEngine<C> {
         let anchor = self.anchor(region);
         let anchor_id = SiteId(anchor as u32);
         let order = self.topo.order_by_latency(anchor_id);
+        // The query key is only needed for event correlation; skip the
+        // hash when nobody is listening.
+        let qid = if self.recorder.is_live() { query_key(terms) } else { 0 };
 
         let mut spent: SimTime = 0; // WAN + backoff charged so far
         let mut hops: u32 = 0;
@@ -357,8 +374,16 @@ impl<C: ResultCache> MultiSiteEngine<C> {
                 continue; // overflow spills to the next-nearest live site
             }
             attempts += 1;
+            self.recorder.record(Event::SiteAttempt { qid, now, site: s as u32, remote });
             if remote {
                 hops += 1;
+                self.recorder.record(Event::WanHop {
+                    qid,
+                    now,
+                    from: anchor as u32,
+                    to: s as u32,
+                    rtt_us: wan,
+                });
             }
             let r = node.engine.query_full(terms, k);
             let svc = r.latency.unwrap_or(0);
@@ -378,6 +403,12 @@ impl<C: ResultCache> MultiSiteEngine<C> {
             };
             if lost {
                 self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                self.recorder.record(Event::SiteFailover {
+                    qid,
+                    now,
+                    site: s as u32,
+                    backoff_us: backoff,
+                });
                 spent = spent.saturating_add(wan).saturating_add(backoff);
                 backoff = backoff.saturating_mul(2);
                 continue;
@@ -391,6 +422,16 @@ impl<C: ResultCache> MultiSiteEngine<C> {
             }
             self.counters.wan_hops.fetch_add(u64::from(hops), Ordering::Relaxed);
             self.counters.added_latency_us.fetch_add(spent + wan, Ordering::Relaxed);
+            self.recorder.record(Event::SiteOutcome {
+                qid,
+                now,
+                outcome: if remote { SiteOutcome::ServedRemote } else { SiteOutcome::ServedLocal },
+                site: Some(s as u32),
+                hops,
+                degraded: matches!(r.served, Served::Degraded { .. } | Served::StaleFromCache),
+                added_latency_us: spent + wan,
+                latency_us: Some(spent + total),
+            });
             return MultiSiteResponse {
                 hits: r.hits,
                 served: r.served,
@@ -404,12 +445,24 @@ impl<C: ResultCache> MultiSiteEngine<C> {
             // Live capacity existed but policy refused the query: an
             // explicit shed, never a silent drop. Pure admission refusals
             // are overload; anything that consumed budget is deadline.
-            let bucket = if refused_overload && attempts == 0 && spent == 0 {
-                &self.counters.shed_overload
-            } else {
-                &self.counters.shed_deadline
-            };
+            let overload = refused_overload && attempts == 0 && spent == 0;
+            let bucket =
+                if overload { &self.counters.shed_overload } else { &self.counters.shed_deadline };
             bucket.fetch_add(1, Ordering::Relaxed);
+            self.recorder.record(Event::SiteOutcome {
+                qid,
+                now,
+                outcome: if overload {
+                    SiteOutcome::ShedOverload
+                } else {
+                    SiteOutcome::ShedDeadline
+                },
+                site: None,
+                hops,
+                degraded: false,
+                added_latency_us: 0,
+                latency_us: None,
+            });
             return MultiSiteResponse {
                 hits: Vec::new(),
                 served: Served::Shed,
@@ -419,6 +472,16 @@ impl<C: ResultCache> MultiSiteEngine<C> {
             };
         }
         self.counters.failed.fetch_add(1, Ordering::Relaxed);
+        self.recorder.record(Event::SiteOutcome {
+            qid,
+            now,
+            outcome: SiteOutcome::Failed,
+            site: None,
+            hops,
+            degraded: false,
+            added_latency_us: 0,
+            latency_us: None,
+        });
         MultiSiteResponse {
             hits: Vec::new(),
             served: Served::Failed,

@@ -20,6 +20,8 @@
 //!   owned term vectors), so nothing borrows from the submitting stack
 //!   frame and the pool can outlive any particular query.
 
+use dwr_obs::{Event, Recorder};
+use dwr_sim::SimTime;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -50,7 +52,10 @@ impl std::fmt::Debug for ScatterPool {
 }
 
 impl ScatterPool {
-    /// Create a pool of `threads` workers (at least 1).
+    /// Create a pool of `threads` workers. `threads == 0` is well-defined
+    /// and clamps to a single worker (a zero-thread pool could never
+    /// drain its queue, so `scatter` would deadlock); `threads == 1`
+    /// degenerates to sequential evaluation on one worker thread.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
@@ -70,7 +75,8 @@ impl ScatterPool {
     }
 
     /// A pool sized to the machine (`available_parallelism`, capped at
-    /// `cap`).
+    /// `cap`). `cap == 0` is treated as a cap of 1, so the result always
+    /// has at least one worker.
     pub fn with_default_size(cap: usize) -> Self {
         let n = std::thread::available_parallelism().map_or(2, usize::from);
         Self::new(n.min(cap.max(1)))
@@ -125,6 +131,26 @@ impl ScatterPool {
             }
         }
         slots.into_iter().map(|s| s.expect("every task reported")).collect()
+    }
+
+    /// As [`Self::scatter`], announcing the dispatch to `recorder` first
+    /// (one [`Event::ScatterDispatch`] per batch, emitted from the
+    /// coordinating thread *before* any worker runs, so the event stream
+    /// is deterministic regardless of completion order).
+    pub fn scatter_recorded<T, F, R>(
+        &self,
+        tasks: Vec<F>,
+        recorder: &R,
+        qid: u64,
+        now: SimTime,
+    ) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        R: Recorder + ?Sized,
+    {
+        recorder.record(Event::ScatterDispatch { qid, now, partitions: tasks.len() as u32 });
+        self.scatter(tasks)
     }
 }
 
@@ -314,5 +340,49 @@ mod tests {
     fn drop_joins_workers() {
         let pool = ScatterPool::new(2);
         drop(pool); // must not hang
+    }
+
+    /// Regression: a zero-thread pool would have an empty worker set and
+    /// `scatter` would block forever on the result channel. The clamp
+    /// must leave exactly one worker and the pool must actually serve.
+    #[test]
+    fn zero_thread_pool_clamps_to_one_and_serves() {
+        let pool = ScatterPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let got = pool.scatter((0..16).map(|i| move || i * 2).collect::<Vec<_>>());
+        assert_eq!(got, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_preserves_order_and_handles_panics() {
+        let pool = ScatterPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let got = pool.scatter((0..8usize).map(|i| move || i + 100).collect::<Vec<_>>());
+        assert_eq!(got, (100..108).collect::<Vec<_>>());
+        // The lone worker must survive a panicking task.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scatter(vec![|| panic!("boom")])
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.scatter(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn with_default_size_zero_cap_is_well_defined() {
+        let pool = ScatterPool::with_default_size(0);
+        assert_eq!(pool.threads(), 1, "cap 0 clamps to one worker");
+        assert_eq!(pool.scatter(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn scatter_recorded_emits_one_dispatch_event() {
+        use dwr_obs::{ObsConfig, ObsRecorder};
+        let pool = ScatterPool::new(2);
+        let rec = ObsRecorder::new(ObsConfig::single_site(4));
+        let got = pool.scatter_recorded((0..4).map(|i| move || i).collect::<Vec<_>>(), &rec, 9, 0);
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("scatter.batches"), Some(1));
+        assert_eq!(snap.counter("scatter.tasks"), Some(4));
     }
 }

@@ -131,6 +131,66 @@ proptest! {
         prop_assert!(p25 <= p50 + 1e-9 && p50 <= p99 + 1e-9);
     }
 
+    /// Merging log-bucketed summaries is associative on every exact
+    /// field (buckets, count, min, max); only the float `sum` may differ
+    /// by rounding across merge orders.
+    #[test]
+    fn percentiles_merge_associative(
+        xs in prop::collection::vec(1e-6f64..1e9, 0..80),
+        ys in prop::collection::vec(1e-6f64..1e9, 0..80),
+        zs in prop::collection::vec(1e-6f64..1e9, 0..80),
+    ) {
+        let summarize = |v: &[f64]| {
+            let mut p = dwr_sim::stats::Percentiles::new();
+            for &x in v {
+                p.push(x);
+            }
+            p
+        };
+        let (a, b, c) = (summarize(&xs), summarize(&ys), summarize(&zs));
+        // (a ⊔ b) ⊔ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊔ (b ⊔ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.buckets(), right.buckets());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        let scale = 1.0 + left.sum().abs();
+        prop_assert!((left.sum() - right.sum()).abs() < 1e-9 * scale);
+    }
+
+    /// A log-bucketed quantile estimate never strays more than one bucket
+    /// width (a factor of 2^(1/8)) from the exact sample percentile.
+    #[test]
+    fn percentiles_agree_with_exact_within_one_bucket(
+        xs in prop::collection::vec(1e-6f64..1e12, 1..300),
+        q in 0.0f64..100.0,
+    ) {
+        let mut p = dwr_sim::stats::Percentiles::new();
+        let mut exact = Samples::new();
+        for &x in &xs {
+            p.push(x);
+            exact.push(x);
+        }
+        // Compare at the same nearest-rank convention the summary uses.
+        let rank = (q / 100.0 * (xs.len() - 1) as f64).round() as usize;
+        let mut sorted = xs.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let truth = sorted[rank];
+        let est = p.percentile(q);
+        let g = (1.0f64 / 8.0).exp2();
+        prop_assert!(
+            est >= truth / g - 1e-12 && est <= truth * g + 1e-12,
+            "q={} est={} truth={}", q, est, truth
+        );
+    }
+
     /// Welford matches the two-pass computation.
     #[test]
     fn streaming_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {

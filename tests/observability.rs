@@ -1,0 +1,205 @@
+//! PR-4 acceptance: observability is *free when off* and *exact when
+//! on*.
+//!
+//! * The default [`NoopRecorder`] is a ZST whose `record` compiles to
+//!   nothing: an engine built with it behaves **bit-for-bit** like one
+//!   carrying live instruments — hits, `Served` outcomes, simulated
+//!   latencies, stats, dispatch ledgers — on the sequential *and* the
+//!   parallel scatter path, under fault injection.
+//! * A live [`ObsRecorder`] mirrors every offline counter exactly
+//!   (engine outcome counters, cache hits/misses, broker query counts,
+//!   per-shard busy time to the last bit), and the parallel twin leaves
+//!   an identical snapshot because events are emitted only from the
+//!   coordinating thread, in deterministic order.
+
+use dwr_avail::UpDownProcess;
+use dwr_obs::{NoopRecorder, ObsConfig, ObsRecorder, Snapshot};
+use dwr_partition::parted::{Corpus, PartitionedIndex};
+use dwr_query::cache::LruCache;
+use dwr_query::engine::{DistributedEngine, EngineStats};
+use dwr_query::faults::FaultSchedule;
+use dwr_sim::{SimRng, SimTime, DAY, HOUR};
+use dwr_text::TermId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build_partitioned(
+    docs: &[std::collections::BTreeMap<u32, u32>],
+    k: usize,
+    seed: u64,
+) -> PartitionedIndex {
+    let corpus: Corpus =
+        docs.iter().map(|doc| doc.iter().map(|(&t, &tf)| (TermId(t), tf)).collect()).collect();
+    let mut rng = SimRng::new(seed);
+    let assignment: Vec<u32> = corpus.iter().map(|_| rng.below(k as u64) as u32).collect();
+    PartitionedIndex::build(&corpus, &assignment, k)
+}
+
+/// Every live counter the recorder keeps must equal the offline mirror
+/// the serving crates keep for themselves.
+fn assert_live_mirrors_offline(
+    snap: &Snapshot,
+    stats: EngineStats,
+    lookups: u64,
+    backend_queries: u64,
+) {
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    assert_eq!(c("engine.queries"), lookups, "one QueryStart per serve");
+    assert_eq!(c("cache.hits"), stats.cache_hits + stats.stale);
+    assert_eq!(c("cache.misses"), lookups - stats.cache_hits - stats.stale);
+    assert_eq!(c("engine.served.cache_hit"), stats.cache_hits);
+    assert_eq!(c("engine.served.full"), stats.full);
+    assert_eq!(c("engine.served.degraded"), stats.degraded);
+    assert_eq!(c("engine.served.stale"), stats.stale);
+    assert_eq!(c("engine.served.failed"), stats.failed);
+    assert_eq!(c("engine.hedges"), stats.hedged);
+    assert_eq!(c("broker.queries"), backend_queries);
+    assert_eq!(c("scatter.batches"), stats.full + stats.degraded, "one dispatch per evaluation");
+    let gathers = snap.histogram("gather.latency_us").map_or(0, |p| p.count());
+    assert_eq!(gathers, stats.full + stats.degraded, "one gather per evaluation");
+    let outcomes = snap.histogram("engine.latency_us").map_or(0, |p| p.count());
+    assert_eq!(outcomes, stats.full + stats.degraded, "latency recorded iff backend answered");
+}
+
+#[test]
+fn noop_recorder_is_zero_sized() {
+    assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+    // And adding it to the engine adds no state: the recorder field and
+    // the broker's copy are both ZSTs.
+    assert_eq!(
+        std::mem::size_of::<DistributedEngine<LruCache>>(),
+        std::mem::size_of::<DistributedEngine<LruCache, NoopRecorder>>(),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance property: four engines — {noop, live} ×
+    /// {sequential, parallel} — fed the identical fault-injected stream
+    /// stay bit-for-bit identical in everything a client or an offline
+    /// accountant can observe; and the two live recorders end up with
+    /// identical snapshots that mirror the offline stats exactly.
+    #[test]
+    fn recorders_observe_but_never_steer(
+        docs in prop::collection::vec(
+            prop::collection::btree_map(0u32..25, 1u32..4, 0..5),
+            1..30,
+        ),
+        k in 1usize..5,
+        replicas in 1usize..4,
+        threads in 2usize..5,
+        n_queries in 1usize..40,
+        mtbf_hours in 1u64..24,
+        mttr_hours in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let pi = build_partitioned(&docs, k, seed);
+        let horizon = 2 * DAY;
+        let process = UpDownProcess::exponential(mtbf_hours * HOUR, mttr_hours * HOUR);
+        let schedule = Arc::new(FaultSchedule::generate(k, replicas, &process, horizon, seed));
+        let rec_seq = Arc::new(ObsRecorder::new(ObsConfig::single_site(k).sample(3)));
+        let rec_par = Arc::new(ObsRecorder::new(ObsConfig::single_site(k).sample(3)));
+        let mk = || DistributedEngine::new(&pi, LruCache::new(16), replicas)
+            .with_faults(Arc::clone(&schedule));
+        let noop_seq = mk();
+        let noop_par = mk().with_parallelism(threads);
+        let live_seq = mk().with_obs(Arc::clone(&rec_seq));
+        let live_par = mk().with_parallelism(threads).with_obs(Arc::clone(&rec_par));
+        let engines = [&noop_seq as &dyn Probe, &noop_par, &live_seq, &live_par];
+
+        let mut rng = SimRng::new(seed ^ 0x000B_5E17);
+        for i in 0..n_queries {
+            let t = i as SimTime * horizon / n_queries as SimTime;
+            for e in engines {
+                e.advance(t);
+            }
+            let terms: Vec<TermId> =
+                (0..rng.below(4)).map(|_| TermId(rng.below(30) as u32)).collect();
+            let stale_ok = rng.below(4) == 0;
+            let a = engines[0].serve(&terms, 10, stale_ok);
+            for e in &engines[1..] {
+                let b = e.serve(&terms, 10, stale_ok);
+                prop_assert_eq!(&a.0, &b.0, "hits diverge on {:?} at t={}", &terms, t);
+                prop_assert_eq!(a.1, b.1, "outcome diverges on {:?} at t={}", &terms, t);
+                prop_assert_eq!(a.2, b.2, "latency diverges on {:?} at t={}", &terms, t);
+            }
+        }
+        // All four agree on every offline ledger.
+        for e in &engines[1..] {
+            prop_assert_eq!(engines[0].stats_(), e.stats_());
+            prop_assert_eq!(engines[0].dispatches(), e.dispatches());
+            prop_assert_eq!(engines[0].busy(), e.busy());
+        }
+        // The live pair agrees with itself (parallel emits the identical
+        // event stream) and with the offline counters.
+        prop_assert_eq!(
+            rec_seq.snapshot().to_json().render(),
+            rec_par.snapshot().to_json().render(),
+        );
+        let stats = live_seq.stats();
+        let cache = live_seq.cache_stats();
+        assert_live_mirrors_offline(
+            &rec_seq.snapshot(),
+            stats,
+            cache.hits + cache.misses,
+            live_seq.broker().queries_processed(),
+        );
+        // Busy gauges track the broker's f64 accounting to the last bit.
+        let live = rec_seq.busy_us();
+        let offline = live_seq.broker().busy_time();
+        prop_assert_eq!(live.len(), offline.len());
+        for (l, o) in live.iter().zip(&offline) {
+            prop_assert_eq!(l.to_bits(), o.to_bits());
+        }
+        // Span sampling is deterministic: same stream, same spans.
+        let render = |r: &ObsRecorder| {
+            r.spans().iter().map(dwr_obs::Span::render).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(render(&rec_seq), render(&rec_par));
+    }
+}
+
+/// Uniform driving surface over the four engine variants (their types
+/// differ in the recorder parameter).
+trait Probe {
+    fn advance(&self, t: SimTime);
+    fn serve(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        stale_ok: bool,
+    ) -> (Vec<dwr_query::broker::GlobalHit>, dwr_query::engine::Served, Option<SimTime>);
+    fn stats_(&self) -> EngineStats;
+    fn dispatches(&self) -> Vec<Vec<u64>>;
+    fn busy(&self) -> Vec<f64>;
+}
+
+impl<R: dwr_obs::Recorder> Probe for DistributedEngine<LruCache, R> {
+    fn advance(&self, t: SimTime) {
+        self.advance_to(t);
+    }
+    fn serve(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        stale_ok: bool,
+    ) -> (Vec<dwr_query::broker::GlobalHit>, dwr_query::engine::Served, Option<SimTime>) {
+        if stale_ok {
+            let (hits, served) = self.query_stale_ok(terms, k);
+            (hits, served, None)
+        } else {
+            let r = self.query_full(terms, k);
+            (r.hits, r.served, r.latency)
+        }
+    }
+    fn stats_(&self) -> EngineStats {
+        self.stats()
+    }
+    fn dispatches(&self) -> Vec<Vec<u64>> {
+        self.dispatch_counts()
+    }
+    fn busy(&self) -> Vec<f64> {
+        self.broker().busy_time()
+    }
+}

@@ -103,6 +103,22 @@ impl UpDownProcess {
     pub fn birn_like() -> Self {
         Self::exponential(30 * 24 * HOUR, 6 * HOUR)
     }
+
+    /// The same process with both time scales multiplied by `factor`
+    /// (shape preserved). `factor < 1` accelerates churn — failures *and*
+    /// repairs come proportionally sooner, so the steady-state
+    /// availability is unchanged while the *rate* of membership events
+    /// scales by `1 / factor`. Churn-rate sweeps (`exp_crawl_faults`)
+    /// use this to vary how often agents flap without also changing what
+    /// fraction of the fleet is down on average.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite());
+        UpDownProcess {
+            ttf_shape: self.ttf_shape,
+            ttf_scale: self.ttf_scale * factor,
+            mttr: self.mttr * factor,
+        }
+    }
 }
 
 /// Γ(1 + x) for x in (0, ~10] via the Lanczos approximation — enough
@@ -205,6 +221,23 @@ mod tests {
         assert_eq!(iv.overlap(12, 18), 6);
         assert_eq!(iv.overlap(20, 30), 0);
         assert_eq!(iv.overlap(0, 10), 0);
+    }
+
+    #[test]
+    fn scaled_preserves_availability_but_multiplies_event_rate() {
+        let p = UpDownProcess::exponential(10 * DAY, DAY);
+        let fast = p.scaled(0.25);
+        assert!(
+            (p.steady_state_availability() - fast.steady_state_availability()).abs() < 1e-12,
+            "scaling both time constants must not change availability"
+        );
+        let horizon = 2_000 * DAY;
+        let slow_n = p.down_intervals(horizon, &mut SimRng::new(4)).len() as f64;
+        let fast_n = fast.down_intervals(horizon, &mut SimRng::new(4)).len() as f64;
+        assert!(
+            (fast_n / slow_n - 4.0).abs() < 0.5,
+            "quartered time scale ⇒ ~4x the outages: slow={slow_n} fast={fast_n}"
+        );
     }
 
     #[test]

@@ -27,9 +27,13 @@ pub trait UrlAssigner {
     /// Live agents, ascending.
     fn agents(&self) -> Vec<AgentId>;
     /// Remove a crashed/departed agent; its hosts flow to the survivors.
-    fn remove_agent(&mut self, agent: AgentId);
-    /// Add a (new or recovered) agent.
-    fn add_agent(&mut self, agent: AgentId);
+    /// Removing an unknown agent or the *last* live agent is refused
+    /// (returns `false`) instead of panicking — an assigner must always
+    /// be able to answer [`UrlAssigner::agent_for`].
+    fn remove_agent(&mut self, agent: AgentId) -> bool;
+    /// Add a (new or recovered) agent. Adding an already-present agent
+    /// is an ignored no-op (returns `false`).
+    fn add_agent(&mut self, agent: AgentId) -> bool;
 }
 
 /// FNV-1a host-name hash — stable across runs, used by all hash policies.
@@ -67,15 +71,20 @@ impl UrlAssigner for HashAssigner {
     fn agents(&self) -> Vec<AgentId> {
         self.agents.clone()
     }
-    fn remove_agent(&mut self, agent: AgentId) {
-        self.agents.retain(|&a| a != agent);
-        assert!(!self.agents.is_empty(), "last agent removed");
-    }
-    fn add_agent(&mut self, agent: AgentId) {
-        if !self.agents.contains(&agent) {
-            self.agents.push(agent);
-            self.agents.sort_unstable();
+    fn remove_agent(&mut self, agent: AgentId) -> bool {
+        if self.agents.len() <= 1 || !self.agents.contains(&agent) {
+            return false;
         }
+        self.agents.retain(|&a| a != agent);
+        true
+    }
+    fn add_agent(&mut self, agent: AgentId) -> bool {
+        if self.agents.contains(&agent) {
+            return false;
+        }
+        self.agents.push(agent);
+        self.agents.sort_unstable();
+        true
     }
 }
 
@@ -129,22 +138,27 @@ impl UrlAssigner for ConsistentHashAssigner {
     fn agents(&self) -> Vec<AgentId> {
         self.agents.clone()
     }
-    fn remove_agent(&mut self, agent: AgentId) {
+    fn remove_agent(&mut self, agent: AgentId) -> bool {
+        if self.agents.len() <= 1 || !self.agents.contains(&agent) {
+            return false;
+        }
         for p in Self::points_of(agent, self.replicas) {
             self.ring.remove(&p);
         }
         self.agents.retain(|&a| a != agent);
-        assert!(!self.ring.is_empty(), "last agent removed");
+        debug_assert!(!self.ring.is_empty());
+        true
     }
-    fn add_agent(&mut self, agent: AgentId) {
+    fn add_agent(&mut self, agent: AgentId) -> bool {
         if self.agents.contains(&agent) {
-            return;
+            return false;
         }
         for p in Self::points_of(agent, self.replicas) {
             self.ring.insert(p, agent);
         }
         self.agents.push(agent);
         self.agents.sort_unstable();
+        true
     }
 }
 
@@ -215,20 +229,23 @@ impl UrlAssigner for GeoAssigner {
     fn agents(&self) -> Vec<AgentId> {
         self.all.clone()
     }
-    fn remove_agent(&mut self, agent: AgentId) {
+    fn remove_agent(&mut self, agent: AgentId) -> bool {
+        if self.all.len() <= 1 || !self.all.contains(&agent) {
+            return false;
+        }
         for pool in &mut self.region_agents {
             pool.retain(|&a| a != agent);
         }
         self.all.retain(|&a| a != agent);
-        assert!(!self.all.is_empty(), "last agent removed");
+        true
     }
     /// Add a (new or recovered) agent. A previously seen agent rejoins
     /// its remembered home region; an agent never seen before joins the
     /// global fallback pool only (it serves hosts of agent-less regions)
     /// until [`GeoAssigner::add_agent_in_region`] places it.
-    fn add_agent(&mut self, agent: AgentId) {
+    fn add_agent(&mut self, agent: AgentId) -> bool {
         if self.all.contains(&agent) {
-            return;
+            return false;
         }
         if let Some(&region) = self.region_of.get(&agent) {
             self.add_agent_in_region(agent, region);
@@ -236,6 +253,7 @@ impl UrlAssigner for GeoAssigner {
             self.all.push(agent);
             self.all.sort_unstable();
         }
+        true
     }
 }
 
@@ -402,10 +420,70 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "last agent")]
     fn cannot_remove_last_agent() {
+        // Refused gracefully, not a panic: a crashed "last agent" keeps
+        // serving in the simulator, and the assigner must stay total.
         let mut a = HashAssigner::new(1);
-        a.remove_agent(AgentId(0));
+        assert!(!a.remove_agent(AgentId(0)));
+        assert_eq!(a.agents(), vec![AgentId(0)]);
+
+        let mut c = ConsistentHashAssigner::new(1, 16);
+        assert!(!c.remove_agent(AgentId(0)));
+        assert_eq!(c.agents(), vec![AgentId(0)]);
+
+        let mut g = GeoAssigner::new(&[0]);
+        assert!(!g.remove_agent(AgentId(0)));
+        assert_eq!(g.agents(), vec![AgentId(0)]);
+    }
+
+    #[test]
+    fn remove_unknown_agent_is_refused() {
+        let web = web();
+        let mut a = HashAssigner::new(4);
+        assert!(!a.remove_agent(AgentId(17)));
+        assert_eq!(a.agents().len(), 4);
+
+        let before = ConsistentHashAssigner::new(4, 32);
+        let mut c = before.clone();
+        assert!(!c.remove_agent(AgentId(17)));
+        assert_eq!(movement_fraction(&before, &c, &web), 0.0, "no-op must not move hosts");
+
+        let mut g = GeoAssigner::new(&[0, 1]);
+        assert!(!g.remove_agent(AgentId(17)));
+        assert_eq!(g.agents().len(), 2);
+    }
+
+    #[test]
+    fn add_duplicate_agent_is_refused() {
+        let web = web();
+        let mut a = HashAssigner::new(4);
+        assert!(!a.add_agent(AgentId(2)));
+        assert_eq!(a.agents().len(), 4);
+
+        let before = ConsistentHashAssigner::new(4, 32);
+        let mut c = before.clone();
+        assert!(!c.add_agent(AgentId(2)));
+        assert_eq!(c.agents().len(), 4);
+        assert_eq!(movement_fraction(&before, &c, &web), 0.0, "no-op must not move hosts");
+
+        let mut g = GeoAssigner::new(&[0, 1]);
+        assert!(!g.add_agent(AgentId(1)));
+        assert_eq!(g.agents().len(), 2);
+    }
+
+    #[test]
+    fn remove_then_add_roundtrips() {
+        let web = web();
+        let before = ConsistentHashAssigner::new(6, 64);
+        let mut c = before.clone();
+        assert!(c.remove_agent(AgentId(3)));
+        assert!(c.add_agent(AgentId(3)));
+        assert_eq!(c.agents(), before.agents());
+        assert_eq!(
+            movement_fraction(&before, &c, &web),
+            0.0,
+            "recovery restores the exact pre-crash assignment"
+        );
     }
 
     #[test]

@@ -99,6 +99,16 @@ impl ExchangeBuffers {
         self.buffers.remove(&from).unwrap_or_default()
     }
 
+    /// Recall *every* undelivered buffer, in destination order (used
+    /// when this agent itself crashes: the coordinator re-routes the
+    /// URLs to the hosts' current owners). Nothing is counted as sent.
+    pub fn recall_all(&mut self) -> Vec<(AgentId, Vec<PageId>)> {
+        let mut out: Vec<(AgentId, Vec<PageId>)> =
+            self.buffers.drain().filter(|(_, b)| !b.is_empty()).collect();
+        out.sort_unstable_by_key(|&(d, _)| d);
+        out
+    }
+
     fn account_send(&mut self, batch: &[PageId]) {
         self.stats.sent_urls += batch.len() as u64;
         self.stats.messages += 1;
@@ -171,6 +181,17 @@ mod tests {
         x.offer(A1, PageId(1));
         x.offer(A1, PageId(2));
         assert_eq!(x.stats().bytes, BYTES_PER_MESSAGE + 2 * BYTES_PER_URL);
+    }
+
+    #[test]
+    fn recall_all_empties_every_buffer_in_order() {
+        let mut x = ExchangeBuffers::new(10, HashSet::new());
+        x.offer(A2, PageId(1));
+        x.offer(A1, PageId(2));
+        let all = x.recall_all();
+        assert_eq!(all, vec![(A1, vec![PageId(2)]), (A2, vec![PageId(1)])]);
+        assert!(x.recall_all().is_empty());
+        assert_eq!(x.stats().sent_urls, 0, "recalled URLs were never sent");
     }
 
     #[test]

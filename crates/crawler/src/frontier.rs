@@ -101,6 +101,15 @@ impl Frontier {
                 self.ready.pop();
                 continue;
             }
+            // Entries scheduled before the host's politeness floor was
+            // raised (e.g. by a frontier handoff carrying `next_allowed`
+            // from the previous owner) are re-keyed, never served early.
+            let floor = self.next_allowed.get(&host).copied().unwrap_or(0);
+            if at < floor {
+                self.ready.pop();
+                self.ready.push(Reverse((floor, host)));
+                continue;
+            }
             if at > now {
                 return Err(Some(at));
             }
@@ -136,6 +145,86 @@ impl Frontier {
         let at = now + self.politeness_delay + backoff;
         self.next_allowed.insert(host, at);
         self.ready.push(Reverse((at, host)));
+    }
+
+    /// Hosts with pending pages, ascending (deterministic iteration
+    /// order for handoff paths).
+    pub fn host_ids(&self) -> Vec<HostId> {
+        let mut out: Vec<HostId> =
+            self.queues.iter().filter(|(_, q)| !q.is_empty()).map(|(&h, _)| h).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The earliest next access recorded for `host`, if any.
+    pub fn next_allowed_of(&self, host: HostId) -> Option<SimTime> {
+        self.next_allowed.get(&host).copied()
+    }
+
+    /// Whether `host` is currently marked busy (own fetch in flight, or
+    /// blocked on a foreign connection via [`Frontier::block`]).
+    pub fn is_busy(&self, host: HostId) -> bool {
+        self.busy.contains(&host)
+    }
+
+    /// Remove `host`'s entire pending state — queued pages and the
+    /// politeness clock — for handoff to another agent. The extracted
+    /// pages are *unmarked* from the seen set so a later handoff can
+    /// bring them back without the dedup filter eating them; any busy
+    /// marker is cleared (callers only extract hosts whose connection,
+    /// if one is open, belongs to someone else).
+    pub fn extract_host(&mut self, host: HostId) -> (Vec<PageId>, Option<SimTime>) {
+        let pages: Vec<PageId> = self.queues.remove(&host).map(Vec::from).unwrap_or_default();
+        self.pending -= pages.len();
+        for p in &pages {
+            self.seen.remove(p);
+        }
+        self.busy.remove(&host);
+        (pages, self.next_allowed.remove(&host))
+    }
+
+    /// Install `host`'s state received from a handoff: raise the
+    /// politeness floor to `floor` (never lower it) and enqueue the
+    /// pages, deduplicating against this agent's seen set. Returns how
+    /// many pages were actually installed (fresh here).
+    pub fn install_host(
+        &mut self,
+        host: HostId,
+        pages: impl IntoIterator<Item = PageId>,
+        floor: Option<SimTime>,
+        now: SimTime,
+    ) -> usize {
+        if let Some(at) = floor {
+            self.impose_next_allowed(host, at);
+        }
+        pages.into_iter().filter(|&p| self.offer(host, p, now)).count()
+    }
+
+    /// Raise `host`'s next-allowed-access time to at least `at`
+    /// (politeness carry-over across ownership transfers; never lowers
+    /// an existing floor).
+    pub fn impose_next_allowed(&mut self, host: HostId, at: SimTime) {
+        let e = self.next_allowed.entry(host).or_insert(at);
+        *e = (*e).max(at);
+    }
+
+    /// Mark `host` busy on behalf of a *foreign* connection: another
+    /// agent still has this host's one allowed connection open (a
+    /// deferred handoff), so this agent must not fetch from it until
+    /// [`Frontier::unblock`].
+    pub fn block(&mut self, host: HostId) {
+        self.busy.insert(host);
+    }
+
+    /// Lift a [`Frontier::block`] once the foreign connection closed at
+    /// politeness floor `at`, re-arming the ready heap if pages wait.
+    pub fn unblock(&mut self, host: HostId, at: SimTime) {
+        self.busy.remove(&host);
+        self.impose_next_allowed(host, at);
+        if self.queues.get(&host).is_some_and(|q| !q.is_empty()) {
+            let floor = self.next_allowed.get(&host).copied().unwrap_or(at);
+            self.ready.push(Reverse((floor, host)));
+        }
     }
 
     /// Remove and return all pending pages (used when this agent crashes
@@ -252,6 +341,75 @@ mod tests {
     fn complete_requires_busy() {
         let mut f = Frontier::new(SECOND);
         f.complete(H1, 0);
+    }
+
+    #[test]
+    fn extract_install_roundtrip_preserves_politeness() {
+        let mut src = Frontier::new(2 * SECOND);
+        src.offer(H1, PageId(1), 0);
+        src.offer(H1, PageId(2), 0);
+        let _ = src.next_fetch(0).unwrap();
+        src.complete(H1, 10 * SECOND); // next allowed at 12 s
+        let (pages, na) = src.extract_host(H1);
+        assert_eq!(pages, vec![PageId(2)]);
+        assert_eq!(na, Some(12 * SECOND));
+        assert_eq!(src.pending(), 0);
+        assert!(!src.has_seen(PageId(2)), "extracted pages are unmarked");
+
+        let mut dst = Frontier::new(2 * SECOND);
+        let installed = dst.install_host(H1, pages, na, 10 * SECOND);
+        assert_eq!(installed, 1);
+        // The new owner honours the previous owner's politeness clock.
+        match dst.next_fetch(10 * SECOND) {
+            Err(Some(t)) => assert_eq!(t, 12 * SECOND),
+            other => panic!("expected politeness wait, got {other:?}"),
+        }
+        assert_eq!(dst.next_fetch(12 * SECOND), Ok((H1, PageId(2))));
+    }
+
+    #[test]
+    fn raised_floor_rekeys_stale_ready_entries() {
+        let mut f = Frontier::new(SECOND);
+        f.offer(H1, PageId(1), 0); // ready at 0
+        f.impose_next_allowed(H1, 9 * SECOND);
+        // The heap entry at t=0 is stale; next_fetch must not serve it.
+        match f.next_fetch(5 * SECOND) {
+            Err(Some(t)) => assert_eq!(t, 9 * SECOND),
+            other => panic!("expected re-keyed wait, got {other:?}"),
+        }
+        assert_eq!(f.next_fetch(9 * SECOND), Ok((H1, PageId(1))));
+    }
+
+    #[test]
+    fn block_defers_and_unblock_rearms() {
+        let mut f = Frontier::new(SECOND);
+        f.block(H1);
+        f.offer(H1, PageId(1), 0);
+        assert_eq!(f.next_fetch(100 * SECOND), Err(None), "blocked host is not served");
+        assert!(f.is_busy(H1));
+        f.unblock(H1, 3 * SECOND);
+        assert!(!f.is_busy(H1));
+        match f.next_fetch(0) {
+            Err(Some(t)) => assert_eq!(t, 3 * SECOND),
+            other => panic!("expected floor wait, got {other:?}"),
+        }
+        assert_eq!(f.next_fetch(3 * SECOND), Ok((H1, PageId(1))));
+    }
+
+    #[test]
+    fn install_host_dedupes_against_seen() {
+        let mut f = Frontier::new(SECOND);
+        f.offer(H1, PageId(1), 0);
+        let installed = f.install_host(H1, [PageId(1), PageId(2)], None, 0);
+        assert_eq!(installed, 1, "already-seen page is dropped");
+        assert_eq!(f.pending(), 2);
+    }
+
+    #[test]
+    fn extract_missing_host_is_empty() {
+        let mut f = Frontier::new(SECOND);
+        assert_eq!(f.extract_host(H2), (Vec::new(), None));
+        assert!(f.host_ids().is_empty());
     }
 
     #[test]

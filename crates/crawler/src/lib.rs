@@ -12,9 +12,13 @@
 //!   agents, with suppression of the most-cited URLs ("agents do not need
 //!   to exchange URLs found very frequently" thanks to the power-law
 //!   in-degree \[5\]).
-//! * **Dependability** ([`sim`]) — agent crashes mid-crawl; the consistent
-//!   hash reassigns the dead agent's hosts with minimal disruption, and
-//!   the crawl completes with bounded duplicate work.
+//! * **Dependability** ([`sim`], [`faults`]) — schedule-driven agent
+//!   churn: agents crash *and recover* mid-crawl under an
+//!   [`AgentSchedule`]; each membership change updates the live assigner,
+//!   re-routes the affected hosts, and hands the departing agent's
+//!   unfetched frontier to the new owners with host-level politeness
+//!   state carried over, so the crawl completes with bounded duplicate
+//!   work and the one-connection/delay invariant intact.
 //! * **External factors** ([`sim`], via `dwr-webgraph`'s DNS and QoS
 //!   models) — DNS caching, slow servers, transient failures and retry,
 //!   and the hard politeness invariant: *never more than one open
@@ -26,10 +30,14 @@
 
 pub mod assign;
 pub mod exchange;
+pub mod faults;
 pub mod frontier;
 pub mod priority;
 pub mod recrawl;
 pub mod sim;
 
 pub use assign::{AgentId, ConsistentHashAssigner, GeoAssigner, HashAssigner, UrlAssigner};
-pub use sim::{CrawlConfig, CrawlReport, DistributedCrawl};
+pub use faults::{AgentSchedule, Transition};
+pub use sim::{
+    CrawlConfig, CrawlFaultStats, CrawlReport, DistributedCrawl, FetchSpan, SpanOutcome,
+};

@@ -5,13 +5,36 @@
 //! through the QoS model (slow servers, transient failures, retries),
 //! resolve hosts through per-agent DNS caches, enforce per-host politeness
 //! via [`Frontier`], route discovered URLs with a pluggable
-//! [`UrlAssigner`], exchange non-local URLs in batches, and optionally
-//! survive an agent crash mid-crawl (the dependability scenario of
-//! Section 3).
+//! [`UrlAssigner`], exchange non-local URLs in batches, and survive
+//! *repeated* agent crashes and recoveries (the dependability scenario of
+//! Section 3) driven by an [`AgentSchedule`].
+//!
+//! # Membership changes
+//!
+//! On every pool change the live assigner is updated
+//! (`remove_agent`/`add_agent`) and ownership is diffed host by host.
+//! For each host whose owner changed, the old owner's per-host queue and
+//! politeness clock (`next_allowed`) migrate to the new owner in one
+//! *handoff batch*, so ownership transfer can never violate the
+//! one-connection/delay invariant:
+//!
+//! * if the old owner still has the host's one allowed connection open,
+//!   the handoff is **deferred**: the new owner's frontier is blocked for
+//!   that host and the migration completes when the fetch finishes
+//!   (rule 2, resolved in the `FetchDone` handler);
+//! * a crashed agent's in-flight fetches are charged as *lost work*
+//!   (`lost_inflight`) and their pages re-enter the new owner's queue
+//!   behind a `now + politeness_delay` floor — the crashed connection
+//!   still counts against the host's access clock;
+//! * the crashed agent's DNS cache and exchange buffers die with it and
+//!   are rebuilt empty on recovery; its undelivered exchange buffers are
+//!   recalled and re-routed by the coordinator.
 
 use crate::assign::{AgentId, UrlAssigner};
 use crate::exchange::{ExchangeBuffers, ExchangeStats};
+use crate::faults::{AgentSchedule, Transition};
 use crate::frontier::Frontier;
+use dwr_obs::{Event as ObsEvent, NoopRecorder, Recorder};
 use dwr_sim::event::{EventQueue, SimTime};
 use dwr_sim::net::Link;
 use dwr_sim::{SimRng, SECOND};
@@ -20,7 +43,7 @@ use dwr_webgraph::graph::{HostId, PageId};
 use dwr_webgraph::qos::{FetchOutcome, QosConfig, QosModel};
 use dwr_webgraph::sitemap::{RobotsPolicy, SitemapIndex};
 use dwr_webgraph::SyntheticWeb;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Crawl parameters.
 #[derive(Debug, Clone)]
@@ -47,8 +70,17 @@ pub struct CrawlConfig {
     pub flush_interval: SimTime,
     /// Server QoS configuration.
     pub qos: QosConfig,
-    /// Crash this agent at this time, redistributing its work.
+    /// Deprecated single-crash script: crash this agent at this time,
+    /// with no recovery. Kept for compatibility; internally lowered to
+    /// [`AgentSchedule::single_crash`]. Ignored when [`CrawlConfig::faults`]
+    /// is set — use `faults` for anything beyond the legacy scenario.
     pub crash: Option<(AgentId, SimTime)>,
+    /// Schedule-driven agent churn: repeated crashes *and* recoveries.
+    /// Takes precedence over [`CrawlConfig::crash`].
+    pub faults: Option<AgentSchedule>,
+    /// Record a per-fetch [`FetchSpan`] trace in the report (off by
+    /// default: the trace grows with every attempt).
+    pub record_trace: bool,
     /// Initial seed pages (page 0 of the first `seeds` hosts).
     pub seeds: usize,
     /// Fraction of hosts with a restrictive robots.txt.
@@ -79,6 +111,8 @@ impl Default for CrawlConfig {
             flush_interval: 10 * SECOND,
             qos: QosConfig::default(),
             crash: None,
+            faults: None,
+            record_trace: false,
             seeds: 8,
             robots_restrictive_fraction: 0.0,
             robots_disallow_fraction: 0.0,
@@ -87,6 +121,62 @@ impl Default for CrawlConfig {
             agent_regions: Vec::new(),
         }
     }
+}
+
+/// Fault-tolerance accounting of one crawl.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrawlFaultStats {
+    /// Agent crashes applied.
+    pub crashes: u64,
+    /// Agent recoveries applied.
+    pub recoveries: u64,
+    /// Scheduled crashes refused because they would have killed the last
+    /// live agent (the simulator never does).
+    pub crashes_suppressed: u64,
+    /// Host-ownership changes across all membership events — the
+    /// consistent-hashing movement metric.
+    pub hosts_moved: u64,
+    /// In-flight fetches lost to crashes (wasted work).
+    pub lost_inflight: u64,
+    /// Pages whose fetch was lost in a crash and that were later fetched
+    /// by another incarnation or agent.
+    pub refetches: u64,
+    /// Frontier-handoff batches delivered (one per receiving agent per
+    /// membership event, plus deferred per-host handoffs).
+    pub handoff_batches: u64,
+    /// Unfetched URLs migrated inside handoff batches.
+    pub handoff_urls: u64,
+}
+
+/// How one traced fetch attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// The page was downloaded.
+    Fetched,
+    /// The attempt hit a transient failure.
+    TransientFailure,
+    /// The fetching agent crashed before the attempt finished.
+    LostInCrash,
+}
+
+/// One fetch attempt in the optional event trace
+/// ([`CrawlConfig::record_trace`]). The politeness invariant is provable
+/// from the trace: per host, spans never overlap and consecutive spans
+/// are at least `politeness_delay` apart — across agents and handoffs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchSpan {
+    /// Fetching agent.
+    pub agent: u32,
+    /// Host contacted.
+    pub host: HostId,
+    /// Page requested.
+    pub page: PageId,
+    /// When the connection opened.
+    pub start: SimTime,
+    /// When the connection closed (fetch done, failure, or crash).
+    pub end: SimTime,
+    /// How the attempt ended.
+    pub outcome: SpanOutcome,
 }
 
 /// Result of a simulated crawl.
@@ -106,11 +196,11 @@ pub struct CrawlReport {
     pub coverage: f64,
     /// Simulated completion time.
     pub makespan: SimTime,
-    /// Successful fetches per agent.
+    /// Successful fetches per agent (cumulative across incarnations).
     pub per_agent_fetches: Vec<u64>,
-    /// Aggregated URL-exchange traffic.
+    /// Aggregated URL-exchange traffic (all incarnations).
     pub exchange: ExchangeStats,
-    /// Aggregated DNS cache statistics.
+    /// Aggregated DNS cache statistics (all incarnations).
     pub dns: DnsStats,
     /// Total bytes downloaded.
     pub bytes_downloaded: u64,
@@ -122,20 +212,38 @@ pub struct CrawlReport {
     pub coverage_allowed: f64,
     /// Pages first discovered through a sitemap rather than a link.
     pub sitemap_discoveries: u64,
+    /// Fault-tolerance accounting (zeroes for fault-free runs).
+    pub faults: CrawlFaultStats,
+    /// Per-fetch trace (empty unless [`CrawlConfig::record_trace`]).
+    pub trace: Vec<FetchSpan>,
 }
+
+/// Trace index meaning "not traced".
+const NO_SPAN: u32 = u32::MAX;
 
 #[derive(Debug)]
 enum Event {
-    /// A free connection slot of `agent` looks for work.
-    TryFetch { agent: u32 },
-    /// A fetch attempt finished.
-    FetchDone { agent: u32, host: HostId, page: PageId, outcome: FetchOutcome },
-    /// A URL-exchange batch arrives.
-    Deliver { to: u32, urls: Vec<PageId> },
+    /// A free connection slot of `agent` looks for work. `epoch` guards
+    /// against slot tokens surviving a crash into the next incarnation.
+    TryFetch { agent: u32, epoch: u32 },
+    /// A fetch attempt finished. Stale if the agent crashed since
+    /// (`epoch` mismatch): the crash already accounted the in-flight page.
+    FetchDone {
+        agent: u32,
+        epoch: u32,
+        host: HostId,
+        page: PageId,
+        outcome: FetchOutcome,
+        span: u32,
+    },
+    /// A URL-exchange batch arrives (routed by the *current* assignment,
+    /// so batches survive membership changes in transit).
+    Deliver { urls: Vec<PageId> },
     /// Periodic buffer flush.
     FlushTick,
-    /// Agent crash.
-    Crash { agent: u32 },
+    /// Apply membership transition `idx` of the fault schedule, then
+    /// (lazily) schedule the next one.
+    Churn { idx: usize },
 }
 
 struct AgentState {
@@ -144,26 +252,50 @@ struct AgentState {
     dns: DnsCache,
     idle_slots: usize,
     dead: bool,
+    /// Incarnation counter, bumped at every crash. Events stamped with an
+    /// older epoch are void: their slot token / in-flight page was
+    /// accounted by the crash handler.
+    epoch: u32,
     fetches: u64,
-    /// Pages currently being fetched by this agent. Needed at crash time:
-    /// their FetchDone events will be ignored, so the coordinator must
-    /// re-allocate them (and the work accounting must not leak).
-    in_flight: Vec<(HostId, PageId)>,
+    /// Pages currently being fetched by this agent, with their trace
+    /// index ([`NO_SPAN`] when tracing is off). Needed at crash time: the
+    /// pending FetchDone events will be ignored, so the coordinator must
+    /// re-allocate the pages (and the work accounting must not leak).
+    in_flight: Vec<(HostId, PageId, u32)>,
 }
 
 /// The crawl simulator. Construct, then [`DistributedCrawl::run`].
-pub struct DistributedCrawl<'w, A: UrlAssigner> {
+/// Generic over an observability [`Recorder`] with the zero-cost
+/// [`NoopRecorder`] as the default, mirroring the query tier's engines:
+/// existing call sites compile unchanged and pay nothing.
+pub struct DistributedCrawl<'w, A: UrlAssigner, R: Recorder = NoopRecorder> {
     web: &'w SyntheticWeb,
     assigner: A,
     cfg: CrawlConfig,
     rng: SimRng,
+    recorder: R,
 }
 
 impl<'w, A: UrlAssigner> DistributedCrawl<'w, A> {
     /// Create a simulator over `web` with the given assignment policy.
     pub fn new(web: &'w SyntheticWeb, assigner: A, cfg: CrawlConfig, seed: u64) -> Self {
         assert!(cfg.agents > 0 && cfg.connections_per_agent > 0);
-        DistributedCrawl { web, assigner, cfg, rng: SimRng::new(seed) }
+        DistributedCrawl { web, assigner, cfg, rng: SimRng::new(seed), recorder: NoopRecorder }
+    }
+}
+
+impl<'w, A: UrlAssigner, R: Recorder> DistributedCrawl<'w, A, R> {
+    /// Attach a live recorder (e.g. `Arc<ObsRecorder>` built from
+    /// `ObsConfig::crawl_tier()`), consuming this simulator and returning
+    /// one that emits crawl fault events.
+    pub fn with_obs<R2: Recorder>(self, recorder: R2) -> DistributedCrawl<'w, A, R2> {
+        DistributedCrawl {
+            web: self.web,
+            assigner: self.assigner,
+            cfg: self.cfg,
+            rng: self.rng,
+            recorder,
+        }
     }
 
     /// Run the crawl to completion and report.
@@ -171,10 +303,23 @@ impl<'w, A: UrlAssigner> DistributedCrawl<'w, A> {
     /// Work accounting invariant: a URL is *outstanding* from the moment
     /// it enters a frontier or an exchange buffer until it is fetched,
     /// abandoned, or deduplicated away. The flush timer keeps ticking while
-    /// anything is outstanding, so buffered URLs can never be stranded.
-    pub fn run(mut self) -> CrawlReport {
+    /// anything is outstanding, so buffered URLs can never be stranded —
+    /// and every handoff path adjusts the count by exactly the URLs that
+    /// evaporate in dedup.
+    pub fn run(self) -> CrawlReport {
         let n = self.cfg.agents as usize;
-        let mut qos = QosModel::new(
+        // Lower the deprecated single-crash field onto the schedule path
+        // so both share one implementation.
+        let transitions: Vec<Transition> = match (&self.cfg.faults, self.cfg.crash) {
+            (Some(s), _) => s.transitions(),
+            (None, Some((agent, at))) => AgentSchedule::single_crash(n, agent, at).transitions(),
+            (None, None) => Vec::new(),
+        }
+        .into_iter()
+        .filter(|t| (t.agent.0 as usize) < n)
+        .collect();
+
+        let qos = QosModel::new(
             self.web.num_hosts(),
             self.cfg.qos,
             self.rng.fork_named("qos").next_u64(),
@@ -192,292 +337,206 @@ impl<'w, A: UrlAssigner> DistributedCrawl<'w, A> {
             self.cfg.sitemap_fraction,
             self.rng.fork_named("sitemaps").next_u64(),
         );
-        let allowed_pages = robots.allowed_count(self.web) as u64;
-        let mut robots_skipped = 0u64;
-        let mut sitemap_discoveries = 0u64;
-        let mut sitemap_served: HashSet<HostId> = HashSet::new();
+        let link_rng = self.rng.fork_named("link");
 
-        let mut agents: Vec<AgentState> = (0..n)
-            .map(|i| AgentState {
-                frontier: Frontier::new(self.cfg.politeness_delay),
-                exchange: ExchangeBuffers::new(self.cfg.batch_size, known.clone()),
-                dns: DnsCache::new(
-                    DnsServer::typical(self.rng.fork(i as u64).fork_named("dns")),
-                    3_600 * SECOND,
-                    10_000,
-                ),
-                idle_slots: self.cfg.connections_per_agent,
-                dead: false,
-                fetches: 0,
-                in_flight: Vec::new(),
-            })
-            .collect();
+        let mut sim = Sim {
+            web: self.web,
+            assigner: self.assigner,
+            cfg: self.cfg,
+            recorder: self.recorder,
+            rng: self.rng,
+            qos,
+            robots,
+            sitemaps,
+            known,
+            agents: Vec::new(),
+            queue: EventQueue::new(),
+            link_rng,
+            transitions,
+            fetched: HashSet::new(),
+            retry_count: HashMap::new(),
+            sitemap_served: HashSet::new(),
+            fetching: HashMap::new(),
+            lost_pages: HashSet::new(),
+            trace: Vec::new(),
+            fstats: CrawlFaultStats::default(),
+            retired_exchange: ExchangeStats::default(),
+            retired_dns: DnsStats::default(),
+            duplicates: 0,
+            attempts: 0,
+            failures: 0,
+            abandoned: 0,
+            bytes: 0,
+            robots_skipped: 0,
+            sitemap_discoveries: 0,
+            outstanding: 0,
+            flush_scheduled: true,
+            makespan: 0,
+        };
+        sim.agents = (0..n).map(|i| sim.make_agent(i, 0)).collect();
+        sim.run()
+    }
+}
 
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        let mut fetched: HashSet<PageId> = HashSet::new();
-        let mut retry_count: HashMap<PageId, u32> = HashMap::new();
-        let mut duplicates = 0u64;
-        let mut attempts = 0u64;
-        let mut failures = 0u64;
-        let mut abandoned = 0u64;
-        let mut bytes = 0u64;
-        let mut outstanding: i64 = 0;
-        let mut flush_scheduled = true;
+/// All live state of one simulation run, so crash / recovery / handoff
+/// logic can be real methods instead of one monolithic event loop.
+struct Sim<'w, A: UrlAssigner, R: Recorder> {
+    web: &'w SyntheticWeb,
+    assigner: A,
+    cfg: CrawlConfig,
+    recorder: R,
+    rng: SimRng,
+    qos: QosModel,
+    robots: RobotsPolicy,
+    sitemaps: SitemapIndex,
+    known: HashSet<PageId>,
+    agents: Vec<AgentState>,
+    queue: EventQueue<Event>,
+    link_rng: SimRng,
+    transitions: Vec<Transition>,
+    fetched: HashSet<PageId>,
+    retry_count: HashMap<PageId, u32>,
+    sitemap_served: HashSet<HostId>,
+    /// Host → agent with the host's one allowed connection currently
+    /// open. The global politeness arbiter across ownership transfers.
+    fetching: HashMap<HostId, u32>,
+    /// Pages whose in-flight fetch a crash destroyed; a later successful
+    /// fetch counts as a refetch (crash-induced rework).
+    lost_pages: HashSet<PageId>,
+    trace: Vec<FetchSpan>,
+    fstats: CrawlFaultStats,
+    /// Stats of incarnations retired by recovery rebuilds.
+    retired_exchange: ExchangeStats,
+    retired_dns: DnsStats,
+    duplicates: u64,
+    attempts: u64,
+    failures: u64,
+    abandoned: u64,
+    bytes: u64,
+    robots_skipped: u64,
+    sitemap_discoveries: u64,
+    outstanding: i64,
+    flush_scheduled: bool,
+    /// Completion time of the last *productive* event — churn ticks that
+    /// fire after the crawl drained do not stretch the makespan.
+    makespan: SimTime,
+}
 
+impl<'w, A: UrlAssigner, R: Recorder> Sim<'w, A, R> {
+    /// A fresh agent state. `epoch` 0 reproduces the historical DNS
+    /// stream exactly; recovered incarnations fork a new one (a rebuilt
+    /// resolver cache has no reason to replay its predecessor's timings).
+    fn make_agent(&self, i: usize, epoch: u32) -> AgentState {
+        let base = self.rng.fork(i as u64).fork_named("dns");
+        let dns_rng = if epoch == 0 { base } else { base.fork(u64::from(epoch)) };
+        AgentState {
+            frontier: Frontier::new(self.cfg.politeness_delay),
+            exchange: ExchangeBuffers::new(self.cfg.batch_size, self.known.clone()),
+            dns: DnsCache::new(DnsServer::typical(dns_rng), 3_600 * SECOND, 10_000),
+            idle_slots: self.cfg.connections_per_agent,
+            dead: false,
+            epoch,
+            fetches: 0,
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// Hand `agent` a connection slot if one is idle.
+    fn wake(&mut self, agent: u32, now: SimTime) {
+        let a = &mut self.agents[agent as usize];
+        if !a.dead && a.idle_slots > 0 {
+            a.idle_slots -= 1;
+            let epoch = a.epoch;
+            self.queue.schedule_at(now, Event::TryFetch { agent, epoch });
+        }
+    }
+
+    /// Ship an exchange batch over the link model.
+    fn send_batch(&mut self, now: SimTime, batch: Vec<PageId>) {
+        let lat = self.cfg.link.transfer_time_jittered(
+            crate::exchange::BYTES_PER_MESSAGE
+                + batch.len() as u64 * crate::exchange::BYTES_PER_URL,
+            &mut self.link_rng,
+        );
+        self.queue.schedule_at(now + lat, Event::Deliver { urls: batch });
+    }
+
+    /// Owner of every host under the current assignment, in
+    /// `web.host_ids()` order — diffed around membership changes.
+    fn owners_snapshot(&self) -> Vec<AgentId> {
+        self.web.host_ids().map(|h| self.assigner.agent_for(h, self.web)).collect()
+    }
+
+    fn run(mut self) -> CrawlReport {
         // Seed: the first page of the first `seeds` hosts plus the
         // most-cited set (which every agent knows from a previous crawl).
         let mut seed_pages: Vec<PageId> = (0..self.cfg.seeds.min(self.web.num_hosts()))
             .map(|h| self.web.pages_of_host(HostId(h as u32))[0])
             .collect();
-        seed_pages.extend(known.iter().copied());
+        seed_pages.extend(self.known.iter().copied());
         seed_pages.sort_unstable();
         seed_pages.dedup();
         for p in seed_pages {
-            if !robots.allowed(p, self.web) {
-                robots_skipped += 1;
+            if !self.robots.allowed(p, self.web) {
+                self.robots_skipped += 1;
                 continue;
             }
             let host = self.web.page(p).host;
             let owner = self.assigner.agent_for(host, self.web);
-            if agents[owner.0 as usize].frontier.offer(host, p, 0) {
-                outstanding += 1;
+            if self.agents[owner.0 as usize].frontier.offer(host, p, 0) {
+                self.outstanding += 1;
             }
         }
-        for (i, a) in agents.iter_mut().enumerate() {
+        for (i, a) in self.agents.iter_mut().enumerate() {
             for _ in 0..a.idle_slots {
-                queue.schedule_at(0, Event::TryFetch { agent: i as u32 });
+                self.queue.schedule_at(0, Event::TryFetch { agent: i as u32, epoch: 0 });
             }
             a.idle_slots = 0;
         }
-        if let Some((agent, at)) = self.cfg.crash {
-            queue.schedule_at(at, Event::Crash { agent: agent.0 });
+        if let Some(t) = self.transitions.first() {
+            self.queue.schedule_at(t.at, Event::Churn { idx: 0 });
         }
-        queue.schedule_at(self.cfg.flush_interval, Event::FlushTick);
+        self.queue.schedule_at(self.cfg.flush_interval, Event::FlushTick);
 
-        let mut link_rng = self.rng.fork_named("link");
-
-        while let Some((now, ev)) = queue.pop() {
+        while let Some((now, ev)) = self.queue.pop() {
             match ev {
-                Event::TryFetch { agent } => {
-                    let a = &mut agents[agent as usize];
-                    if a.dead {
-                        continue;
-                    }
-                    match a.frontier.next_fetch(now) {
-                        Ok((host, page)) => {
-                            a.in_flight.push((host, page));
-                            let dns_latency = a.dns.resolve(host, now);
-                            attempts += 1;
-                            let region_penalty = match self.cfg.agent_regions.get(agent as usize) {
-                                Some(&r) if r != self.web.host(host).region => {
-                                    self.cfg.cross_region_penalty
-                                }
-                                _ => 0,
-                            };
-                            let (outcome, duration) =
-                                match qos.fetch(host, u64::from(self.web.page(page).size_bytes)) {
-                                    FetchOutcome::Ok(t) => (FetchOutcome::Ok(t), t),
-                                    FetchOutcome::TransientFailure => {
-                                        (FetchOutcome::TransientFailure, self.cfg.failure_timeout)
-                                    }
-                                };
-                            queue.schedule_at(
-                                now + dns_latency + duration + region_penalty,
-                                Event::FetchDone { agent, host, page, outcome },
-                            );
-                        }
-                        Err(Some(at)) => queue.schedule_at(at, Event::TryFetch { agent }),
-                        Err(None) => a.idle_slots += 1,
-                    }
+                Event::TryFetch { agent, epoch } => {
+                    self.makespan = now;
+                    self.on_try_fetch(now, agent, epoch);
                 }
-                Event::FetchDone { agent, host, page, outcome } => {
-                    if agents[agent as usize].dead {
-                        // Agent vanished mid-fetch; the crash handler
-                        // already redistributed its queued work, and the
-                        // in-flight page was accounted there.
-                        continue;
-                    }
-                    agents[agent as usize].in_flight.retain(|&(h, p)| (h, p) != (host, page));
-                    match outcome {
-                        FetchOutcome::Ok(_) => {
-                            agents[agent as usize].frontier.complete(host, now);
-                            agents[agent as usize].fetches += 1;
-                            outstanding -= 1;
-                            bytes += u64::from(self.web.page(page).size_bytes);
-                            if !fetched.insert(page) {
-                                duplicates += 1;
-                            }
-                            // First successful contact with a sitemap host
-                            // discovers every allowed page it serves.
-                            if sitemaps.has(host) && sitemap_served.insert(host) {
-                                let a = &mut agents[agent as usize];
-                                for &p in self.web.pages_of_host(host) {
-                                    if !robots.allowed(p, self.web) {
-                                        continue;
-                                    }
-                                    if a.frontier.offer(host, p, now) {
-                                        outstanding += 1;
-                                        sitemap_discoveries += 1;
-                                        if a.idle_slots > 0 {
-                                            a.idle_slots -= 1;
-                                            queue.schedule_at(now, Event::TryFetch { agent });
-                                        }
-                                    }
-                                }
-                            }
-                            let links: Vec<PageId> = self.web.outlinks(page).to_vec();
-                            for target in links {
-                                if !robots.allowed(target, self.web) {
-                                    robots_skipped += 1;
-                                    continue;
-                                }
-                                let t_host = self.web.page(target).host;
-                                let owner = self.assigner.agent_for(t_host, self.web);
-                                if owner.0 == agent {
-                                    let a = &mut agents[agent as usize];
-                                    if a.frontier.offer(t_host, target, now) {
-                                        outstanding += 1;
-                                        if a.idle_slots > 0 {
-                                            a.idle_slots -= 1;
-                                            queue.schedule_at(now, Event::TryFetch { agent });
-                                        }
-                                    }
-                                } else {
-                                    let a = &mut agents[agent as usize];
-                                    let suppressed_before = a.exchange.stats().suppressed;
-                                    let maybe_batch = a.exchange.offer(owner, target);
-                                    if a.exchange.stats().suppressed == suppressed_before {
-                                        // Entered the exchange system.
-                                        outstanding += 1;
-                                    }
-                                    if let Some(batch) = maybe_batch {
-                                        let lat = self.cfg.link.transfer_time_jittered(
-                                            crate::exchange::BYTES_PER_MESSAGE
-                                                + batch.len() as u64
-                                                    * crate::exchange::BYTES_PER_URL,
-                                            &mut link_rng,
-                                        );
-                                        queue.schedule_at(
-                                            now + lat,
-                                            Event::Deliver { to: owner.0, urls: batch },
-                                        );
-                                    }
-                                }
-                            }
-                            queue.schedule_at(now, Event::TryFetch { agent });
-                        }
-                        FetchOutcome::TransientFailure => {
-                            failures += 1;
-                            let count = retry_count.entry(page).or_insert(0);
-                            *count += 1;
-                            if *count <= self.cfg.max_retries {
-                                let backoff = qos.retry_backoff();
-                                agents[agent as usize]
-                                    .frontier
-                                    .retry_later(host, page, now, backoff);
-                            } else {
-                                agents[agent as usize].frontier.complete(host, now);
-                                abandoned += 1;
-                                outstanding -= 1;
-                            }
-                            queue.schedule_at(now, Event::TryFetch { agent });
-                        }
-                    }
+                Event::FetchDone { agent, epoch, host, page, outcome, span } => {
+                    self.makespan = now;
+                    self.on_fetch_done(now, agent, epoch, host, page, outcome, span);
                 }
-                Event::Deliver { to, urls } => {
-                    for url in urls {
-                        let host = self.web.page(url).host;
-                        // If the addressee died, the current assignment
-                        // owns these URLs now.
-                        let owner = if agents[to as usize].dead {
-                            self.assigner.agent_for(host, self.web)
-                        } else {
-                            AgentId(to)
-                        };
-                        let a = &mut agents[owner.0 as usize];
-                        if a.frontier.offer(host, url, now) {
-                            if a.idle_slots > 0 {
-                                a.idle_slots -= 1;
-                                queue.schedule_at(now, Event::TryFetch { agent: owner.0 });
-                            }
-                        } else {
-                            // Known URL: the work item evaporates.
-                            outstanding -= 1;
-                        }
-                    }
+                Event::Deliver { urls } => {
+                    self.makespan = now;
+                    self.route_urls(now, urls);
                 }
                 Event::FlushTick => {
-                    flush_scheduled = false;
-                    for agent_state in agents.iter_mut() {
-                        if agent_state.dead {
-                            continue;
-                        }
-                        let flushes = agent_state.exchange.flush_all();
-                        for (dest, batch) in flushes {
-                            let lat = self.cfg.link.transfer_time_jittered(
-                                crate::exchange::BYTES_PER_MESSAGE
-                                    + batch.len() as u64 * crate::exchange::BYTES_PER_URL,
-                                &mut link_rng,
-                            );
-                            queue
-                                .schedule_at(now + lat, Event::Deliver { to: dest.0, urls: batch });
-                        }
-                    }
-                    if outstanding > 0 {
-                        queue.schedule_at(now + self.cfg.flush_interval, Event::FlushTick);
-                        flush_scheduled = true;
-                    }
+                    self.makespan = now;
+                    self.on_flush(now);
                 }
-                Event::Crash { agent } => {
-                    let orphans: Vec<PageId> = {
-                        let a = &mut agents[agent as usize];
-                        if a.dead {
-                            continue;
-                        }
-                        a.dead = true;
-                        a.idle_slots = 0;
-                        let mut urls: Vec<PageId> =
-                            a.frontier.drain().into_iter().map(|(_, p)| p).collect();
-                        // In-flight fetches are lost with the agent; their
-                        // FetchDone events will be ignored, so re-allocate
-                        // the pages here (keeps `outstanding` accurate).
-                        urls.extend(a.in_flight.drain(..).map(|(_, p)| p));
-                        // Undelivered outgoing buffers are re-allocated by
-                        // the coordinator as well.
-                        let dests: Vec<AgentId> =
-                            (0..n as u32).map(AgentId).filter(|d| d.0 != agent).collect();
-                        for dest in dests {
-                            urls.extend(a.exchange.recall(dest));
-                        }
-                        urls
-                    };
-                    self.assigner.remove_agent(AgentId(agent));
-                    for url in orphans {
-                        let host = self.web.page(url).host;
-                        let owner = self.assigner.agent_for(host, self.web);
-                        let o = &mut agents[owner.0 as usize];
-                        if o.frontier.offer(host, url, now) {
-                            if o.idle_slots > 0 {
-                                o.idle_slots -= 1;
-                                queue.schedule_at(now, Event::TryFetch { agent: owner.0 });
-                            }
-                        } else {
-                            outstanding -= 1;
-                        }
+                Event::Churn { idx } => {
+                    // Once the crawl has drained, the rest of the fault
+                    // schedule is irrelevant: stop churning rather than
+                    // inflating the makespan to the schedule horizon.
+                    if self.outstanding > 0 {
+                        self.makespan = now;
+                        self.on_churn(now, idx);
                     }
                 }
             }
             // Safety net: re-arm the flush timer when buffered work exists
             // but no tick is pending (e.g. everything became buffered right
             // after the last tick fired and decided not to re-arm).
-            if !flush_scheduled && outstanding > 0 && queue.is_empty() {
-                queue.schedule_at(now + self.cfg.flush_interval, Event::FlushTick);
-                flush_scheduled = true;
+            if !self.flush_scheduled && self.outstanding > 0 && self.queue.is_empty() {
+                self.queue.schedule_at(now + self.cfg.flush_interval, Event::FlushTick);
+                self.flush_scheduled = true;
             }
         }
 
-        let makespan = queue.now();
-        let exchange = agents.iter().fold(ExchangeStats::default(), |acc, a| {
+        let allowed_pages = self.robots.allowed_count(self.web) as u64;
+        let exchange = self.agents.iter().fold(self.retired_exchange, |acc, a| {
             let s = a.exchange.stats();
             ExchangeStats {
                 offered: acc.offered + s.offered,
@@ -487,7 +546,7 @@ impl<'w, A: UrlAssigner> DistributedCrawl<'w, A> {
                 bytes: acc.bytes + s.bytes,
             }
         });
-        let dns = agents.iter().fold(DnsStats::default(), |acc, a| {
+        let dns = self.agents.iter().fold(self.retired_dns, |acc, a| {
             let s = a.dns.stats();
             DnsStats {
                 hits: acc.hits + s.hits,
@@ -496,21 +555,487 @@ impl<'w, A: UrlAssigner> DistributedCrawl<'w, A> {
             }
         });
         CrawlReport {
-            fetched_pages: fetched.len() as u64,
-            duplicate_fetches: duplicates,
-            attempts,
-            transient_failures: failures,
-            abandoned,
-            coverage: fetched.len() as f64 / self.web.num_pages() as f64,
-            makespan,
-            per_agent_fetches: agents.iter().map(|a| a.fetches).collect(),
+            fetched_pages: self.fetched.len() as u64,
+            duplicate_fetches: self.duplicates,
+            attempts: self.attempts,
+            transient_failures: self.failures,
+            abandoned: self.abandoned,
+            coverage: self.fetched.len() as f64 / self.web.num_pages() as f64,
+            makespan: self.makespan,
+            per_agent_fetches: self.agents.iter().map(|a| a.fetches).collect(),
             exchange,
             dns,
-            bytes_downloaded: bytes,
-            robots_skipped,
+            bytes_downloaded: self.bytes,
+            robots_skipped: self.robots_skipped,
             allowed_pages,
-            coverage_allowed: fetched.len() as f64 / allowed_pages.max(1) as f64,
-            sitemap_discoveries,
+            coverage_allowed: self.fetched.len() as f64 / allowed_pages.max(1) as f64,
+            sitemap_discoveries: self.sitemap_discoveries,
+            faults: self.fstats,
+            trace: self.trace,
+        }
+    }
+
+    fn on_try_fetch(&mut self, now: SimTime, agent: u32, epoch: u32) {
+        {
+            let a = &self.agents[agent as usize];
+            if a.dead || a.epoch != epoch {
+                return; // slot token from a crashed incarnation
+            }
+        }
+        match self.agents[agent as usize].frontier.next_fetch(now) {
+            Ok((host, page)) => {
+                let span = if self.cfg.record_trace {
+                    self.trace.push(FetchSpan {
+                        agent,
+                        host,
+                        page,
+                        start: now,
+                        end: now,
+                        outcome: SpanOutcome::LostInCrash,
+                    });
+                    (self.trace.len() - 1) as u32
+                } else {
+                    NO_SPAN
+                };
+                debug_assert!(
+                    !self.fetching.contains_key(&host),
+                    "two simultaneous connections to one host"
+                );
+                self.fetching.insert(host, agent);
+                self.attempts += 1;
+                let dns_latency = self.agents[agent as usize].dns.resolve(host, now);
+                let region_penalty = match self.cfg.agent_regions.get(agent as usize) {
+                    Some(&r) if r != self.web.host(host).region => self.cfg.cross_region_penalty,
+                    _ => 0,
+                };
+                let (outcome, duration) =
+                    match self.qos.fetch(host, u64::from(self.web.page(page).size_bytes)) {
+                        FetchOutcome::Ok(t) => (FetchOutcome::Ok(t), t),
+                        FetchOutcome::TransientFailure => {
+                            (FetchOutcome::TransientFailure, self.cfg.failure_timeout)
+                        }
+                    };
+                self.agents[agent as usize].in_flight.push((host, page, span));
+                self.queue.schedule_at(
+                    now + dns_latency + duration + region_penalty,
+                    Event::FetchDone { agent, epoch, host, page, outcome, span },
+                );
+            }
+            Err(Some(at)) => self.queue.schedule_at(at, Event::TryFetch { agent, epoch }),
+            Err(None) => self.agents[agent as usize].idle_slots += 1,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_fetch_done(
+        &mut self,
+        now: SimTime,
+        agent: u32,
+        epoch: u32,
+        host: HostId,
+        page: PageId,
+        outcome: FetchOutcome,
+        span: u32,
+    ) {
+        {
+            let a = &self.agents[agent as usize];
+            if a.dead || a.epoch != epoch {
+                // The agent crashed mid-fetch; the crash handler already
+                // re-allocated the page and closed the span.
+                return;
+            }
+        }
+        self.agents[agent as usize].in_flight.retain(|&(h, p, _)| (h, p) != (host, page));
+        self.fetching.remove(&host);
+        match outcome {
+            FetchOutcome::Ok(_) => {
+                if span != NO_SPAN {
+                    let s = &mut self.trace[span as usize];
+                    s.end = now;
+                    s.outcome = SpanOutcome::Fetched;
+                }
+                self.agents[agent as usize].frontier.complete(host, now);
+                self.agents[agent as usize].fetches += 1;
+                self.outstanding -= 1;
+                self.bytes += u64::from(self.web.page(page).size_bytes);
+                if !self.fetched.insert(page) {
+                    self.duplicates += 1;
+                }
+                if self.lost_pages.remove(&page) {
+                    self.fstats.refetches += 1;
+                    self.recorder.record(ObsEvent::CrawlRefetch { agent, now });
+                }
+                // First successful contact with a sitemap host discovers
+                // every allowed page it serves.
+                if self.sitemaps.has(host) && self.sitemap_served.insert(host) {
+                    for &p in self.web.pages_of_host(host) {
+                        if !self.robots.allowed(p, self.web) {
+                            continue;
+                        }
+                        if self.agents[agent as usize].frontier.offer(host, p, now) {
+                            self.outstanding += 1;
+                            self.sitemap_discoveries += 1;
+                            self.wake(agent, now);
+                        }
+                    }
+                }
+                let links: Vec<PageId> = self.web.outlinks(page).to_vec();
+                for target in links {
+                    if !self.robots.allowed(target, self.web) {
+                        self.robots_skipped += 1;
+                        continue;
+                    }
+                    let t_host = self.web.page(target).host;
+                    let owner = self.assigner.agent_for(t_host, self.web);
+                    if owner.0 == agent {
+                        if self.agents[agent as usize].frontier.offer(t_host, target, now) {
+                            self.outstanding += 1;
+                            self.wake(agent, now);
+                        }
+                    } else {
+                        let a = &mut self.agents[agent as usize];
+                        let suppressed_before = a.exchange.stats().suppressed;
+                        let maybe_batch = a.exchange.offer(owner, target);
+                        if a.exchange.stats().suppressed == suppressed_before {
+                            // Entered the exchange system.
+                            self.outstanding += 1;
+                        }
+                        if let Some(batch) = maybe_batch {
+                            self.send_batch(now, batch);
+                        }
+                    }
+                }
+                self.queue.schedule_at(now, Event::TryFetch { agent, epoch });
+            }
+            FetchOutcome::TransientFailure => {
+                if span != NO_SPAN {
+                    let s = &mut self.trace[span as usize];
+                    s.end = now;
+                    s.outcome = SpanOutcome::TransientFailure;
+                }
+                self.failures += 1;
+                let count = self.retry_count.entry(page).or_insert(0);
+                *count += 1;
+                if *count <= self.cfg.max_retries {
+                    let backoff = self.qos.retry_backoff();
+                    self.agents[agent as usize].frontier.retry_later(host, page, now, backoff);
+                } else {
+                    self.agents[agent as usize].frontier.complete(host, now);
+                    self.abandoned += 1;
+                    self.outstanding -= 1;
+                }
+                self.queue.schedule_at(now, Event::TryFetch { agent, epoch });
+            }
+        }
+        // Rule 2 — deferred handoff: if ownership of `host` moved away
+        // while this agent had its connection open, migrate the host's
+        // remaining queue now that the connection closed. The politeness
+        // clock this agent just set travels along, so the new owner can
+        // never contact the host early.
+        let owner = self.assigner.agent_for(host, self.web);
+        if owner.0 != agent {
+            let (pages, na) = self.agents[agent as usize].frontier.extract_host(host);
+            let offered = pages.len();
+            let floor = na.unwrap_or(now + self.cfg.politeness_delay);
+            let dst = &mut self.agents[owner.0 as usize];
+            let installed = dst.frontier.install_host(host, pages, Some(floor), now);
+            dst.frontier.unblock(host, floor);
+            self.outstanding -= (offered - installed) as i64;
+            if installed > 0 {
+                self.fstats.handoff_batches += 1;
+                self.fstats.handoff_urls += installed as u64;
+                self.recorder.record(ObsEvent::CrawlHandoff {
+                    to: owner.0,
+                    now,
+                    hosts: 1,
+                    urls: installed as u64,
+                });
+            }
+            self.wake(owner.0, now);
+        }
+    }
+
+    /// Deliver exchanged URLs, each to its host's *current* owner.
+    fn route_urls(&mut self, now: SimTime, urls: Vec<PageId>) {
+        for url in urls {
+            let host = self.web.page(url).host;
+            let owner = self.assigner.agent_for(host, self.web);
+            if self.agents[owner.0 as usize].frontier.offer(host, url, now) {
+                self.wake(owner.0, now);
+            } else {
+                // Known URL: the work item evaporates.
+                self.outstanding -= 1;
+            }
+        }
+    }
+
+    fn on_flush(&mut self, now: SimTime) {
+        self.flush_scheduled = false;
+        for i in 0..self.agents.len() {
+            if self.agents[i].dead {
+                continue;
+            }
+            let flushes = self.agents[i].exchange.flush_all();
+            for (_dest, batch) in flushes {
+                self.send_batch(now, batch);
+            }
+        }
+        if self.outstanding > 0 {
+            self.queue.schedule_at(now + self.cfg.flush_interval, Event::FlushTick);
+            self.flush_scheduled = true;
+        }
+    }
+
+    fn on_churn(&mut self, now: SimTime, idx: usize) {
+        let t = self.transitions[idx];
+        if t.down {
+            self.on_crash(now, t.agent.0);
+        } else {
+            self.on_recover(now, t.agent.0);
+        }
+        if idx + 1 < self.transitions.len() && self.outstanding > 0 {
+            self.queue.schedule_at(self.transitions[idx + 1].at, Event::Churn { idx: idx + 1 });
+        }
+    }
+
+    fn on_crash(&mut self, now: SimTime, agent: u32) {
+        if self.agents[agent as usize].dead {
+            return;
+        }
+        let before = self.owners_snapshot();
+        if !self.assigner.remove_agent(AgentId(agent)) {
+            // Refused: removing the last live agent (or one the assigner
+            // does not know). The agent survives — a crawl with every
+            // agent down can never finish.
+            self.fstats.crashes_suppressed += 1;
+            return;
+        }
+        self.fstats.crashes += 1;
+
+        // The crash destroys in-flight fetches: charge them as lost work
+        // and remember the pages so the new owners re-enqueue them behind
+        // a full politeness interval (the half-open connection still
+        // counts against the host's access clock).
+        let inflight: Vec<(HostId, PageId, u32)> = {
+            let a = &mut self.agents[agent as usize];
+            a.dead = true;
+            a.idle_slots = 0;
+            a.epoch += 1; // void every queued TryFetch / FetchDone
+            a.in_flight.drain(..).collect()
+        };
+        let mut lost_by_host: BTreeMap<HostId, Vec<PageId>> = BTreeMap::new();
+        let lost = inflight.len() as u64;
+        for (h, p, span) in inflight {
+            self.fetching.remove(&h);
+            self.fstats.lost_inflight += 1;
+            self.lost_pages.insert(p);
+            lost_by_host.entry(h).or_default().push(p);
+            if span != NO_SPAN {
+                let s = &mut self.trace[span as usize];
+                s.end = now;
+                s.outcome = SpanOutcome::LostInCrash;
+            }
+        }
+        self.recorder.record(ObsEvent::CrawlCrash { agent, now, lost_inflight: lost });
+
+        let (moved, mut batches) = self.apply_reassignment(&before, now, &mut lost_by_host);
+
+        // Defensive sweep: queues still sitting on the crashed agent for
+        // hosts whose *assignment* did not change (it lost their
+        // ownership earlier via a deferred handoff it never completed).
+        let leftover_hosts = self.agents[agent as usize].frontier.host_ids();
+        for h in leftover_hosts {
+            let (pages, na) = self.agents[agent as usize].frontier.extract_host(h);
+            if pages.is_empty() {
+                continue;
+            }
+            let owner = self.assigner.agent_for(h, self.web);
+            let lost = lost_by_host.remove(&h).unwrap_or_default();
+            let mut floor = na;
+            if !lost.is_empty() {
+                let f = now + self.cfg.politeness_delay;
+                floor = Some(floor.map_or(f, |x| x.max(f)));
+            }
+            let offered = pages.len() + lost.len();
+            let installed = self.agents[owner.0 as usize].frontier.install_host(
+                h,
+                pages.into_iter().chain(lost),
+                floor,
+                now,
+            );
+            match self.fetching.get(&h).copied() {
+                Some(g) if g != owner.0 => self.agents[owner.0 as usize].frontier.block(h),
+                Some(_) => {} // the owner's own open fetch clears busy on completion
+                None => {
+                    // The owner may still be blocked by a deferred handoff
+                    // whose fetcher just died with this queue: lift it, or
+                    // these URLs wait forever.
+                    let at = floor.unwrap_or(now);
+                    self.agents[owner.0 as usize].frontier.unblock(h, at);
+                }
+            }
+            self.outstanding -= (offered - installed) as i64;
+            if installed > 0 {
+                let e = batches.entry(owner.0).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += installed as u64;
+            }
+            self.wake(owner.0, now);
+        }
+
+        // In-flight pages on hosts that kept their (already-moved) owner:
+        // the crashed connection is gone, so lift any deferred-handoff
+        // block at the owner and re-enqueue behind a politeness interval.
+        let remaining: Vec<(HostId, Vec<PageId>)> =
+            std::mem::take(&mut lost_by_host).into_iter().collect();
+        for (h, pages) in remaining {
+            let owner = self.assigner.agent_for(h, self.web);
+            let floor = now + self.cfg.politeness_delay;
+            let offered = pages.len();
+            let o = &mut self.agents[owner.0 as usize];
+            let installed = o.frontier.install_host(h, pages, Some(floor), now);
+            if self.fetching.contains_key(&h) {
+                o.frontier.block(h);
+            } else {
+                o.frontier.unblock(h, floor);
+            }
+            self.outstanding -= (offered - installed) as i64;
+            if installed > 0 {
+                let e = batches.entry(owner.0).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += installed as u64;
+            }
+            self.wake(owner.0, now);
+        }
+
+        // Undelivered outgoing exchange buffers are recalled by the
+        // coordinator and re-routed to the hosts' current owners.
+        let recalled = self.agents[agent as usize].exchange.recall_all();
+        for (_dest, urls) in recalled {
+            self.route_urls(now, urls);
+        }
+
+        self.finish_membership_change(now, moved, batches);
+    }
+
+    fn on_recover(&mut self, now: SimTime, agent: u32) {
+        if !self.agents[agent as usize].dead {
+            return; // the matching crash was suppressed
+        }
+        self.fstats.recoveries += 1;
+        // Retire the dead incarnation: fold its traffic counters into the
+        // accumulators, then rebuild state from scratch — the DNS cache
+        // and exchange buffers did not survive the crash.
+        let (ex, dn, epoch, fetches) = {
+            let a = &self.agents[agent as usize];
+            (a.exchange.stats(), a.dns.stats(), a.epoch, a.fetches)
+        };
+        self.retired_exchange = ExchangeStats {
+            offered: self.retired_exchange.offered + ex.offered,
+            suppressed: self.retired_exchange.suppressed + ex.suppressed,
+            sent_urls: self.retired_exchange.sent_urls + ex.sent_urls,
+            messages: self.retired_exchange.messages + ex.messages,
+            bytes: self.retired_exchange.bytes + ex.bytes,
+        };
+        self.retired_dns = DnsStats {
+            hits: self.retired_dns.hits + dn.hits,
+            misses: self.retired_dns.misses + dn.misses,
+            total_lookup_time: self.retired_dns.total_lookup_time + dn.total_lookup_time,
+        };
+        let mut fresh = self.make_agent(agent as usize, epoch);
+        fresh.fetches = fetches; // per-agent totals span incarnations
+        self.agents[agent as usize] = fresh;
+
+        let before = self.owners_snapshot();
+        let added = self.assigner.add_agent(AgentId(agent));
+        debug_assert!(added, "recovering an agent the assigner already has");
+        self.recorder.record(ObsEvent::CrawlRecover { agent, now });
+
+        let mut lost_by_host = BTreeMap::new();
+        let (moved, batches) = self.apply_reassignment(&before, now, &mut lost_by_host);
+        self.finish_membership_change(now, moved, batches);
+
+        // Bring the recovered incarnation's connection pool online.
+        let slots = {
+            let a = &mut self.agents[agent as usize];
+            let s = a.idle_slots;
+            a.idle_slots = 0;
+            s
+        };
+        for _ in 0..slots {
+            self.queue.schedule_at(now, Event::TryFetch { agent, epoch });
+        }
+    }
+
+    /// Diff host ownership against `before` and migrate every moved
+    /// host's frontier state to its new owner — except hosts whose old
+    /// owner still has the connection open (rule 2: block the new owner
+    /// and let `FetchDone` complete the migration). Returns the number
+    /// of moved hosts and per-destination handoff batch sizes.
+    fn apply_reassignment(
+        &mut self,
+        before: &[AgentId],
+        now: SimTime,
+        lost_by_host: &mut BTreeMap<HostId, Vec<PageId>>,
+    ) -> (u64, BTreeMap<u32, (u64, u64)>) {
+        let mut moved = 0u64;
+        let mut batches: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        let hosts: Vec<HostId> = self.web.host_ids().collect();
+        for (idx, &h) in hosts.iter().enumerate() {
+            let old = before[idx];
+            let new = self.assigner.agent_for(h, self.web);
+            if new == old {
+                continue;
+            }
+            moved += 1;
+            if self.fetching.get(&h) == Some(&old.0) {
+                // The old owner (still alive) has the host's one allowed
+                // connection open: defer. Its FetchDone migrates the
+                // queue and lifts this block.
+                self.agents[new.0 as usize].frontier.block(h);
+                continue;
+            }
+            let (pages, na) = self.agents[old.0 as usize].frontier.extract_host(h);
+            let lost = lost_by_host.remove(&h).unwrap_or_default();
+            let mut floor = na;
+            if !lost.is_empty() {
+                let f = now + self.cfg.politeness_delay;
+                floor = Some(floor.map_or(f, |x| x.max(f)));
+            }
+            let offered = pages.len() + lost.len();
+            let dst = &mut self.agents[new.0 as usize];
+            let installed = dst.frontier.install_host(h, pages.into_iter().chain(lost), floor, now);
+            if self.fetching.get(&h).is_some_and(|&g| g != new.0) {
+                // A third agent (an earlier deferred handoff) still holds
+                // the connection: the new owner inherits the block.
+                dst.frontier.block(h);
+            }
+            self.outstanding -= (offered - installed) as i64;
+            if installed > 0 {
+                let e = batches.entry(new.0).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += installed as u64;
+                self.wake(new.0, now);
+            }
+        }
+        (moved, batches)
+    }
+
+    fn finish_membership_change(
+        &mut self,
+        now: SimTime,
+        moved: u64,
+        batches: BTreeMap<u32, (u64, u64)>,
+    ) {
+        self.fstats.hosts_moved += moved;
+        self.recorder.record(ObsEvent::CrawlReassign { now, hosts_moved: moved });
+        for (to, (hosts, urls)) in batches {
+            if urls == 0 {
+                continue;
+            }
+            self.fstats.handoff_batches += 1;
+            self.fstats.handoff_urls += urls;
+            self.recorder.record(ObsEvent::CrawlHandoff { to, now, hosts, urls });
         }
     }
 }
@@ -519,7 +1044,11 @@ impl<'w, A: UrlAssigner> DistributedCrawl<'w, A> {
 mod tests {
     use super::*;
     use crate::assign::{ConsistentHashAssigner, HashAssigner};
+    use dwr_avail::failure::UpDownProcess;
+    use dwr_obs::{ObsConfig, ObsRecorder};
+    use dwr_sim::MINUTE;
     use dwr_webgraph::generate::{generate_web, WebConfig};
+    use std::sync::Arc;
 
     fn tiny_web() -> SyntheticWeb {
         let mut cfg = WebConfig::tiny();
@@ -551,6 +1080,8 @@ mod tests {
         assert_eq!(r.duplicate_fetches, 0);
         assert!(r.makespan > 0);
         assert_eq!(r.per_agent_fetches.iter().sum::<u64>(), r.fetched_pages);
+        assert_eq!(r.faults, CrawlFaultStats::default(), "fault-free run");
+        assert!(r.trace.is_empty(), "tracing off by default");
     }
 
     #[test]
@@ -611,6 +1142,113 @@ mod tests {
         );
         // The dead agent stops fetching.
         assert!(crashed.per_agent_fetches[2] < baseline.per_agent_fetches[2]);
+        assert_eq!(crashed.faults.crashes, 1);
+        assert_eq!(crashed.faults.recoveries, 0, "the legacy crash never recovers");
+        assert!(crashed.faults.hosts_moved > 0, "agent 2's hosts must move");
+    }
+
+    #[test]
+    fn legacy_crash_field_equals_single_crash_schedule() {
+        let web = tiny_web();
+        let at = 30 * SECOND;
+        let mut via_field = fast_cfg();
+        via_field.crash = Some((AgentId(1), at));
+        let mut via_schedule = fast_cfg();
+        via_schedule.faults = Some(AgentSchedule::single_crash(4, AgentId(1), at));
+        let a =
+            DistributedCrawl::new(&web, ConsistentHashAssigner::new(4, 64), via_field, 31).run();
+        let b =
+            DistributedCrawl::new(&web, ConsistentHashAssigner::new(4, 64), via_schedule, 31).run();
+        assert_eq!(a.fetched_pages, b.fetched_pages);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.exchange, b.exchange);
+        assert_eq!(a.faults, b.faults, "the two spellings share one implementation");
+    }
+
+    #[test]
+    fn churn_with_recoveries_completes_and_accounts() {
+        let web = tiny_web();
+        let baseline =
+            DistributedCrawl::new(&web, ConsistentHashAssigner::new(4, 64), fast_cfg(), 41).run();
+        let mut cfg = fast_cfg();
+        // Aggressive flapping over the whole crawl: mean up 40 s, down 10 s.
+        let process = UpDownProcess::exponential(40 * SECOND, 10 * SECOND);
+        cfg.faults = Some(AgentSchedule::generate(4, &process, baseline.makespan * 4, 41));
+        let churned =
+            DistributedCrawl::new(&web, ConsistentHashAssigner::new(4, 64), cfg, 41).run();
+        let f = churned.faults;
+        assert!(f.crashes >= 2, "schedule should crash repeatedly: {f:?}");
+        assert!(f.recoveries >= 1, "and recover at least once: {f:?}");
+        assert!(f.hosts_moved > 0);
+        assert!(
+            churned.coverage > baseline.coverage - 0.1,
+            "churned={} baseline={}",
+            churned.coverage,
+            baseline.coverage
+        );
+        assert!(
+            churned.makespan <= baseline.makespan * 10,
+            "churn must not stall the crawl: {} vs baseline {}",
+            churned.makespan,
+            baseline.makespan
+        );
+    }
+
+    #[test]
+    fn obs_counters_match_offline_fault_stats() {
+        let web = tiny_web();
+        let mut cfg = fast_cfg();
+        let process = UpDownProcess::exponential(30 * SECOND, 8 * SECOND);
+        cfg.faults = Some(AgentSchedule::generate(4, &process, 10 * MINUTE, 51));
+        let rec = Arc::new(ObsRecorder::new(ObsConfig::crawl_tier()));
+        let r = DistributedCrawl::new(&web, ConsistentHashAssigner::new(4, 64), cfg, 51)
+            .with_obs(Arc::clone(&rec))
+            .run();
+        let snap = rec.snapshot();
+        let f = r.faults;
+        assert!(f.crashes > 0, "need at least one crash for the cross-check: {f:?}");
+        assert_eq!(snap.counter("crawl.crashes"), Some(f.crashes));
+        assert_eq!(snap.counter("crawl.recoveries"), Some(f.recoveries));
+        assert_eq!(snap.counter("crawl.lost_inflight"), Some(f.lost_inflight));
+        assert_eq!(snap.counter("crawl.hosts_moved"), Some(f.hosts_moved));
+        assert_eq!(snap.counter("crawl.handoff_batches"), Some(f.handoff_batches));
+        assert_eq!(snap.counter("crawl.handoff_urls"), Some(f.handoff_urls));
+        assert_eq!(snap.counter("crawl.refetches"), Some(f.refetches));
+    }
+
+    #[test]
+    fn trace_spans_close_and_account_lost_work() {
+        let web = tiny_web();
+        let mut cfg = fast_cfg();
+        cfg.record_trace = true;
+        let process = UpDownProcess::exponential(25 * SECOND, 6 * SECOND);
+        cfg.faults = Some(AgentSchedule::generate(4, &process, 10 * MINUTE, 61));
+        let r = DistributedCrawl::new(&web, ConsistentHashAssigner::new(4, 64), cfg, 61).run();
+        assert_eq!(r.trace.len() as u64, r.attempts, "one span per attempt");
+        let lost = r.trace.iter().filter(|s| s.outcome == SpanOutcome::LostInCrash).count();
+        assert_eq!(lost as u64, r.faults.lost_inflight, "lost spans = lost in-flight fetches");
+        let ok = r.trace.iter().filter(|s| s.outcome == SpanOutcome::Fetched).count();
+        assert_eq!(ok as u64, r.fetched_pages + r.duplicate_fetches);
+        assert!(r.trace.iter().all(|s| s.end >= s.start));
+    }
+
+    #[test]
+    fn last_live_agent_is_never_killed() {
+        let web = tiny_web();
+        let mut cfg = fast_cfg();
+        cfg.agents = 2;
+        // Both agents scheduled to die early and never recover.
+        cfg.faults = Some(AgentSchedule::from_intervals(
+            vec![
+                vec![dwr_avail::failure::DownInterval { start: 5 * SECOND, end: SimTime::MAX }],
+                vec![dwr_avail::failure::DownInterval { start: 6 * SECOND, end: SimTime::MAX }],
+            ],
+            SimTime::MAX,
+        ));
+        let r = DistributedCrawl::new(&web, ConsistentHashAssigner::new(2, 64), cfg, 71).run();
+        assert_eq!(r.faults.crashes, 1, "only the first crash lands");
+        assert_eq!(r.faults.crashes_suppressed, 1, "the second would kill the pool");
+        assert!(r.coverage > 0.5, "the survivor finishes the crawl: {}", r.coverage);
     }
 
     #[test]

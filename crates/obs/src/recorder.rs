@@ -188,6 +188,48 @@ pub enum Event {
         /// End-to-end simulated latency, when served.
         latency_us: Option<SimTime>,
     },
+    /// A crawling agent crashed and left the pool.
+    CrawlCrash {
+        /// Crashed agent (crawl-tier index, not a query id).
+        agent: u32,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Fetches that were in flight on the agent and are charged as
+        /// lost work.
+        lost_inflight: u64,
+    },
+    /// A crawling agent recovered and rejoined the pool.
+    CrawlRecover {
+        /// Recovered agent.
+        agent: u32,
+        /// Sim-clock instant.
+        now: SimTime,
+    },
+    /// A membership change re-routed hosts to their new owners.
+    CrawlReassign {
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Hosts whose owning agent changed in this membership event.
+        hosts_moved: u64,
+    },
+    /// One frontier-handoff batch was delivered to a new host owner.
+    CrawlHandoff {
+        /// Receiving agent.
+        to: u32,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Hosts whose queues the batch carried.
+        hosts: u64,
+        /// Unfetched URLs migrated (politeness state rides along).
+        urls: u64,
+    },
+    /// A page lost in a crash was fetched again by another agent.
+    CrawlRefetch {
+        /// Agent that re-fetched the page.
+        agent: u32,
+        /// Sim-clock instant.
+        now: SimTime,
+    },
 }
 
 /// An observability sink for serving-path [`Event`]s.
@@ -248,18 +290,28 @@ pub struct ObsConfig {
     pub span_sample: u64,
     /// Finished spans retained in the ring.
     pub span_capacity: usize,
+    /// Register crawl-tier instruments (`crawl.*`). Off for serving-only
+    /// stacks so their snapshots are unperturbed.
+    pub crawl: bool,
 }
 
 impl ObsConfig {
     /// Config for one single-site engine with `partitions` shards.
     pub fn single_site(partitions: usize) -> Self {
-        ObsConfig { partitions, sites: 0, span_sample: 997, span_capacity: 64 }
+        ObsConfig { partitions, sites: 0, span_sample: 997, span_capacity: 64, crawl: false }
     }
 
     /// Config for a site tier: `sites` engines of `partitions` shards.
     pub fn multi_site(partitions: usize, sites: usize) -> Self {
         assert!(sites > 0);
-        ObsConfig { partitions, sites, span_sample: 997, span_capacity: 64 }
+        ObsConfig { partitions, sites, span_sample: 997, span_capacity: 64, crawl: false }
+    }
+
+    /// Config for a crawl tier: no serving instruments beyond the
+    /// always-present engine set, plus the `crawl.*` fault counters.
+    /// Crawl events carry no query key, so span tracing is disabled.
+    pub fn crawl_tier() -> Self {
+        ObsConfig { partitions: 0, sites: 0, span_sample: 0, span_capacity: 0, crawl: true }
     }
 
     /// Override the span sampling rate (1 = every query, 0 = none).
@@ -290,6 +342,21 @@ struct SiteInstruments {
     backoff_us: Arc<Histogram>,
     /// `site.{s:02}.served` per site.
     per_site_served: Vec<Arc<Counter>>,
+}
+
+/// Crawl-tier fault instruments, present only when [`ObsConfig::crawl`]
+/// is set. Counter names mirror the `CrawlFaultStats` fields so offline
+/// stats and live instruments can be cross-checked exactly
+/// (`exp_crawl_faults` pins this).
+#[derive(Debug)]
+struct CrawlInstruments {
+    crashes: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    lost_inflight: Arc<Counter>,
+    hosts_moved: Arc<Counter>,
+    handoff_batches: Arc<Counter>,
+    handoff_urls: Arc<Counter>,
+    refetches: Arc<Counter>,
 }
 
 /// The live recorder: lock-free instruments in a [`Registry`] plus a
@@ -327,6 +394,7 @@ pub struct ObsRecorder {
     shard_busy: Vec<Arc<Gauge>>,
     shard_queries: Vec<Arc<Counter>>,
     site: Option<SiteInstruments>,
+    crawl: Option<CrawlInstruments>,
 }
 
 impl ObsRecorder {
@@ -358,6 +426,15 @@ impl ObsRecorder {
                 .map(|s| registry.counter(&format!("site.{s:02}.served")))
                 .collect(),
         });
+        let crawl = cfg.crawl.then(|| CrawlInstruments {
+            crashes: registry.counter("crawl.crashes"),
+            recoveries: registry.counter("crawl.recoveries"),
+            lost_inflight: registry.counter("crawl.lost_inflight"),
+            hosts_moved: registry.counter("crawl.hosts_moved"),
+            handoff_batches: registry.counter("crawl.handoff_batches"),
+            handoff_urls: registry.counter("crawl.handoff_urls"),
+            refetches: registry.counter("crawl.refetches"),
+        });
         ObsRecorder {
             spans: SpanRecorder::new(cfg.span_sample, cfg.span_capacity),
             multi_site: site.is_some(),
@@ -382,6 +459,7 @@ impl ObsRecorder {
             shard_busy,
             shard_queries,
             site,
+            crawl,
             registry,
         }
     }
@@ -548,6 +626,35 @@ impl Recorder for ObsRecorder {
                 }
                 self.spans.close(qid, now, Stage::Outcome, latency_us.unwrap_or(0) as f64);
             }
+            // Crawl-tier events carry no query key: counters only, no
+            // span protocol.
+            Event::CrawlCrash { agent: _, now: _, lost_inflight } => {
+                if let Some(c) = &self.crawl {
+                    c.crashes.inc();
+                    c.lost_inflight.add(lost_inflight);
+                }
+            }
+            Event::CrawlRecover { .. } => {
+                if let Some(c) = &self.crawl {
+                    c.recoveries.inc();
+                }
+            }
+            Event::CrawlReassign { now: _, hosts_moved } => {
+                if let Some(c) = &self.crawl {
+                    c.hosts_moved.add(hosts_moved);
+                }
+            }
+            Event::CrawlHandoff { to: _, now: _, hosts: _, urls } => {
+                if let Some(c) = &self.crawl {
+                    c.handoff_batches.inc();
+                    c.handoff_urls.add(urls);
+                }
+            }
+            Event::CrawlRefetch { .. } => {
+                if let Some(c) = &self.crawl {
+                    c.refetches.inc();
+                }
+            }
         }
     }
 }
@@ -630,6 +737,31 @@ mod tests {
         rec.record(Event::ShardService { qid: 1, now: 0, partition: 99, service_us: 5.0 });
         assert_eq!(rec.busy_us(), vec![0.0]);
         assert_eq!(rec.snapshot().histogram("shard.service_us").map(|p| p.count()), Some(1));
+    }
+
+    #[test]
+    fn crawl_events_land_in_crawl_instruments_only_when_enabled() {
+        let rec = ObsRecorder::new(ObsConfig::crawl_tier());
+        rec.record(Event::CrawlCrash { agent: 1, now: 10, lost_inflight: 3 });
+        rec.record(Event::CrawlReassign { now: 10, hosts_moved: 12 });
+        rec.record(Event::CrawlHandoff { to: 0, now: 10, hosts: 4, urls: 40 });
+        rec.record(Event::CrawlHandoff { to: 2, now: 10, hosts: 1, urls: 5 });
+        rec.record(Event::CrawlRecover { agent: 1, now: 90 });
+        rec.record(Event::CrawlRefetch { agent: 0, now: 95 });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("crawl.crashes"), Some(1));
+        assert_eq!(snap.counter("crawl.recoveries"), Some(1));
+        assert_eq!(snap.counter("crawl.lost_inflight"), Some(3));
+        assert_eq!(snap.counter("crawl.hosts_moved"), Some(12));
+        assert_eq!(snap.counter("crawl.handoff_batches"), Some(2));
+        assert_eq!(snap.counter("crawl.handoff_urls"), Some(45));
+        assert_eq!(snap.counter("crawl.refetches"), Some(1));
+        assert!(rec.spans().is_empty(), "crawl events never open spans");
+
+        // A serving-only recorder ignores crawl events entirely.
+        let serving = ObsRecorder::new(ObsConfig::single_site(1));
+        serving.record(Event::CrawlCrash { agent: 0, now: 0, lost_inflight: 9 });
+        assert!(serving.snapshot().counter("crawl.crashes").is_none());
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Crawler-tier chaos suite: the distributed crawl under schedule-driven
+//! agent churn — repeated crashes *and* recoveries mid-crawl, with
+//! consistent-hash host reassignment and politeness-preserving frontier
+//! handoff.
+//!
+//! Three properties, per ISSUE 5:
+//!
+//! 1. **coverage survives churn** — any fault schedule that keeps at
+//!    least one agent alive completes the crawl with coverage within
+//!    ε = 0.1 of the no-fault baseline (the survivors inherit every
+//!    crashed agent's frontier);
+//! 2. **politeness survives handoffs** — from the recorded fetch trace,
+//!    no host is ever contacted by two overlapping connections, and
+//!    consecutive accesses to one host are at least `politeness_delay`
+//!    apart, *across agents and ownership transfers*;
+//! 3. **determinism** — the same seed and schedule reproduce the same
+//!    crawl, byte for byte, fault accounting included.
+//!
+//! The `crawl_chaos_fixed_seed_*` tests are the deterministic anchors CI
+//! runs; the proptest blocks widen the net locally.
+
+use distributed_web_retrieval::avail::failure::UpDownProcess;
+use distributed_web_retrieval::crawler::assign::{ConsistentHashAssigner, HashAssigner};
+use distributed_web_retrieval::crawler::sim::{CrawlConfig, CrawlReport, DistributedCrawl};
+use distributed_web_retrieval::crawler::AgentSchedule;
+use distributed_web_retrieval::sim::{SimTime, MINUTE, SECOND};
+use distributed_web_retrieval::webgraph::generate::{generate_web, WebConfig};
+use distributed_web_retrieval::webgraph::graph::HostId;
+use distributed_web_retrieval::webgraph::qos::QosConfig;
+use distributed_web_retrieval::webgraph::SyntheticWeb;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const AGENTS: u32 = 4;
+
+fn chaos_web(seed: u64) -> SyntheticWeb {
+    let mut cfg = WebConfig::tiny();
+    cfg.num_pages = 600;
+    cfg.num_hosts = 30;
+    generate_web(&cfg, seed)
+}
+
+fn chaos_cfg() -> CrawlConfig {
+    CrawlConfig {
+        agents: AGENTS,
+        connections_per_agent: 8,
+        politeness_delay: SECOND / 2,
+        batch_size: 20,
+        qos: QosConfig { flaky_fraction: 0.0, slow_fraction: 0.0, ..QosConfig::default() },
+        record_trace: true,
+        ..CrawlConfig::default()
+    }
+}
+
+fn run(web: &SyntheticWeb, faults: Option<AgentSchedule>, seed: u64) -> CrawlReport {
+    let mut cfg = chaos_cfg();
+    cfg.faults = faults;
+    DistributedCrawl::new(web, ConsistentHashAssigner::new(AGENTS, 64), cfg, seed).run()
+}
+
+/// Property 2, checked from the trace: per host, connection spans are
+/// disjoint and consecutive accesses sit a full politeness delay apart —
+/// no matter which agent (or incarnation) held the connection.
+fn assert_politeness(r: &CrawlReport, delay: SimTime) {
+    assert_eq!(r.trace.len() as u64, r.attempts, "one span per attempt");
+    let mut per_host: HashMap<HostId, Vec<(SimTime, SimTime, u32)>> = HashMap::new();
+    for s in &r.trace {
+        assert!(s.end >= s.start, "spans run forward");
+        per_host.entry(s.host).or_default().push((s.start, s.end, s.agent));
+    }
+    for (host, mut spans) in per_host {
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            let (s0, e0, a0) = w[0];
+            let (s1, _, a1) = w[1];
+            assert!(
+                s1 >= e0 + delay,
+                "host {host:?} contacted too soon across a handoff: \
+                 agent {a0} [{s0}, {e0}] then agent {a1} at {s1} (delay {delay})"
+            );
+        }
+    }
+}
+
+/// One full churn scenario: generated schedule, live reassignment,
+/// frontier handoffs — coverage, politeness, and accounting all checked.
+fn crawl_chaos_run(seed: u64) {
+    let web = chaos_web(seed);
+    let baseline = run(&web, None, seed);
+    assert!(baseline.coverage > 0.9, "baseline must crawl the web: {}", baseline.coverage);
+
+    let process = UpDownProcess::exponential(
+        baseline.makespan.max(MINUTE) / 4,
+        baseline.makespan.max(MINUTE) / 16,
+    );
+    let horizon = 4 * baseline.makespan;
+    let schedule = AgentSchedule::generate(AGENTS as usize, &process, horizon, seed);
+    let r = run(&web, Some(schedule), seed);
+    let f = r.faults;
+    assert!(f.crashes >= 1, "the schedule must actually crash something: {f:?}");
+    assert!(f.hosts_moved > 0, "crashes must move hosts: {f:?}");
+    assert!(
+        r.coverage > baseline.coverage - 0.1,
+        "churn cost too much coverage: {} vs {}",
+        r.coverage,
+        baseline.coverage
+    );
+    assert_politeness(&r, chaos_cfg().politeness_delay);
+    // Lost-work accounting closes: every crash-lost fetch is a
+    // LostInCrash span, and refetches never exceed what was lost.
+    let lost_spans = r
+        .trace
+        .iter()
+        .filter(|s| s.outcome == distributed_web_retrieval::crawler::sim::SpanOutcome::LostInCrash)
+        .count() as u64;
+    assert_eq!(lost_spans, f.lost_inflight);
+    assert!(f.refetches <= f.lost_inflight);
+}
+
+#[test]
+fn crawl_chaos_fixed_seed_1() {
+    crawl_chaos_run(0xC4A0_0001);
+}
+
+#[test]
+fn crawl_chaos_fixed_seed_2() {
+    crawl_chaos_run(0xC4A0_0002);
+}
+
+#[test]
+fn crawl_chaos_fixed_seed_3() {
+    crawl_chaos_run(0xC4A0_0003);
+}
+
+/// Property 3: the whole churn scenario is reproducible — same seed,
+/// same schedule, identical report including the fault accounting and
+/// the full fetch trace.
+#[test]
+fn crawl_chaos_is_deterministic_given_a_seed() {
+    let web = chaos_web(99);
+    let process = UpDownProcess::exponential(2 * MINUTE, 30 * SECOND);
+    let schedule = AgentSchedule::generate(AGENTS as usize, &process, 30 * MINUTE, 99);
+    let once = run(&web, Some(schedule.clone()), 99);
+    let twice = run(&web, Some(schedule), 99);
+    assert_eq!(once.fetched_pages, twice.fetched_pages);
+    assert_eq!(once.makespan, twice.makespan);
+    assert_eq!(once.faults, twice.faults);
+    assert_eq!(once.exchange, twice.exchange);
+    assert_eq!(once.trace, twice.trace);
+
+    let other = AgentSchedule::generate(
+        AGENTS as usize,
+        &UpDownProcess::exponential(2 * MINUTE, 30 * SECOND),
+        30 * MINUTE,
+        100,
+    );
+    let third = run(&web, Some(other), 99);
+    assert_ne!(once.faults, third.faults, "a different schedule churns differently");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property 1: any generated schedule that leaves at least one agent
+    /// alive at all times completes with coverage within ε = 0.1 of the
+    /// no-fault baseline.
+    #[test]
+    fn coverage_survives_any_live_schedule(
+        mtbf_min in 1u64..8,
+        mttr_min in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let web = chaos_web(7);
+        let baseline = run(&web, None, 7);
+        let process =
+            UpDownProcess::exponential(mtbf_min * MINUTE, mttr_min * MINUTE);
+        let horizon = 2 * baseline.makespan;
+        let schedule = AgentSchedule::generate(AGENTS as usize, &process, horizon, seed);
+        prop_assume!(schedule.min_live(AGENTS as usize) >= 1);
+        let r = run(&web, Some(schedule), 7);
+        prop_assert!(
+            r.coverage > baseline.coverage - 0.1,
+            "coverage {} vs baseline {} (faults {:?})",
+            r.coverage,
+            baseline.coverage,
+            r.faults
+        );
+    }
+
+    /// Property 2 at random churn rates and either assignment policy: the
+    /// politeness invariant holds in every trace, handoffs included.
+    #[test]
+    fn politeness_survives_handoffs(
+        mtbf_min in 1u64..6,
+        mttr_min in 1u64..4,
+        use_modulo in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let web = chaos_web(11);
+        let process =
+            UpDownProcess::exponential(mtbf_min * MINUTE, mttr_min * MINUTE);
+        let schedule =
+            AgentSchedule::generate(AGENTS as usize, &process, 40 * MINUTE, seed);
+        let mut cfg = chaos_cfg();
+        cfg.faults = Some(schedule);
+        let r = if use_modulo {
+            DistributedCrawl::new(&web, HashAssigner::new(AGENTS), cfg, 11).run()
+        } else {
+            DistributedCrawl::new(&web, ConsistentHashAssigner::new(AGENTS, 64), cfg, 11).run()
+        };
+        assert_politeness(&r, chaos_cfg().politeness_delay);
+    }
+}

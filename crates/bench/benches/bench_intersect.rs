@@ -1,9 +1,15 @@
-//! Conjunctive intersection: skip-pointer galloping vs linear merge
-//! (the "skip-lists" index-access structure of Section 4).
+//! Conjunctive intersection: the block-max cursor (`next_geq` over the
+//! encoded stream) vs the legacy decoded skip-pointer gallop vs linear
+//! merge (the "skip-lists" index-access structure of Section 4).
+//!
+//! The legacy path decodes both lists into `Vec`s and builds explicit
+//! skip towers; the blocked path gallops directly over the compressed
+//! stream using the per-block `last_doc` ladder, touching only the
+//! blocks that can contain a match.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dwr_text::postings::{PostingList, PostingListBuilder};
-use dwr_text::skips::{intersect, intersect_scan, SkipList};
+use dwr_text::skips::{intersect, intersect_blocked, intersect_scan, SkipList};
 use dwr_text::DocId;
 
 fn make_list(n: u32, stride: u32) -> PostingList {
@@ -22,7 +28,10 @@ fn bench_intersect(c: &mut Criterion) {
     for long_n in [10_000u32, 100_000] {
         let long = make_list(long_n, 3);
         let long_skip = SkipList::with_sqrt_stride(&long);
-        g.bench_with_input(BenchmarkId::new("skip_gallop", long_n), &long_n, |b, _| {
+        g.bench_with_input(BenchmarkId::new("blocked_cursor", long_n), &long_n, |b, _| {
+            b.iter(|| intersect_blocked(&short, &long))
+        });
+        g.bench_with_input(BenchmarkId::new("legacy_skip_gallop", long_n), &long_n, |b, _| {
             b.iter(|| intersect(&short_skip, &long_skip))
         });
         g.bench_with_input(BenchmarkId::new("linear_scan", long_n), &long_n, |b, _| {

@@ -29,7 +29,7 @@ use dwr_partition::select::CollectionSelector;
 use dwr_sim::net::{SiteId, Topology};
 use dwr_sim::SimTime;
 use dwr_text::score::Bm25;
-use dwr_text::search::search_or;
+use dwr_text::search::{search_or_with, EvalStats, EvalStrategy};
 use dwr_text::topk::TopK;
 use dwr_text::TermId;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,6 +63,21 @@ pub struct BrokeredResponse {
     pub latency: SimTime,
 }
 
+/// One query of a broker batch: terms, result depth, target partitions,
+/// and the query key stamped onto observability events.
+#[derive(Debug, Clone)]
+pub struct BatchQuery<'a> {
+    /// Query terms (bag-of-words; duplicates collapse to a set inside
+    /// the evaluator).
+    pub terms: &'a [TermId],
+    /// Result depth.
+    pub k: usize,
+    /// Partitions to scatter over.
+    pub parts: Vec<u32>,
+    /// Query key for observability events (0 when nobody listens).
+    pub qid: u64,
+}
+
 /// The document-partition broker: an immutable shared core (index,
 /// topology, scoring parameters) plus atomic accounting. `Send + Sync`;
 /// all query methods take `&self`.
@@ -78,11 +93,16 @@ pub struct DocBroker<R: Recorder = NoopRecorder> {
     /// Site of each partition server.
     part_sites: Vec<SiteId>,
     bm25: Bm25,
+    /// Which ranked evaluator shards run ([`EvalStrategy::MaxScore`] by
+    /// default; both strategies return bit-identical hits).
+    eval: EvalStrategy,
     /// Accumulated busy time per partition server, µs (f64 bits in an
     /// atomic cell).
     busy: Vec<AtomicU64>,
     /// Queries processed.
     queries: AtomicU64,
+    /// Measured evaluator work, aggregated over all shards and queries.
+    scan: ScanCounters,
     /// When set, shards are evaluated concurrently on this pool.
     pool: Option<Arc<ScatterPool>>,
     /// Observability sink; all events are emitted from the coordinating
@@ -90,13 +110,55 @@ pub struct DocBroker<R: Recorder = NoopRecorder> {
     recorder: R,
 }
 
-/// Evaluate one shard: local top-k, mapped to global doc ids.
-fn evaluate_shard(shard: &IndexShard, terms: &[TermId], k: usize, bm25: &Bm25) -> Vec<(u32, f32)> {
+/// Atomic mirror of [`EvalStats`]: the broker's measured evaluator work
+/// (distinct from the df-based *simulated* service-time model, which is
+/// identical across strategies by design — see [`DocBroker::service_time`]).
+#[derive(Debug, Default)]
+struct ScanCounters {
+    postings_scanned: AtomicU64,
+    blocks_decoded: AtomicU64,
+    blocks_skipped: AtomicU64,
+    candidates_pruned: AtomicU64,
+}
+
+impl ScanCounters {
+    fn add(&self, ev: &EvalStats) {
+        self.postings_scanned.fetch_add(ev.postings_scanned, Ordering::Relaxed);
+        self.blocks_decoded.fetch_add(ev.blocks_decoded, Ordering::Relaxed);
+        self.blocks_skipped.fetch_add(ev.blocks_skipped, Ordering::Relaxed);
+        self.candidates_pruned.fetch_add(ev.candidates_pruned, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EvalStats {
+        EvalStats {
+            postings_scanned: self.postings_scanned.load(Ordering::Relaxed),
+            blocks_decoded: self.blocks_decoded.load(Ordering::Relaxed),
+            blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
+            candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-shard evaluation output: local top-k mapped to global doc ids,
+/// plus the work counters the evaluator accumulated.
+type ShardResult = (Vec<(u32, f32)>, EvalStats);
+
+/// Evaluate one shard: local top-k, mapped to global doc ids, plus the
+/// work counters the evaluator accumulated.
+fn evaluate_shard(
+    shard: &IndexShard,
+    terms: &[TermId],
+    k: usize,
+    bm25: &Bm25,
+    eval: EvalStrategy,
+) -> ShardResult {
     let idx = shard.index();
-    search_or(idx, terms, k, bm25, idx)
+    let mut ev = EvalStats::default();
+    let hits = search_or_with(eval, idx, terms, k, bm25, idx, &mut ev)
         .into_iter()
         .map(|h| (shard.to_global(h.doc), h.score))
-        .collect()
+        .collect();
+    (hits, ev)
 }
 
 impl DocBroker {
@@ -119,8 +181,10 @@ impl DocBroker {
             broker_site,
             part_sites,
             bm25: Bm25::default(),
+            eval: EvalStrategy::default(),
             busy,
             queries: AtomicU64::new(0),
+            scan: ScanCounters::default(),
             pool: None,
             recorder: NoopRecorder,
         }
@@ -144,11 +208,33 @@ impl<R: Recorder> DocBroker<R> {
             broker_site: self.broker_site,
             part_sites: self.part_sites,
             bm25: self.bm25,
+            eval: self.eval,
             busy: self.busy,
             queries: self.queries,
+            scan: self.scan,
             pool: self.pool,
             recorder,
         }
+    }
+
+    /// Pick the ranked evaluator shards run. Hits, latencies, and busy
+    /// time are bit-identical across strategies (the evaluators agree
+    /// exactly and the simulated latency model is df-based); only the
+    /// *measured* work in [`DocBroker::eval_stats`] differs.
+    pub fn with_strategy(mut self, eval: EvalStrategy) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// The evaluator strategy in force.
+    pub fn strategy(&self) -> EvalStrategy {
+        self.eval
+    }
+
+    /// Measured evaluator work accumulated so far, over all shards and
+    /// queries.
+    pub fn eval_stats(&self) -> EvalStats {
+        self.scan.snapshot()
     }
 
     /// The attached recorder.
@@ -200,6 +286,21 @@ impl<R: Recorder> DocBroker<R> {
         self.query_selected(terms, k, &chosen)
     }
 
+    /// Build the owned shard-evaluation task for one `(partition, query)`
+    /// pair (runs inline or on a pool worker).
+    fn shard_task(
+        &self,
+        p: u32,
+        terms: &Arc<[TermId]>,
+        k: usize,
+    ) -> impl FnOnce() -> ShardResult + Send + 'static {
+        let shard = self.index.shard(p as usize);
+        let terms = Arc::clone(terms);
+        let bm25 = self.bm25;
+        let eval = self.eval;
+        move || evaluate_shard(&shard, &terms, k, &bm25, eval)
+    }
+
     /// Scatter: per-partition result lists, in `parts` order. Runs on
     /// the pool when configured, inline otherwise; either way the output
     /// is indexed by task, so the gather phase is order-independent of
@@ -213,19 +314,12 @@ impl<R: Recorder> DocBroker<R> {
         parts: &[u32],
         qid: u64,
         now: SimTime,
-    ) -> Vec<Vec<(u32, f32)>> {
+    ) -> Vec<ShardResult> {
         match &self.pool {
             Some(pool) if parts.len() > 1 => {
                 let shared_terms: Arc<[TermId]> = terms.into();
-                let tasks: Vec<_> = parts
-                    .iter()
-                    .map(|&p| {
-                        let shard = self.index.shard(p as usize);
-                        let terms = Arc::clone(&shared_terms);
-                        let bm25 = self.bm25;
-                        move || evaluate_shard(&shard, &terms, k, &bm25)
-                    })
-                    .collect();
+                let tasks: Vec<_> =
+                    parts.iter().map(|&p| self.shard_task(p, &shared_terms, k)).collect();
                 pool.scatter_recorded(tasks, &self.recorder, qid, now)
             }
             _ => {
@@ -236,7 +330,15 @@ impl<R: Recorder> DocBroker<R> {
                 });
                 parts
                     .iter()
-                    .map(|&p| evaluate_shard(&self.index.shard(p as usize), terms, k, &self.bm25))
+                    .map(|&p| {
+                        evaluate_shard(
+                            &self.index.shard(p as usize),
+                            terms,
+                            k,
+                            &self.bm25,
+                            self.eval,
+                        )
+                    })
                     .collect()
             }
         }
@@ -263,10 +365,23 @@ impl<R: Recorder> DocBroker<R> {
     ) -> BrokeredResponse {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let per_part = self.scatter(terms, k, parts, qid, now);
-        // Gather in partition order: deterministic merge and latency
-        // regardless of which thread finished first. Per-shard events are
-        // emitted here (not by workers), so their order is deterministic
-        // too.
+        self.gather(terms, k, parts, qid, now, per_part)
+    }
+
+    /// Gather in partition order: deterministic merge and latency
+    /// regardless of which thread finished first. Per-shard events are
+    /// emitted here (not by workers), so their order is deterministic
+    /// too. Also folds each shard's measured evaluator work into the
+    /// broker-wide [`ScanCounters`].
+    fn gather(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        parts: &[u32],
+        qid: u64,
+        now: SimTime,
+        per_part: Vec<ShardResult>,
+    ) -> BrokeredResponse {
         let mut top = TopK::new(k.max(1));
         let mut slowest: SimTime = 0;
         let mut merged_hits = 0u64;
@@ -280,7 +395,8 @@ impl<R: Recorder> DocBroker<R> {
                 partition: p,
                 service_us: service,
             });
-            let hits = &per_part[i];
+            let (hits, ev) = &per_part[i];
+            self.scan.add(ev);
             merged_hits += hits.len() as u64;
             let rtt =
                 self.topo.rtt(self.broker_site, self.part_sites[pu], 64, hits.len() as u64 * 12);
@@ -301,6 +417,79 @@ impl<R: Recorder> DocBroker<R> {
             partitions_used: parts.len(),
             latency,
         }
+    }
+
+    /// Evaluate a batch of queries, admitting every shard task under a
+    /// single pool-lock acquisition ([`ScatterPool::scatter_batch`]).
+    ///
+    /// Responses, counters, and the observability event stream are
+    /// identical to calling [`Self::query_selected_at`] once per entry in
+    /// order: each query's `ScatterDispatch` is emitted immediately
+    /// before its own gather (`ShardService*`, `GatherDone`), from this
+    /// coordinating thread. Only the *locking* is amortized.
+    pub fn query_selected_batch(
+        &self,
+        batch: &[BatchQuery<'_>],
+        now: SimTime,
+    ) -> Vec<BrokeredResponse> {
+        let evaluated: Vec<Vec<ShardResult>> = match &self.pool {
+            Some(pool) if batch.iter().map(|q| q.parts.len()).sum::<usize>() > 1 => {
+                let groups: Vec<Vec<_>> = batch
+                    .iter()
+                    .map(|q| {
+                        let shared_terms: Arc<[TermId]> = q.terms.into();
+                        q.parts.iter().map(|&p| self.shard_task(p, &shared_terms, q.k)).collect()
+                    })
+                    .collect();
+                pool.scatter_batch(groups)
+            }
+            _ => batch
+                .iter()
+                .map(|q| {
+                    q.parts
+                        .iter()
+                        .map(|&p| {
+                            evaluate_shard(
+                                &self.index.shard(p as usize),
+                                q.terms,
+                                q.k,
+                                &self.bm25,
+                                self.eval,
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+        };
+        batch
+            .iter()
+            .zip(evaluated)
+            .map(|(q, per_part)| {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.recorder.record(Event::ScatterDispatch {
+                    qid: q.qid,
+                    now,
+                    partitions: q.parts.len() as u32,
+                });
+                self.gather(q.terms, q.k, &q.parts, q.qid, now, per_part)
+            })
+            .collect()
+    }
+
+    /// Batch convenience over all partitions (standalone-broker path:
+    /// sim clock at 0, query keys computed only when someone listens).
+    pub fn query_batch(&self, queries: &[Vec<TermId>], k: usize) -> Vec<BrokeredResponse> {
+        let all: Vec<u32> = (0..self.index.num_partitions() as u32).collect();
+        let batch: Vec<BatchQuery<'_>> = queries
+            .iter()
+            .map(|terms| BatchQuery {
+                terms,
+                k,
+                parts: all.clone(),
+                qid: if self.recorder.is_live() { crate::engine::query_key(terms) } else { 0 },
+            })
+            .collect();
+        self.query_selected_batch(&batch, 0)
     }
 
     fn add_busy(&self, p: usize, amount: f64) {
@@ -447,6 +636,79 @@ mod tests {
         });
         // 1 baseline + 4 threads × 25 queries, all accounted atomically.
         assert_eq!(broker.queries_processed(), 101);
+    }
+
+    #[test]
+    fn strategy_is_transparent_to_results_but_not_to_work() {
+        let (_, pi) = parted(4);
+        let ex = DocBroker::single_site(&pi).with_strategy(EvalStrategy::Exhaustive);
+        let ms = DocBroker::single_site(&pi).with_strategy(EvalStrategy::MaxScore);
+        assert_eq!(ex.strategy(), EvalStrategy::Exhaustive);
+        assert_eq!(ms.strategy(), EvalStrategy::MaxScore);
+        for q in 0..60u32 {
+            let terms = [TermId(q % 7), TermId(100 + q % 5)];
+            let a = ex.query(&terms, 3);
+            let b = ms.query(&terms, 3);
+            assert_eq!(a.hits, b.hits, "query {q}");
+            assert_eq!(a.latency, b.latency, "query {q}");
+        }
+        assert_eq!(ex.busy_time(), ms.busy_time());
+        let (we, wm) = (ex.eval_stats(), ms.eval_stats());
+        assert!(we.postings_scanned > 0);
+        assert!(
+            wm.postings_scanned <= we.postings_scanned,
+            "pruned evaluator never scans more: {} vs {}",
+            wm.postings_scanned,
+            we.postings_scanned
+        );
+    }
+
+    #[test]
+    fn batch_matches_query_at_a_time_loop() {
+        let (_, pi) = parted(4);
+        let seq = DocBroker::single_site(&pi);
+        let batched = DocBroker::single_site(&pi);
+        let queries: Vec<Vec<TermId>> =
+            (0..30u32).map(|q| vec![TermId(q % 7), TermId(100 + q % 5)]).collect();
+        let loop_resps: Vec<BrokeredResponse> = queries.iter().map(|t| seq.query(t, 5)).collect();
+        let batch_resps = batched.query_batch(&queries, 5);
+        assert_eq!(loop_resps.len(), batch_resps.len());
+        for (i, (a, b)) in loop_resps.iter().zip(&batch_resps).enumerate() {
+            assert_eq!(a.hits, b.hits, "query {i}");
+            assert_eq!(a.latency, b.latency, "query {i}");
+            assert_eq!(a.partitions_used, b.partitions_used, "query {i}");
+        }
+        assert_eq!(seq.busy_time(), batched.busy_time());
+        assert_eq!(seq.queries_processed(), batched.queries_processed());
+        assert_eq!(seq.eval_stats(), batched.eval_stats());
+    }
+
+    #[test]
+    fn pooled_batch_matches_inline_batch() {
+        let (_, pi) = parted(8);
+        let inline = DocBroker::single_site(&pi);
+        let pooled = DocBroker::single_site(&pi).parallel(4);
+        let queries: Vec<Vec<TermId>> =
+            (0..40u32).map(|q| vec![TermId(q % 7), TermId(100 + q % 5)]).collect();
+        let a = inline.query_batch(&queries, 10);
+        let b = pooled.query_batch(&queries, 10);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.hits, y.hits, "query {i}");
+            assert_eq!(x.latency, y.latency, "query {i}");
+        }
+        assert_eq!(inline.busy_time(), pooled.busy_time());
+        assert_eq!(inline.eval_stats(), pooled.eval_stats());
+    }
+
+    #[test]
+    fn empty_batch_and_empty_queries_are_harmless() {
+        let (_, pi) = parted(2);
+        let broker = DocBroker::single_site(&pi);
+        assert!(broker.query_batch(&[], 10).is_empty());
+        let r = broker.query_batch(&[vec![], vec![TermId(1)]], 10);
+        assert_eq!(r.len(), 2);
+        assert!(r[0].hits.is_empty());
+        assert!(!r[1].hits.is_empty());
     }
 
     #[test]

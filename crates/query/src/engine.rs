@@ -41,7 +41,7 @@
 //! **one** pass under a single lock per replica group, so a group dying
 //! concurrently can never be counted as served.
 
-use crate::broker::{DocBroker, GlobalHit};
+use crate::broker::{BatchQuery, BrokeredResponse, DocBroker, GlobalHit};
 use crate::cache::{ResultCache, ShardedCache};
 use crate::faults::FaultSchedule;
 use crate::replica::ReplicaGroup;
@@ -49,7 +49,9 @@ use dwr_obs::{Event, NoopRecorder, Outcome as ObsOutcome, Recorder};
 use dwr_partition::parted::PartitionedIndex;
 use dwr_partition::select::CollectionSelector;
 use dwr_sim::SimTime;
+use dwr_text::search::EvalStrategy;
 use dwr_text::TermId;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -135,6 +137,22 @@ struct DispatchPlan {
     hedge_extra: SimTime,
     /// Hedged retries dispatched.
     hedges: u64,
+}
+
+impl DispatchPlan {
+    fn with_capacity(n: usize) -> Self {
+        DispatchPlan { served: Vec::with_capacity(n), missing: 0, hedge_extra: 0, hedges: 0 }
+    }
+}
+
+/// Outcome of dispatching one query on one replica group.
+struct OneDispatch {
+    /// A surviving replica took the query.
+    served: bool,
+    /// Hedged retries dispatched (0 or 1).
+    hedges: u64,
+    /// Extra simulated latency a hedge added.
+    extra: SimTime,
 }
 
 /// The engine. Owns its broker (which owns an `Arc`-backed index clone),
@@ -249,6 +267,15 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         self.broker.is_parallel()
     }
 
+    /// Pick the ranked evaluator shards run (see
+    /// [`DocBroker::with_strategy`]): results, latencies, and counters
+    /// are bit-identical across strategies; only the measured work in
+    /// `broker().eval_stats()` differs.
+    pub fn with_strategy(mut self, eval: EvalStrategy) -> Self {
+        self.broker = self.broker.with_strategy(eval);
+        self
+    }
+
     /// Drive replica liveness from an outage schedule: `advance_to`
     /// applies its state, and dispatch consults it for mid-query replica
     /// deaths (triggering hedged retries). The same `Arc` can drive
@@ -338,6 +365,160 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         (r.hits, r.served)
     }
 
+    /// Serve a batch of queries with amortized locking: admission (cache
+    /// consult) runs per query in order, dispatch runs **partition-outer**
+    /// (each replica-group lock taken once for the whole batch), and
+    /// shard evaluation is admitted to the scatter pool in one enqueue
+    /// ([`DocBroker::query_selected_batch`]).
+    ///
+    /// Responses and every counter (engine, cache, broker, dispatch
+    /// counts) are identical to calling [`Self::query_full`] once per
+    /// query in order, with one documented caveat: a query whose
+    /// duplicate appears earlier in the batch is answered from the cache
+    /// at resolution time, so if the cached entry is *evicted* while the
+    /// batch is in flight the duplicate is re-evaluated (counted
+    /// full/degraded where the loop form would have counted a cache
+    /// hit). With a cache wide enough to hold the batch's distinct
+    /// queries — the throughput-bench regime — batch ≡ loop exactly.
+    ///
+    /// The observability stream carries the same events with the same
+    /// payloads, phase-ordered: all `QueryStart`/`CacheLookup`s (query
+    /// order), then `Hedge`s (partition order), then per-query
+    /// scatter/gather blocks (query order), then `Outcome`s (query
+    /// order). Stale serving is not consulted (`stale_ok = false`
+    /// semantics).
+    pub fn query_batch(&self, queries: &[Vec<TermId>], k: usize) -> Vec<EngineResponse> {
+        let now = self.now();
+        enum Slot {
+            /// Resolved at admission (fresh cache hit).
+            Done(EngineResponse),
+            /// Duplicate of an earlier cold query in this batch; answered
+            /// from the cache at resolution time.
+            Dup { key: u64 },
+            /// Admitted for evaluation.
+            Cold { key: u64, chosen: Vec<u32> },
+        }
+        // --- Admission, in query order. Duplicates are detected *before*
+        // the cache consult so cache hit/miss counters match the loop
+        // form (where the duplicate's consult happens after the original
+        // resolved, and hits).
+        let mut pending: HashSet<u64> = HashSet::new();
+        let mut slots: Vec<Slot> = Vec::with_capacity(queries.len());
+        for terms in queries {
+            let key = query_key(terms);
+            self.recorder.record(Event::QueryStart { qid: key, now });
+            if pending.contains(&key) {
+                slots.push(Slot::Dup { key });
+                continue;
+            }
+            if let Some(hit) = self.cache.get_recorded(key, &self.recorder, now) {
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.record_outcome(key, now, ObsOutcome::CacheHit, None);
+                slots.push(Slot::Done(EngineResponse {
+                    hits: hit,
+                    served: Served::CacheHit,
+                    latency: None,
+                }));
+                continue;
+            }
+            pending.insert(key);
+            slots.push(Slot::Cold { key, chosen: self.choose(terms) });
+        }
+        // --- Dispatch, partition-outer: one lock acquisition per replica
+        // group for the whole batch. Within a group, queries dispatch in
+        // query order, so the round-robin cursor sees exactly the
+        // sequence the loop form produces. `served` is rebuilt in each
+        // query's own `chosen` order so gather (events, busy time,
+        // latency) is untouched by the transposition.
+        let cold: Vec<usize> =
+            (0..slots.len()).filter(|&i| matches!(slots[i], Slot::Cold { .. })).collect();
+        let mut staged: Vec<(Vec<(usize, u32)>, DispatchPlan)> =
+            cold.iter().map(|_| (Vec::new(), DispatchPlan::with_capacity(0))).collect();
+        let mut by_part: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.groups.len()];
+        for (ci, &si) in cold.iter().enumerate() {
+            let Slot::Cold { chosen, .. } = &slots[si] else { unreachable!() };
+            for (pos, &p) in chosen.iter().enumerate() {
+                match by_part.get_mut(p as usize) {
+                    Some(interested) => interested.push((ci, pos)),
+                    None => staged[ci].1.missing += 1,
+                }
+            }
+        }
+        for (pu, interested) in by_part.iter().enumerate() {
+            if interested.is_empty() {
+                continue;
+            }
+            let mut group = lock_recovering(&self.groups[pu]);
+            for &(ci, pos) in interested {
+                let Slot::Cold { key, .. } = slots[cold[ci]] else { unreachable!() };
+                let one = self.dispatch_one(&mut group, pu as u32, &queries[cold[ci]], now, key);
+                let (served, plan) = &mut staged[ci];
+                if one.served {
+                    served.push((pos, pu as u32));
+                } else {
+                    plan.missing += 1;
+                }
+                plan.hedges += one.hedges;
+                plan.hedge_extra = plan.hedge_extra.max(one.extra);
+            }
+        }
+        let plans: Vec<DispatchPlan> = staged
+            .into_iter()
+            .map(|(mut served, mut plan)| {
+                served.sort_unstable_by_key(|&(pos, _)| pos);
+                plan.served = served.into_iter().map(|(_, p)| p).collect();
+                plan
+            })
+            .collect();
+        // --- Evaluation: one broker batch over every cold query with a
+        // non-empty plan (a single pool-lock acquisition admits all of
+        // their shard tasks).
+        let broker_batch: Vec<BatchQuery<'_>> = cold
+            .iter()
+            .zip(&plans)
+            .filter(|(_, plan)| !plan.served.is_empty())
+            .map(|(&si, plan)| {
+                let Slot::Cold { key, .. } = slots[si] else { unreachable!() };
+                BatchQuery { terms: &queries[si], k, parts: plan.served.clone(), qid: key }
+            })
+            .collect();
+        let mut evaluated = self.broker.query_selected_batch(&broker_batch, now).into_iter();
+        // --- Resolution, in query order.
+        let mut plans = plans.into_iter();
+        slots
+            .into_iter()
+            .zip(queries)
+            .map(|(slot, terms)| match slot {
+                Slot::Done(r) => r,
+                Slot::Dup { key } => match self.cache.get_recorded(key, &self.recorder, now) {
+                    Some(hit) => {
+                        self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        self.record_outcome(key, now, ObsOutcome::CacheHit, None);
+                        EngineResponse { hits: hit, served: Served::CacheHit, latency: None }
+                    }
+                    // Evicted while the batch was in flight: fall back to
+                    // the ordinary cold path (the documented divergence).
+                    None => self.evaluate_cold(terms, k, key, now),
+                },
+                Slot::Cold { key, .. } => {
+                    let plan = plans.next().expect("one plan per cold query");
+                    self.counters.hedged.fetch_add(plan.hedges, Ordering::Relaxed);
+                    if plan.served.is_empty() {
+                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        self.record_outcome(key, now, ObsOutcome::Failed, None);
+                        return EngineResponse {
+                            hits: Vec::new(),
+                            served: Served::Failed,
+                            latency: None,
+                        };
+                    }
+                    let resp = evaluated.next().expect("one response per evaluated query");
+                    self.resolve_evaluated(key, now, &plan, resp)
+                }
+            })
+            .collect()
+    }
+
     /// One pass over the chosen partitions: per group, availability and
     /// dispatch are decided under a **single** lock acquisition, so a
     /// group dying concurrently is observed as `None` and dropped rather
@@ -351,12 +532,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         now: SimTime,
         qid: u64,
     ) -> DispatchPlan {
-        let mut plan = DispatchPlan {
-            served: Vec::with_capacity(chosen.len()),
-            missing: 0,
-            hedge_extra: 0,
-            hedges: 0,
-        };
+        let mut plan = DispatchPlan::with_capacity(chosen.len());
         for &p in chosen {
             let pu = p as usize;
             let Some(group) = self.groups.get(pu) else {
@@ -364,51 +540,66 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                 continue;
             };
             let mut group = lock_recovering(group);
-            let Some(first) = group.dispatch() else {
+            let one = self.dispatch_one(&mut group, p, terms, now, qid);
+            drop(group);
+            if one.served {
+                plan.served.push(p);
+            } else {
                 plan.missing += 1;
-                continue;
-            };
-            let Some(faults) = &self.faults else {
-                plan.served.push(p);
-                continue;
-            };
-            let svc = self.broker.service_time(pu, terms).ceil() as SimTime;
-            if !faults.fails_during(pu, first, now, now + svc) {
-                plan.served.push(p);
-                continue;
             }
-            // First replica dies mid-query. Hedge once, on a different
-            // replica, only if attempt + retry fit the deadline.
-            let fits_deadline = self.deadline.is_none_or(|d| 2 * svc <= d);
-            let retry = if fits_deadline { group.dispatch_excluding(first) } else { None };
-            match retry {
-                Some(second) if !faults.fails_during(pu, second, now + svc, now + 2 * svc) => {
-                    plan.hedges += 1;
-                    plan.hedge_extra = plan.hedge_extra.max(svc);
+            plan.hedges += one.hedges;
+            plan.hedge_extra = plan.hedge_extra.max(one.extra);
+        }
+        plan
+    }
+
+    /// Dispatch one query on one **already locked** replica group: pick a
+    /// replica (round-robin), consult the fault schedule for a mid-query
+    /// death, and hedge once on a different live replica if the deadline
+    /// leaves room. Shared by the per-query and batched dispatch passes,
+    /// so both advance each group's round-robin cursor through the exact
+    /// same decision sequence.
+    fn dispatch_one(
+        &self,
+        group: &mut ReplicaGroup,
+        p: u32,
+        terms: &[TermId],
+        now: SimTime,
+        qid: u64,
+    ) -> OneDispatch {
+        let pu = p as usize;
+        let Some(first) = group.dispatch() else {
+            return OneDispatch { served: false, hedges: 0, extra: 0 };
+        };
+        let Some(faults) = &self.faults else {
+            return OneDispatch { served: true, hedges: 0, extra: 0 };
+        };
+        let svc = self.broker.service_time(pu, terms).ceil() as SimTime;
+        if !faults.fails_during(pu, first, now, now + svc) {
+            return OneDispatch { served: true, hedges: 0, extra: 0 };
+        }
+        // First replica dies mid-query. Hedge once, on a different
+        // replica, only if attempt + retry fit the deadline.
+        let fits_deadline = self.deadline.is_none_or(|d| 2 * svc <= d);
+        let retry = if fits_deadline { group.dispatch_excluding(first) } else { None };
+        match retry {
+            Some(second) if !faults.fails_during(pu, second, now + svc, now + 2 * svc) => {
+                self.recorder.record(Event::Hedge { qid, now, partition: p, extra_us: svc as f64 });
+                OneDispatch { served: true, hedges: 1, extra: svc }
+            }
+            other => {
+                // The retry (if any) was dispatched but also lost.
+                if other.is_some() {
                     self.recorder.record(Event::Hedge {
                         qid,
                         now,
                         partition: p,
                         extra_us: svc as f64,
                     });
-                    plan.served.push(p);
                 }
-                other => {
-                    // The retry (if any) was dispatched but also lost.
-                    plan.hedges += u64::from(other.is_some());
-                    if other.is_some() {
-                        self.recorder.record(Event::Hedge {
-                            qid,
-                            now,
-                            partition: p,
-                            extra_us: svc as f64,
-                        });
-                    }
-                    plan.missing += 1;
-                }
+                OneDispatch { served: false, hedges: u64::from(other.is_some()), extra: 0 }
             }
         }
-        plan
     }
 
     /// The one serving path behind [`Self::query_full`] and
@@ -429,17 +620,35 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             self.record_outcome(key, now, ObsOutcome::CacheHit, None);
             return EngineResponse { hits: hit, served: Served::CacheHit, latency: None };
         }
+        self.evaluate_cold(terms, k, key, now)
+    }
+
+    /// The cold path behind a cache miss: one choose-and-dispatch pass,
+    /// scatter-gather evaluation, cache fill, and outcome accounting.
+    fn evaluate_cold(&self, terms: &[TermId], k: usize, key: u64, now: SimTime) -> EngineResponse {
         let chosen = self.choose(terms);
         let plan = self.dispatch_partitions(&chosen, terms, now, key);
         self.counters.hedged.fetch_add(plan.hedges, Ordering::Relaxed);
         if plan.served.is_empty() {
             // Whole backend (for this query) is down, and the cache
-            // already missed above: nothing to serve.
+            // already missed: nothing to serve.
             self.counters.failed.fetch_add(1, Ordering::Relaxed);
             self.record_outcome(key, now, ObsOutcome::Failed, None);
             return EngineResponse { hits: Vec::new(), served: Served::Failed, latency: None };
         }
         let resp = self.broker.query_selected_at(terms, k, &plan.served, key, now);
+        self.resolve_evaluated(key, now, &plan, resp)
+    }
+
+    /// Shared tail of the cold path: turn a brokered response for `plan`
+    /// into the engine response — cache fill, counters, outcome event.
+    fn resolve_evaluated(
+        &self,
+        key: u64,
+        now: SimTime,
+        plan: &DispatchPlan,
+        resp: BrokeredResponse,
+    ) -> EngineResponse {
         self.cache.put(key, resp.hits.clone());
         let latency = resp.latency + plan.hedge_extra;
         let served = if plan.missing == 0 {
@@ -814,6 +1023,86 @@ mod tests {
                 });
             }
         });
+    }
+
+    /// Batch ≡ loop on the engine: responses and every counter agree,
+    /// including duplicate queries inside one batch (answered from the
+    /// cache exactly as the loop form answers them) and repeat batches
+    /// (all cache hits).
+    #[test]
+    fn engine_batch_matches_query_at_a_time_loop() {
+        let pi = setup();
+        let looped = DistributedEngine::new(&pi, LruCache::new(64), 2);
+        let batched = DistributedEngine::new(&pi, LruCache::new(64), 2);
+        // 20 queries over 10 distinct keys: every key appears twice, so
+        // the batch exercises the in-flight duplicate path.
+        let queries: Vec<Vec<TermId>> =
+            (0..20u32).map(|q| vec![TermId(q % 5), TermId(50 + (q / 5) % 2)]).collect();
+        let a: Vec<EngineResponse> = queries.iter().map(|t| looped.query_full(t, 5)).collect();
+        let b = batched.query_batch(&queries, 5);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.hits, y.hits, "query {i}");
+            assert_eq!(x.served, y.served, "query {i}");
+            assert_eq!(x.latency, y.latency, "query {i}");
+        }
+        assert_eq!(looped.stats(), batched.stats());
+        assert_eq!(looped.cache_stats().hits, batched.cache_stats().hits);
+        assert_eq!(looped.cache_stats().misses, batched.cache_stats().misses);
+        assert_eq!(looped.dispatch_counts(), batched.dispatch_counts());
+        assert_eq!(looped.broker().busy_time(), batched.broker().busy_time());
+        assert_eq!(looped.broker().eval_stats(), batched.broker().eval_stats());
+        // A second identical batch is answered entirely from the cache.
+        let again = batched.query_batch(&queries, 5);
+        assert!(again.iter().all(|r| r.served == Served::CacheHit));
+    }
+
+    #[test]
+    fn engine_batch_matches_loop_under_faults_and_selection() {
+        let pi = setup();
+        let sec = 1_000_000;
+        let schedule = Arc::new(FaultSchedule::from_intervals(
+            vec![vec![vec![down(1, sec)]], vec![vec![]], vec![vec![]], vec![vec![]]],
+            2 * sec,
+        ));
+        let sel = Arc::new(dwr_partition::select::CoriSelector::from_partitions(&pi));
+        let mk = || {
+            DistributedEngine::new(&pi, LruCache::new(64), 1)
+                .with_selection(Arc::clone(&sel) as _, 3)
+                .with_faults(Arc::clone(&schedule))
+        };
+        let (looped, batched) = (mk(), mk());
+        let queries: Vec<Vec<TermId>> = (0..12u32).map(|q| vec![TermId(q % 5)]).collect();
+        let a: Vec<EngineResponse> = queries.iter().map(|t| looped.query_full(t, 8)).collect();
+        let b = batched.query_batch(&queries, 8);
+        assert!(a.iter().any(|r| matches!(r.served, Served::Degraded { .. })));
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.hits, y.hits, "query {i}");
+            assert_eq!(x.served, y.served, "query {i}");
+            assert_eq!(x.latency, y.latency, "query {i}");
+        }
+        assert_eq!(looped.stats(), batched.stats());
+        assert_eq!(looped.dispatch_counts(), batched.dispatch_counts());
+    }
+
+    #[test]
+    fn engine_strategy_is_transparent_to_responses() {
+        let pi = setup();
+        let ex = DistributedEngine::new(&pi, LruCache::new(64), 2)
+            .with_strategy(EvalStrategy::Exhaustive);
+        let ms =
+            DistributedEngine::new(&pi, LruCache::new(64), 2).with_strategy(EvalStrategy::MaxScore);
+        for q in 0..20u32 {
+            let terms = [TermId(q % 5), TermId(50 + q % 3)];
+            let a = ex.query_full(&terms, 10);
+            let b = ms.query_full(&terms, 10);
+            assert_eq!(a.hits, b.hits, "query {q}");
+            assert_eq!(a.served, b.served, "query {q}");
+            assert_eq!(a.latency, b.latency, "query {q}");
+        }
+        assert_eq!(ex.stats(), ms.stats());
+        assert!(
+            ms.broker().eval_stats().postings_scanned <= ex.broker().eval_stats().postings_scanned
+        );
     }
 
     #[test]

@@ -133,6 +133,70 @@ impl ScatterPool {
         slots.into_iter().map(|s| s.expect("every task reported")).collect()
     }
 
+    /// Run several task *groups* on the pool under **one** queue-lock
+    /// acquisition, gathering each group's results in task order.
+    ///
+    /// This is the batched-admission primitive: a broker serving N queued
+    /// queries enqueues all of their shard tasks in a single critical
+    /// section instead of taking the queue lock N times, amortizing both
+    /// the lock traffic and the worker wakeups across the batch.
+    /// `scatter_batch(vec![a, b])` returns exactly what
+    /// `[scatter(a), scatter(b)]` would — group results come back in
+    /// group order, each in task order — so callers that gather in order
+    /// stay bit-identical to the query-at-a-time loop.
+    ///
+    /// # Panics
+    /// Panics if any task panics (first panicking task in flat order).
+    pub fn scatter_batch<T, F>(&self, groups: Vec<Vec<F>>) -> Vec<Vec<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        let total: usize = sizes.iter().sum();
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        {
+            // One critical section for the whole batch.
+            let mut state =
+                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut flat = 0usize;
+            for group in groups {
+                for task in group {
+                    let tx = tx.clone();
+                    let i = flat;
+                    flat += 1;
+                    state.queue.push_back(Box::new(move || {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                        let _ = tx.send((i, result));
+                    }));
+                }
+            }
+        }
+        drop(tx);
+        if total == 0 {
+            return sizes.iter().map(|_| Vec::new()).collect();
+        }
+        if total == 1 {
+            self.shared.work_ready.notify_one();
+        } else {
+            self.shared.work_ready.notify_all();
+        }
+        let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        for _ in 0..total {
+            let (i, result) = rx.recv().expect("scatter worker disappeared");
+            match result {
+                Ok(v) => slots[i] = Some(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut it = slots.into_iter();
+        for n in sizes {
+            out.push(it.by_ref().take(n).map(|s| s.expect("every task reported")).collect());
+        }
+        out
+    }
+
     /// As [`Self::scatter`], announcing the dispatch to `recorder` first
     /// (one [`Event::ScatterDispatch`] per batch, emitted from the
     /// coordinating thread *before* any worker runs, so the event stream
@@ -372,6 +436,52 @@ mod tests {
         let pool = ScatterPool::with_default_size(0);
         assert_eq!(pool.threads(), 1, "cap 0 clamps to one worker");
         assert_eq!(pool.scatter(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn scatter_batch_matches_per_group_scatter() {
+        let pool = ScatterPool::new(4);
+        let groups: Vec<Vec<_>> = (0..5usize)
+            .map(|g| {
+                (0..g + 1)
+                    .map(|i| {
+                        move || {
+                            std::thread::sleep(std::time::Duration::from_micros(
+                                ((7 - i) % 3) as u64 * 40,
+                            ));
+                            g * 100 + i
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let got = pool.scatter_batch(groups);
+        let want: Vec<Vec<usize>> =
+            (0..5).map(|g| (0..g + 1).map(|i| g * 100 + i).collect()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scatter_batch_handles_empty_shapes() {
+        let pool = ScatterPool::new(2);
+        let got: Vec<Vec<u32>> = pool.scatter_batch(Vec::<Vec<fn() -> u32>>::new());
+        assert!(got.is_empty());
+        let got: Vec<Vec<u32>> =
+            pool.scatter_batch(vec![Vec::<fn() -> u32>::new(), Vec::<fn() -> u32>::new()]);
+        assert_eq!(got, vec![Vec::<u32>::new(), Vec::<u32>::new()]);
+        let one: fn() -> u32 = || 1;
+        let three: fn() -> u32 = || 3;
+        let got = pool.scatter_batch(vec![vec![one], Vec::new(), vec![three]]);
+        assert_eq!(got, vec![vec![1], vec![], vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch boom")]
+    fn scatter_batch_propagates_task_panics() {
+        let pool = ScatterPool::new(2);
+        let ok: fn() -> u32 = || 1;
+        let bad: fn() -> u32 = || panic!("batch boom");
+        pool.scatter_batch(vec![vec![ok], vec![bad]]);
     }
 
     #[test]

@@ -100,10 +100,11 @@ impl IndexBuilder {
     /// order but must be unique within the document.
     pub fn add_document(&mut self, terms: &[(TermId, u32)]) -> DocId {
         let doc = DocId(self.doc_len.len() as u32);
-        let mut len = 0u64;
+        // Length first, so every posting carries it into block metadata
+        // (tight `min_doc_len` ⇒ tight block-max bounds).
+        let len: u64 = terms.iter().map(|&(_, tf)| u64::from(tf)).sum();
         for &(t, tf) in terms {
-            self.builders.entry(t.0).or_default().push(doc, tf);
-            len += u64::from(tf);
+            self.builders.entry(t.0).or_default().push_with_len(doc, tf, len as u32);
         }
         self.doc_len.push(len as u32);
         self.total_tokens += len;
@@ -154,7 +155,8 @@ pub fn sort_based_build(corpus: &[Vec<(TermId, u32)>]) -> InvertedIndex {
         let term = records[i].0;
         let mut b = PostingListBuilder::new();
         while i < records.len() && records[i].0 == term {
-            b.push(DocId(records[i].1), records[i].2);
+            let (_, d, tf) = records[i];
+            b.push_with_len(DocId(d), tf, doc_len[d as usize]);
             i += 1;
         }
         postings.insert(term, b.finish());
@@ -177,7 +179,7 @@ pub fn merge_indexes(parts: &[InvertedIndex]) -> InvertedIndex {
         for (term, list) in part.terms() {
             let b = merged.entry(term.0).or_default();
             for p in list.iter() {
-                b.push(DocId(p.doc.0 + offset), p.tf);
+                b.push_with_len(DocId(p.doc.0 + offset), p.tf, part.doc_len(p.doc));
             }
         }
         doc_len.extend_from_slice(&part.doc_len);

@@ -8,7 +8,9 @@
 //!   very important that the HTML parser is tolerant to all sort of
 //!   errors"; our tokenizer never fails, it only emits fewer tokens);
 //! * [`postings`] — delta + varint compressed posting lists with term
-//!   frequencies, the Lexicon/PostingList pair the paper describes;
+//!   frequencies in a block-max layout (per-block last-doc/max-tf/
+//!   min-doc-len metadata plus a block-skipping `next_geq` cursor), the
+//!   Lexicon/PostingList pair the paper describes;
 //! * [`index`] — sort-based and single-pass index builders, plus index
 //!   merging (the building blocks of Section 4's distributed construction
 //!   strategies) and a parallel builder;
@@ -16,13 +18,15 @@
 //!   "local vs. global statistics" experiments (Section 4, external
 //!   factors) can swap the statistics source under the same scorer;
 //! * [`topk`] — a bounded top-k heap;
-//! * [`search`] — ranked disjunctive and Boolean conjunctive evaluation;
+//! * [`search`] — ranked disjunctive and Boolean conjunctive evaluation,
+//!   with an exhaustive reference evaluator and a block-max MaxScore
+//!   evaluator returning bit-identical top-k;
 //! * [`positions`] — positional postings and phrase search (the
 //!   communication-heavy case of Section 5's pipelined evaluation);
 //! * [`dynamic`] — online index maintenance with geometric partitioning
 //!   \[15\] and lock-time accounting (Section 4's update problem);
-//! * [`skips`] — skip-pointer posting access ("e.g., skip-lists") with
-//!   galloping conjunctive intersection;
+//! * [`skips`] — the legacy decoded skip-list path, kept as the baseline
+//!   the blocked-cursor intersection is benchmarked against;
 //! * [`langid`] — Cavnar–Trenkle n-gram language identification for the
 //!   language-routing discussion of Section 5.
 
@@ -48,5 +52,9 @@ pub struct DocId(pub u32);
 pub struct TermId(pub u32);
 
 pub use index::{IndexBuilder, InvertedIndex};
+pub use postings::{BlockMeta, CursorStats, DecodeError, PostingCursor, PostingList, BLOCK_LEN};
 pub use score::{Bm25, CollectionStats, GlobalStats};
-pub use search::{search_and, search_or, SearchHit};
+pub use search::{
+    search_and, search_and_exhaustive, search_or, search_or_with, EvalStats, EvalStrategy,
+    SearchHit,
+};

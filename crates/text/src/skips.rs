@@ -1,13 +1,20 @@
-//! Skip-augmented posting lists.
+//! Skip-augmented posting lists — the **legacy** skip path.
 //!
 //! Section 4: "depending on how the index is organized, it may also
 //! contain information on how to efficiently access the index (e.g.,
 //! skip-lists)". A [`SkipList`] stores the decoded postings of one term
 //! together with a sparse ladder of skip pointers every `stride` entries;
 //! [`SkipList::seek`] advances to the first posting at or beyond a target
-//! document in O(√n)-ish time, which makes conjunctive intersection of a
-//! short list against a long one far cheaper than a full scan —
-//! `intersect` is benchmarked against the scan baseline in `dwr-bench`.
+//! document in O(√n)-ish time.
+//!
+//! This module predates the block-max layout: skipping now lives directly
+//! on the compressed list via [`crate::postings::PostingCursor::next_geq`]
+//! (which hops block metadata without decoding, instead of requiring the
+//! fully decoded side structure kept here), and that cursor is what
+//! `search_and` and the MaxScore evaluator use. `SkipList` is retained as
+//! the *legacy* baseline the intersection benchmarks compare against —
+//! see `benches/bench_intersect.rs` — alongside [`intersect_blocked`],
+//! the cursor-based equivalent.
 
 use crate::postings::{Posting, PostingList};
 use crate::DocId;
@@ -95,6 +102,40 @@ pub fn intersect(a: &SkipList, b: &SkipList) -> Vec<(DocId, u32, u32)> {
             } else {
                 out.push((p.doc, p.tf, q.tf));
             }
+        }
+    }
+    out
+}
+
+/// Intersect two lists via their block-skipping cursors, driving from the
+/// shorter one. Unlike [`intersect`], nothing is pre-decoded: blocks of
+/// the longer list with no common document are skipped outright. Returns
+/// the matching `(doc, tf_a, tf_b)` triples in ascending doc order.
+pub fn intersect_blocked(a: &PostingList, b: &PostingList) -> Vec<(DocId, u32, u32)> {
+    let swapped = a.df() > b.df();
+    let (short, long) = if swapped { (b, a) } else { (a, b) };
+    let mut out = Vec::new();
+    if short.is_empty() || long.is_empty() {
+        return out;
+    }
+    let mut sc = short.cursor();
+    let mut lc = long.cursor();
+    loop {
+        if !lc.next_geq(sc.doc()) {
+            break;
+        }
+        if lc.doc() == sc.doc() {
+            if swapped {
+                out.push((sc.doc(), lc.tf(), sc.tf()));
+            } else {
+                out.push((sc.doc(), sc.tf(), lc.tf()));
+            }
+            if !sc.next() {
+                break;
+            }
+        } else if !sc.next_geq(lc.doc()) {
+            // The long side overshot: gallop the short side to catch up.
+            break;
         }
     }
     out
@@ -193,6 +234,26 @@ mod tests {
         let got = intersect(&SkipList::with_sqrt_stride(&a), &SkipList::with_sqrt_stride(&b));
         // tf = 1 + d % 3: doc 6 has tf 1 in both.
         assert_eq!(got, vec![(DocId(6), 1, 1)]);
+    }
+
+    #[test]
+    fn blocked_intersection_matches_scan() {
+        let a = list(&[1, 4, 6, 9, 12, 40, 41, 90, 500, 9001]);
+        let b = list(&(0..10_000).step_by(3).collect::<Vec<_>>());
+        assert_eq!(intersect_blocked(&a, &b), intersect_scan(&a, &b));
+        let sym: Vec<(DocId, u32, u32)> =
+            intersect_blocked(&b, &a).into_iter().map(|(d, x, y)| (d, y, x)).collect();
+        assert_eq!(sym, intersect_scan(&a, &b));
+    }
+
+    #[test]
+    fn blocked_intersection_edge_cases() {
+        let e = PostingListBuilder::new().finish();
+        let b = list(&[1, 2]);
+        assert!(intersect_blocked(&e, &b).is_empty());
+        assert!(intersect_blocked(&b, &e).is_empty());
+        assert!(intersect_blocked(&list(&[1, 3, 5]), &list(&[2, 4, 6])).is_empty());
+        assert_eq!(intersect_blocked(&b, &b).len(), 2);
     }
 
     #[test]

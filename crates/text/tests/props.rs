@@ -1,9 +1,11 @@
 //! Property-based tests of the IR core's invariants.
 
 use dwr_text::index::{build_index, merge_indexes, sort_based_build};
-use dwr_text::postings::PostingListBuilder;
-use dwr_text::score::Bm25;
-use dwr_text::search::{search_and, search_or};
+use dwr_text::postings::{PostingList, PostingListBuilder};
+use dwr_text::score::{Bm25, GlobalStats};
+use dwr_text::search::{
+    search_and, search_and_exhaustive, search_or, search_or_with, EvalStats, EvalStrategy,
+};
 use dwr_text::token::{term_frequencies, tokenize};
 use dwr_text::topk::TopK;
 use dwr_text::{DocId, TermId};
@@ -124,7 +126,9 @@ proptest! {
         for a in &and_hits {
             let o = or_hits.iter().find(|h| h.doc == a.doc);
             prop_assert!(o.is_some(), "AND hit missing from OR");
-            prop_assert!((o.unwrap().score - a.score).abs() < 1e-4);
+            // Exact, not approximate: both evaluators fold the same f64
+            // contributions in canonical term order and round to f32 once.
+            prop_assert_eq!(o.unwrap().score, a.score);
         }
     }
 
@@ -135,5 +139,124 @@ proptest! {
         let bm = Bm25::default();
         let s = bm.score(&idx, TermId(0), tf, doc_len);
         prop_assert!(s.is_finite() && s >= 0.0);
+    }
+
+    /// Old≡new decode equivalence: the blocked cursor walked posting by
+    /// posting reproduces the flat iterator exactly, and re-admitting the
+    /// encoded bytes via `from_encoded` reproduces the same list.
+    #[test]
+    fn cursor_walk_equals_iterator(postings in postings_strategy()) {
+        let mut b = PostingListBuilder::new();
+        for &(d, tf) in &postings {
+            b.push(DocId(d), tf);
+        }
+        let list = b.finish();
+        let mut via_cursor = Vec::with_capacity(postings.len());
+        let mut c = list.cursor();
+        while c.valid() {
+            via_cursor.push((c.doc().0, c.tf()));
+            c.next();
+        }
+        let via_iter: Vec<(u32, u32)> = list.iter().map(|p| (p.doc.0, p.tf)).collect();
+        prop_assert_eq!(&via_cursor, &via_iter);
+        // Wire roundtrip: re-admitting the same bytes reproduces the
+        // postings and the block ladder's skip keys.
+        let wire = PostingList::from_encoded(list.encoded(), list.df()).expect("valid stream");
+        prop_assert_eq!(wire.to_vec(), list.to_vec());
+        prop_assert_eq!(wire.cf(), list.cf());
+        let wire_keys: Vec<u32> = wire.blocks().iter().map(|m| m.last_doc).collect();
+        let own_keys: Vec<u32> = list.blocks().iter().map(|m| m.last_doc).collect();
+        prop_assert_eq!(wire_keys, own_keys);
+    }
+
+    /// `next_geq` lands on exactly the posting a linear scan would find,
+    /// for any list and any (sorted) probe sequence.
+    #[test]
+    fn next_geq_matches_linear_scan(
+        postings in postings_strategy(),
+        probes in prop::collection::btree_set(0u32..1_100_000, 0..40),
+    ) {
+        let mut b = PostingListBuilder::new();
+        for &(d, tf) in &postings {
+            b.push(DocId(d), tf);
+        }
+        let list = b.finish();
+        let docs: Vec<u32> = postings.iter().map(|&(d, _)| d).collect();
+        let mut c = list.cursor();
+        let mut floor = 0u32; // cursors never move backwards
+        for &p in &probes {
+            let target = p.max(floor);
+            let want = docs.iter().copied().find(|&d| d >= target);
+            let got = c.next_geq(DocId(target)).then(|| c.doc().0);
+            prop_assert_eq!(got, want, "target {}", target);
+            if let Some(d) = got {
+                floor = d;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Satellite: MaxScore-pruned and exhaustive `search_or` return
+    /// identical `(doc, score)` vectors — docs, f32 scores, and tie-break
+    /// order — over arbitrary indexes, term multisets (duplicates
+    /// included), and k, under local statistics.
+    #[test]
+    fn maxscore_equals_exhaustive_local_stats(
+        corpus in corpus_strategy(),
+        terms in prop::collection::vec(0u32..200, 0..6),
+        k in 1usize..20,
+    ) {
+        let idx = build_index(&corpus);
+        let terms: Vec<TermId> = terms.into_iter().map(TermId).collect();
+        let bm = Bm25::default();
+        let mut ex = EvalStats::default();
+        let mut ms = EvalStats::default();
+        let a = search_or_with(EvalStrategy::Exhaustive, &idx, &terms, k, &bm, &idx, &mut ex);
+        let b = search_or_with(EvalStrategy::MaxScore, &idx, &terms, k, &bm, &idx, &mut ms);
+        prop_assert_eq!(a, b, "evaluators diverge on {:?} k={}", &terms, k);
+        prop_assert!(ms.postings_scanned <= ex.postings_scanned,
+            "pruned evaluator never scans more: {} vs {}",
+            ms.postings_scanned, ex.postings_scanned);
+    }
+
+    /// Same equivalence under aggregated `GlobalStats` (the two-round
+    /// broker protocol's statistics source): pruning bounds must be
+    /// computed against the *same* statistics evaluation uses.
+    #[test]
+    fn maxscore_equals_exhaustive_global_stats(
+        corpus_a in corpus_strategy(),
+        corpus_b in corpus_strategy(),
+        terms in prop::collection::vec(0u32..200, 0..6),
+        k in 1usize..20,
+    ) {
+        let pa = build_index(&corpus_a);
+        let pb = build_index(&corpus_b);
+        let terms: Vec<TermId> = terms.into_iter().map(TermId).collect();
+        let g = GlobalStats::for_terms(&[&pa, &pb], &terms);
+        let bm = Bm25::default();
+        for idx in [&pa, &pb] {
+            let mut ex = EvalStats::default();
+            let mut ms = EvalStats::default();
+            let a = search_or_with(EvalStrategy::Exhaustive, idx, &terms, k, &bm, &g, &mut ex);
+            let b = search_or_with(EvalStrategy::MaxScore, idx, &terms, k, &bm, &g, &mut ms);
+            prop_assert_eq!(a, b, "evaluators diverge under global stats on {:?}", &terms);
+        }
+    }
+
+    /// The galloping conjunctive evaluator matches the decode-everything
+    /// reference bit for bit.
+    #[test]
+    fn and_galloping_equals_exhaustive(
+        corpus in corpus_strategy(),
+        terms in prop::collection::vec(0u32..200, 0..5),
+        k in 1usize..20,
+    ) {
+        let idx = build_index(&corpus);
+        let terms: Vec<TermId> = terms.into_iter().map(TermId).collect();
+        let bm = Bm25::default();
+        let a = search_and(&idx, &terms, k, &bm, &idx);
+        let b = search_and_exhaustive(&idx, &terms, k, &bm, &idx);
+        prop_assert_eq!(a, b, "AND evaluators diverge on {:?} k={}", &terms, k);
     }
 }

@@ -15,6 +15,7 @@ use dwr_query::engine::DistributedEngine;
 use dwr_query::faults::FaultSchedule;
 use dwr_query::DocBroker;
 use dwr_sim::{SimRng, SimTime, DAY, HOUR};
+use dwr_text::search::EvalStrategy;
 use dwr_text::TermId;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -103,6 +104,97 @@ proptest! {
         }
         prop_assert_eq!(seq.stats(), par.stats());
         prop_assert_eq!(seq.cache_stats(), par.cache_stats());
+    }
+
+    /// Evaluator-strategy equivalence through the full stack: a MaxScore
+    /// engine and an exhaustive engine return bit-identical responses
+    /// and counters on any corpus and query stream (pruning changes the
+    /// work performed, never the answer), while never scanning more
+    /// postings.
+    #[test]
+    fn engine_maxscore_equals_exhaustive(
+        docs in prop::collection::vec(
+            prop::collection::btree_map(0u32..25, 1u32..4, 0..5),
+            1..30,
+        ),
+        k in 1usize..5,
+        queries in prop::collection::vec(prop::collection::vec(0u32..30, 0..4), 1..25),
+        topk in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let pi = build_partitioned(&docs, k, seed);
+        let ex = DistributedEngine::new(&pi, LruCache::new(16), 2)
+            .with_strategy(EvalStrategy::Exhaustive);
+        let ms = DistributedEngine::new(&pi, LruCache::new(16), 2)
+            .with_strategy(EvalStrategy::MaxScore);
+        for q in &queries {
+            let terms: Vec<TermId> = q.iter().map(|&t| TermId(t)).collect();
+            let a = ex.query_full(&terms, topk);
+            let b = ms.query_full(&terms, topk);
+            prop_assert_eq!(&a.hits, &b.hits, "hits diverge on {:?}", terms);
+            prop_assert_eq!(a.served, b.served, "outcome diverges on {:?}", terms);
+            prop_assert_eq!(a.latency, b.latency, "latency diverges on {:?}", terms);
+        }
+        prop_assert_eq!(ex.stats(), ms.stats());
+        prop_assert_eq!(ex.broker().busy_time(), ms.broker().busy_time());
+        prop_assert!(
+            ms.broker().eval_stats().postings_scanned
+                <= ex.broker().eval_stats().postings_scanned,
+            "pruned evaluator scanned more postings than exhaustive"
+        );
+    }
+
+    /// Batched admission ≡ the query-at-a-time loop, through broker and
+    /// engine: same responses, same counters, same per-replica dispatch
+    /// ledgers, on any corpus and query stream (duplicates included; the
+    /// cache is sized to hold the batch, the documented regime where the
+    /// equivalence is exact).
+    #[test]
+    fn batched_admission_equals_query_loop(
+        docs in prop::collection::vec(
+            prop::collection::btree_map(0u32..25, 1u32..4, 0..5),
+            1..30,
+        ),
+        k in 1usize..5,
+        threads in 2usize..5,
+        queries in prop::collection::vec(prop::collection::vec(0u32..30, 0..4), 1..25),
+        topk in 1usize..12,
+        parallel_batch in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let pi = build_partitioned(&docs, k, seed);
+        let terms: Vec<Vec<TermId>> =
+            queries.iter().map(|q| q.iter().map(|&t| TermId(t)).collect()).collect();
+
+        // Broker level.
+        let seq = DocBroker::single_site(&pi);
+        let bat = DocBroker::single_site(&pi);
+        let bat = if parallel_batch { bat.parallel(threads) } else { bat };
+        let loop_resps: Vec<_> = terms.iter().map(|t| seq.query(t, topk)).collect();
+        let batch_resps = bat.query_batch(&terms, topk);
+        for (a, b) in loop_resps.iter().zip(&batch_resps) {
+            prop_assert_eq!(&a.hits, &b.hits);
+            prop_assert_eq!(a.latency, b.latency);
+            prop_assert_eq!(a.partitions_used, b.partitions_used);
+        }
+        prop_assert_eq!(seq.busy_time(), bat.busy_time());
+        prop_assert_eq!(seq.eval_stats(), bat.eval_stats());
+
+        // Engine level (cache wide enough for the whole batch).
+        let looped = DistributedEngine::new(&pi, LruCache::new(64), 2);
+        let batched = DistributedEngine::new(&pi, LruCache::new(64), 2);
+        let batched = if parallel_batch { batched.with_parallelism(threads) } else { batched };
+        let a: Vec<_> = terms.iter().map(|t| looped.query_full(t, topk)).collect();
+        let b = batched.query_batch(&terms, topk);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.hits, &y.hits);
+            prop_assert_eq!(x.served, y.served);
+            prop_assert_eq!(x.latency, y.latency);
+        }
+        prop_assert_eq!(looped.stats(), batched.stats());
+        prop_assert_eq!(looped.cache_stats(), batched.cache_stats());
+        prop_assert_eq!(looped.dispatch_counts(), batched.dispatch_counts());
+        prop_assert_eq!(looped.broker().eval_stats(), batched.broker().eval_stats());
     }
 
     /// Engine level, fault-injected: under one `UpDownProcess`-derived

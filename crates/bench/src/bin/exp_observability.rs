@@ -65,6 +65,7 @@ fn check_engine_agreement(snap: &Snapshot, s: EngineStats, lookups: u64, backend
     ck(snap, "engine.served.degraded", s.degraded);
     ck(snap, "engine.served.stale", s.stale);
     ck(snap, "engine.served.failed", s.failed);
+    ck(snap, "engine.served.partial", s.partial);
     ck(snap, "engine.hedges", s.hedged);
     ck(snap, "broker.queries", backend_queries);
     ck(snap, "scatter.batches", s.full + s.degraded);

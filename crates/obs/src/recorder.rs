@@ -38,6 +38,9 @@ pub enum Outcome {
     Failed,
     /// Refused by admission control.
     Shed,
+    /// Returned partial top-k at the gather deadline (some dispatched
+    /// partitions answered too late to merge).
+    Partial,
 }
 
 /// How the site tier resolved a query (mirror of the
@@ -379,6 +382,7 @@ pub struct ObsRecorder {
     out_stale: Arc<Counter>,
     out_failed: Arc<Counter>,
     out_shed: Arc<Counter>,
+    out_partial: Arc<Counter>,
     hedges: Arc<Counter>,
     latency_us: Arc<Histogram>,
     hedge_extra_us: Arc<Histogram>,
@@ -447,6 +451,7 @@ impl ObsRecorder {
             out_stale: registry.counter("engine.served.stale"),
             out_failed: registry.counter("engine.served.failed"),
             out_shed: registry.counter("engine.served.shed"),
+            out_partial: registry.counter("engine.served.partial"),
             hedges: registry.counter("engine.hedges"),
             latency_us: registry.histogram("engine.latency_us"),
             hedge_extra_us: registry.histogram("engine.hedge_extra_us"),
@@ -557,6 +562,7 @@ impl Recorder for ObsRecorder {
                     Outcome::StaleFromCache => self.out_stale.inc(),
                     Outcome::Failed => self.out_failed.inc(),
                     Outcome::Shed => self.out_shed.inc(),
+                    Outcome::Partial => self.out_partial.inc(),
                 }
                 if let Some(l) = latency_us {
                     self.latency_us.record(l as f64);

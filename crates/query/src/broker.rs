@@ -63,6 +63,27 @@ pub struct BrokeredResponse {
     pub latency: SimTime,
 }
 
+/// Timing overrides for a deadline-aware gather
+/// ([`DocBroker::query_selected_timed`]).
+///
+/// The engine supplies the *shard-side completion time* of each queried
+/// partition — the replica's drawn service cost under a straggler model,
+/// possibly shortened by a hedge — and an optional response deadline.
+/// Shards completing after the deadline are excluded from the merge (the
+/// partial-results policy of tail-tolerant search): their busy time and
+/// scan work are still charged (the server did the work; its answer just
+/// arrived too late), but their hits never reach the top-k and the
+/// response reports how many partitions made the cut.
+#[derive(Debug, Clone, Copy)]
+pub struct GatherTiming<'a> {
+    /// Shard-side completion (µs after dispatch), parallel to `parts`.
+    pub completions: &'a [SimTime],
+    /// Response deadline: shards whose completion exceeds it are dropped
+    /// from the merge. The deadline gates on shard-side completion; the
+    /// transit of the included responses still counts toward latency.
+    pub deadline: Option<SimTime>,
+}
+
 /// One query of a broker batch: terms, result depth, target partitions,
 /// and the query key stamped onto observability events.
 #[derive(Debug, Clone)]
@@ -368,6 +389,25 @@ impl<R: Recorder> DocBroker<R> {
         self.gather(terms, k, parts, qid, now, per_part)
     }
 
+    /// As [`Self::query_selected_at`], with engine-supplied per-partition
+    /// completion times and an optional response deadline (see
+    /// [`GatherTiming`]). Returns the response plus the number of
+    /// partitions whose answer arrived in time — `answered < parts.len()`
+    /// means a partial result.
+    pub fn query_selected_timed(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        parts: &[u32],
+        qid: u64,
+        now: SimTime,
+        timing: GatherTiming<'_>,
+    ) -> (BrokeredResponse, usize) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let per_part = self.scatter(terms, k, parts, qid, now);
+        self.gather_with(terms, k, parts, qid, now, per_part, Some(timing))
+    }
+
     /// Gather in partition order: deterministic merge and latency
     /// regardless of which thread finished first. Per-shard events are
     /// emitted here (not by workers), so their order is deterministic
@@ -382,9 +422,36 @@ impl<R: Recorder> DocBroker<R> {
         now: SimTime,
         per_part: Vec<ShardResult>,
     ) -> BrokeredResponse {
+        self.gather_with(terms, k, parts, qid, now, per_part, None).0
+    }
+
+    /// The one gather loop behind both the legacy and the timed paths.
+    ///
+    /// With `timing: None` this is bit-identical to the pre-tail-suite
+    /// gather: completion is the (truncated) df-based service time and
+    /// every partition merges. With timing, completion comes from the
+    /// engine's latency model and the optional deadline drops late
+    /// shards from the merge — busy time, the `ShardService` event, and
+    /// scan counters are still charged for them, because the server did
+    /// the work whether or not the broker waited for the answer.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_with(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        parts: &[u32],
+        qid: u64,
+        now: SimTime,
+        per_part: Vec<ShardResult>,
+        timing: Option<GatherTiming<'_>>,
+    ) -> (BrokeredResponse, usize) {
+        if let Some(t) = &timing {
+            assert_eq!(t.completions.len(), parts.len(), "one completion per queried partition");
+        }
         let mut top = TopK::new(k.max(1));
         let mut slowest: SimTime = 0;
         let mut merged_hits = 0u64;
+        let mut answered = 0usize;
         for (i, &p) in parts.iter().enumerate() {
             let pu = p as usize;
             let service = self.service_time(pu, terms);
@@ -397,18 +464,32 @@ impl<R: Recorder> DocBroker<R> {
             });
             let (hits, ev) = &per_part[i];
             self.scan.add(ev);
+            let completion = match &timing {
+                Some(t) => t.completions[i],
+                None => service as SimTime,
+            };
+            if timing.as_ref().is_some_and(|t| t.deadline.is_some_and(|d| completion > d)) {
+                continue; // answer arrived past the deadline: work charged, hits dropped
+            }
+            answered += 1;
             merged_hits += hits.len() as u64;
             let rtt =
                 self.topo.rtt(self.broker_site, self.part_sites[pu], 64, hits.len() as u64 * 12);
-            slowest = slowest.max(service as SimTime + rtt);
+            slowest = slowest.max(completion + rtt);
             for &(doc, score) in hits {
                 top.push(doc, score);
             }
         }
         let merge = (merged_hits as f64 * US_PER_MERGE_HIT) as SimTime;
-        let latency = slowest + merge;
+        // A partial response is released *at* the deadline (plus transit
+        // of what made it, plus merge); a complete one when the slowest
+        // included answer lands.
+        let latency = match timing.as_ref().and_then(|t| t.deadline) {
+            Some(d) if answered < parts.len() => slowest.max(d) + merge,
+            _ => slowest + merge,
+        };
         self.recorder.record(Event::GatherDone { qid, now, merged_hits, latency_us: latency });
-        BrokeredResponse {
+        let resp = BrokeredResponse {
             hits: top
                 .into_sorted_vec()
                 .into_iter()
@@ -416,7 +497,8 @@ impl<R: Recorder> DocBroker<R> {
                 .collect(),
             partitions_used: parts.len(),
             latency,
-        }
+        };
+        (resp, answered)
     }
 
     /// Evaluate a batch of queries, admitting every shard task under a
@@ -709,6 +791,59 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert!(r[0].hits.is_empty());
         assert!(!r[1].hits.is_empty());
+    }
+
+    #[test]
+    fn timed_gather_with_service_completions_matches_legacy() {
+        let (_, pi) = parted(4);
+        let legacy = DocBroker::single_site(&pi);
+        let timed = DocBroker::single_site(&pi);
+        let terms = [TermId(1), TermId(100)];
+        let parts = [0u32, 1, 2, 3];
+        let completions: Vec<SimTime> =
+            parts.iter().map(|&p| timed.service_time(p as usize, &terms) as SimTime).collect();
+        let a = legacy.query_selected(&terms, 10, &parts);
+        let (b, answered) = timed.query_selected_timed(
+            &terms,
+            10,
+            &parts,
+            0,
+            0,
+            GatherTiming { completions: &completions, deadline: None },
+        );
+        assert_eq!(answered, 4, "no deadline: every partition answers");
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.latency, b.latency, "service-time completions reproduce the legacy model");
+        assert_eq!(legacy.busy_time(), timed.busy_time());
+    }
+
+    #[test]
+    fn deadline_drops_late_shards_but_charges_their_work() {
+        let (_, pi) = parted(4);
+        let b = DocBroker::single_site(&pi);
+        let terms = [TermId(1), TermId(100)];
+        let parts = [0u32, 1, 2, 3];
+        // Partitions 1 and 3 straggle far past the deadline.
+        let completions = [300, 9_000, 300, 9_000];
+        let full = DocBroker::single_site(&pi).query_selected(&terms, 40, &parts);
+        let (partial, answered) = b.query_selected_timed(
+            &terms,
+            40,
+            &parts,
+            0,
+            0,
+            GatherTiming { completions: &completions, deadline: Some(1_000) },
+        );
+        assert_eq!(answered, 2);
+        // Round-robin assignment: doc % 4 names the partition, so the
+        // late partitions' documents must be absent from the merge.
+        assert!(!partial.hits.is_empty());
+        assert!(partial.hits.iter().all(|h| h.doc % 4 == 0 || h.doc % 4 == 2), "{partial:?}");
+        assert!(partial.hits.len() < full.hits.len());
+        // The stragglers' work is still charged: they did serve the query.
+        assert!(b.busy_time().iter().all(|&t| t > 0.0), "{:?}", b.busy_time());
+        // A partial response is released at the deadline, not before.
+        assert!(partial.latency >= 1_000);
     }
 
     #[test]

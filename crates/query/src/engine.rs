@@ -40,12 +40,29 @@
 //! degraded. Selection, the availability check, and dispatch happen in
 //! **one** pass under a single lock per replica group, so a group dying
 //! concurrently can never be counted as served.
+//!
+//! # Tail tolerance
+//!
+//! A [`StragglerModel`] ([`DistributedEngine::with_stragglers`]) makes
+//! replicas genuinely diverge: each (partition, replica, query) draws a
+//! multiplicative service-time factor, so "the slowest server determines
+//! the response time" becomes a measurable tail. The [`HedgePolicy`]
+//! ([`DistributedEngine::with_hedge_policy`]) decides when a duplicate
+//! request is launched on a second replica — never, on detected death
+//! (the bit-identical default), after a fixed delay, past a live
+//! percentile of the shard's own completion history, or immediately
+//! (tied requests with cancellation accounting). A gather deadline
+//! ([`DistributedEngine::with_gather_deadline`]) returns partial top-k
+//! with explicit coverage ([`Served::Partial`]) when stragglers outlast
+//! the response budget. All policies preserve the parallel ≡ sequential
+//! and batch ≡ loop equivalence invariants.
 
-use crate::broker::{BatchQuery, BrokeredResponse, DocBroker, GlobalHit};
+use crate::broker::{BatchQuery, BrokeredResponse, DocBroker, GatherTiming, GlobalHit};
 use crate::cache::{ResultCache, ShardedCache};
 use crate::faults::FaultSchedule;
 use crate::replica::ReplicaGroup;
-use dwr_obs::{Event, NoopRecorder, Outcome as ObsOutcome, Recorder};
+use crate::straggler::StragglerModel;
+use dwr_obs::{Event, Histogram, NoopRecorder, Outcome as ObsOutcome, Recorder};
 use dwr_partition::parted::PartitionedIndex;
 use dwr_partition::select::CollectionSelector;
 use dwr_sim::SimTime;
@@ -85,6 +102,41 @@ pub enum Served {
     /// site tier ([`crate::multisite::MultiSiteEngine`]); a single-site
     /// `DistributedEngine` never sheds.
     Shed,
+    /// Evaluated, but the gather deadline expired before every dispatched
+    /// partition answered: best-available top-k with explicit coverage.
+    /// Partial responses are never cached — a truncated result must not
+    /// masquerade as the full answer for its key.
+    Partial {
+        /// Dispatched partitions whose answers arrived in time to merge.
+        partitions_answered: usize,
+    },
+}
+
+/// When the engine launches a hedged (duplicate) request on a second
+/// replica of a partition. The suite follows tail-tolerant search
+/// practice (hedged and tied requests, partial results on deadline)
+/// applied to the paper's observation that the slowest server determines
+/// scatter-gather response time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum HedgePolicy {
+    /// Never hedge: a mid-query death simply degrades the partition.
+    Never,
+    /// Hedge only on a detected mid-query death — the engine's historical
+    /// behavior and the default; bit-identical to the pre-policy engine.
+    #[default]
+    OnDeath,
+    /// Launch the hedge when the first replica has not answered after a
+    /// fixed delay (simulated µs).
+    FixedDelay(SimTime),
+    /// Launch the hedge when the first replica has not answered within
+    /// this percentile (e.g. `95.0`) of the partition's *own* live
+    /// completion history, tracked in a lock-free `dwr-obs` histogram.
+    /// Falls back to [`HedgePolicy::OnDeath`] until enough history
+    /// accumulates.
+    PercentileTrigger(f64),
+    /// Launch the hedge immediately ("tied requests"): the faster copy
+    /// wins, the loser is cancelled and its burned work accounted.
+    Tied,
 }
 
 /// Aggregate engine counters.
@@ -102,6 +154,13 @@ pub struct EngineStats {
     pub failed: u64,
     /// Hedged retries dispatched after a replica died mid-query.
     pub hedged: u64,
+    /// Hedged requests cancelled because the other copy answered first.
+    pub cancelled: u64,
+    /// Responses returned partial at the gather deadline.
+    pub partial: u64,
+    /// Simulated µs of work burned on hedges that did not serve the
+    /// answer: cancelled losers and hedges that died mid-flight.
+    pub hedge_work_us: u64,
 }
 
 /// Full outcome of one engine query.
@@ -125,23 +184,41 @@ struct Counters {
     stale: AtomicU64,
     failed: AtomicU64,
     hedged: AtomicU64,
+    cancelled: AtomicU64,
+    partial: AtomicU64,
+    hedge_work_us: AtomicU64,
 }
 
 /// Outcome of the single choose-and-dispatch pass for one query.
 struct DispatchPlan {
     /// Partitions with a successfully dispatched, surviving replica.
     served: Vec<u32>,
+    /// Shard-side completion time per served partition (parallel to
+    /// `served`); feeds the timed gather.
+    completions: Vec<SimTime>,
     /// Chosen partitions that could not be served.
     missing: usize,
-    /// Extra simulated latency added by hedged retries.
+    /// Extra simulated latency added by hedged retries (legacy path).
     hedge_extra: SimTime,
     /// Hedged retries dispatched.
     hedges: u64,
+    /// Hedges cancelled after the other copy answered first.
+    cancelled: u64,
+    /// Simulated µs burned on hedges that did not serve the answer.
+    hedge_work: u64,
 }
 
 impl DispatchPlan {
     fn with_capacity(n: usize) -> Self {
-        DispatchPlan { served: Vec::with_capacity(n), missing: 0, hedge_extra: 0, hedges: 0 }
+        DispatchPlan {
+            served: Vec::with_capacity(n),
+            completions: Vec::with_capacity(n),
+            missing: 0,
+            hedge_extra: 0,
+            hedges: 0,
+            cancelled: 0,
+            hedge_work: 0,
+        }
     }
 }
 
@@ -151,9 +228,36 @@ struct OneDispatch {
     served: bool,
     /// Hedged retries dispatched (0 or 1).
     hedges: u64,
-    /// Extra simulated latency a hedge added.
+    /// Extra simulated latency a hedge added (legacy path).
     extra: SimTime,
+    /// 1 when a hedge was cancelled because the other copy won.
+    cancelled: u64,
+    /// Shard-side completion time of the serving answer (0 if unserved).
+    completion: SimTime,
+    /// Simulated µs burned on a hedge that did not serve the answer.
+    hedge_work: u64,
 }
+
+impl OneDispatch {
+    fn not_served() -> Self {
+        OneDispatch {
+            served: false,
+            hedges: 0,
+            extra: 0,
+            cancelled: 0,
+            completion: 0,
+            hedge_work: 0,
+        }
+    }
+
+    fn served_at(completion: SimTime) -> Self {
+        OneDispatch { served: true, hedges: 0, extra: 0, cancelled: 0, completion, hedge_work: 0 }
+    }
+}
+
+/// Live-history samples a [`HedgePolicy::PercentileTrigger`] needs on a
+/// partition before its trigger engages (it hedges on death until then).
+const MIN_TRIGGER_SAMPLES: u64 = 16;
 
 /// The engine. Owns its broker (which owns an `Arc`-backed index clone),
 /// cache, and replica state; `Send + Sync`, all methods `&self`.
@@ -175,6 +279,16 @@ pub struct DistributedEngine<C: ResultCache, R: Recorder = NoopRecorder> {
     faults: Option<Arc<FaultSchedule>>,
     /// Per-query latency budget gating hedged retries.
     deadline: Option<SimTime>,
+    /// When the engine launches a duplicate request on a second replica.
+    policy: HedgePolicy,
+    /// Per-(partition, replica, query) service-time inflation.
+    stragglers: Option<Arc<StragglerModel>>,
+    /// Response-level deadline: the gather returns partial top-k when a
+    /// dispatched partition's answer lands after it.
+    gather_deadline: Option<SimTime>,
+    /// Live per-partition completion history (lock-free, drives
+    /// [`HedgePolicy::PercentileTrigger`]).
+    shard_latency: Vec<Histogram>,
     /// The engine's simulated clock (µs), advanced by `advance_to`.
     clock: AtomicU64,
     /// Observability sink (cloned into the broker so both emit to the
@@ -208,6 +322,10 @@ impl<C: ResultCache> DistributedEngine<C> {
             selector: None,
             faults: None,
             deadline: None,
+            policy: HedgePolicy::default(),
+            stragglers: None,
+            gather_deadline: None,
+            shard_latency: (0..index.num_partitions()).map(|_| Histogram::new()).collect(),
             clock: AtomicU64::new(0),
             recorder: NoopRecorder,
         }
@@ -231,6 +349,10 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             selector: self.selector,
             faults: self.faults,
             deadline: self.deadline,
+            policy: self.policy,
+            stragglers: self.stragglers,
+            gather_deadline: self.gather_deadline,
+            shard_latency: self.shard_latency,
             clock: self.clock,
             recorder,
         }
@@ -293,6 +415,53 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         assert!(deadline > 0);
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Pick the tail-tolerance hedging policy. The default,
+    /// [`HedgePolicy::OnDeath`], is the engine's historical behavior and
+    /// is bit-identical to not configuring a policy at all.
+    pub fn with_hedge_policy(mut self, policy: HedgePolicy) -> Self {
+        match policy {
+            HedgePolicy::FixedDelay(t) => assert!(t > 0, "hedge delay must be positive"),
+            HedgePolicy::PercentileTrigger(q) => assert!(
+                q.is_finite() && q > 0.0 && q < 100.0,
+                "trigger percentile must be in (0, 100), got {q}"
+            ),
+            _ => {}
+        }
+        self.policy = policy;
+        self
+    }
+
+    /// The hedging policy in force.
+    pub fn hedge_policy(&self) -> HedgePolicy {
+        self.policy
+    }
+
+    /// Attach a per-(partition, replica, query) latency model: every
+    /// dispatched attempt's service time is the df-based base cost
+    /// inflated by the model's deterministic draw, so replicas of one
+    /// partition genuinely diverge and the gather sees real stragglers.
+    pub fn with_stragglers(mut self, model: Arc<StragglerModel>) -> Self {
+        self.stragglers = Some(model);
+        self
+    }
+
+    /// Set a response deadline: the gather merges only partitions whose
+    /// (shard-side) answer completes within it and reports the rest as
+    /// missing coverage via [`Served::Partial`]. Independent of
+    /// [`Self::with_deadline`], which budgets hedged retries per
+    /// partition.
+    pub fn with_gather_deadline(mut self, deadline: SimTime) -> Self {
+        assert!(deadline > 0);
+        self.gather_deadline = Some(deadline);
+        self
+    }
+
+    /// Mergeable percentile summaries of each partition's live completion
+    /// history (the instrument behind [`HedgePolicy::PercentileTrigger`]).
+    pub fn shard_latency_percentiles(&self) -> Vec<dwr_sim::stats::Percentiles> {
+        self.shard_latency.iter().map(Histogram::snapshot).collect()
     }
 
     /// The engine's simulated clock.
@@ -432,7 +601,9 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         // latency) is untouched by the transposition.
         let cold: Vec<usize> =
             (0..slots.len()).filter(|&i| matches!(slots[i], Slot::Cold { .. })).collect();
-        let mut staged: Vec<(Vec<(usize, u32)>, DispatchPlan)> =
+        // (query position, partition, shard-side completion) per dispatch.
+        type StagedDispatch = Vec<(usize, u32, SimTime)>;
+        let mut staged: Vec<(StagedDispatch, DispatchPlan)> =
             cold.iter().map(|_| (Vec::new(), DispatchPlan::with_capacity(0))).collect();
         let mut by_part: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.groups.len()];
         for (ci, &si) in cold.iter().enumerate() {
@@ -454,34 +625,43 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                 let one = self.dispatch_one(&mut group, pu as u32, &queries[cold[ci]], now, key);
                 let (served, plan) = &mut staged[ci];
                 if one.served {
-                    served.push((pos, pu as u32));
+                    served.push((pos, pu as u32, one.completion));
                 } else {
                     plan.missing += 1;
                 }
                 plan.hedges += one.hedges;
                 plan.hedge_extra = plan.hedge_extra.max(one.extra);
+                plan.cancelled += one.cancelled;
+                plan.hedge_work += one.hedge_work;
             }
         }
         let plans: Vec<DispatchPlan> = staged
             .into_iter()
             .map(|(mut served, mut plan)| {
-                served.sort_unstable_by_key(|&(pos, _)| pos);
-                plan.served = served.into_iter().map(|(_, p)| p).collect();
+                served.sort_unstable_by_key(|&(pos, _, _)| pos);
+                plan.completions = served.iter().map(|&(_, _, c)| c).collect();
+                plan.served = served.into_iter().map(|(_, p, _)| p).collect();
                 plan
             })
             .collect();
         // --- Evaluation: one broker batch over every cold query with a
         // non-empty plan (a single pool-lock acquisition admits all of
-        // their shard tasks).
-        let broker_batch: Vec<BatchQuery<'_>> = cold
-            .iter()
-            .zip(&plans)
-            .filter(|(_, plan)| !plan.served.is_empty())
-            .map(|(&si, plan)| {
-                let Slot::Cold { key, .. } = slots[si] else { unreachable!() };
-                BatchQuery { terms: &queries[si], k, parts: plan.served.clone(), qid: key }
-            })
-            .collect();
+        // their shard tasks). The timed path instead evaluates each cold
+        // query at resolution time — its gather needs the per-query
+        // completions and deadline — trading the amortized enqueue for
+        // the tail-tolerant latency model.
+        let broker_batch: Vec<BatchQuery<'_>> = if self.timed() {
+            Vec::new()
+        } else {
+            cold.iter()
+                .zip(&plans)
+                .filter(|(_, plan)| !plan.served.is_empty())
+                .map(|(&si, plan)| {
+                    let Slot::Cold { key, .. } = slots[si] else { unreachable!() };
+                    BatchQuery { terms: &queries[si], k, parts: plan.served.clone(), qid: key }
+                })
+                .collect()
+        };
         let mut evaluated = self.broker.query_selected_batch(&broker_batch, now).into_iter();
         // --- Resolution, in query order.
         let mut plans = plans.into_iter();
@@ -502,7 +682,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                 },
                 Slot::Cold { key, .. } => {
                     let plan = plans.next().expect("one plan per cold query");
-                    self.counters.hedged.fetch_add(plan.hedges, Ordering::Relaxed);
+                    self.account_dispatch(&plan);
                     if plan.served.is_empty() {
                         self.counters.failed.fetch_add(1, Ordering::Relaxed);
                         self.record_outcome(key, now, ObsOutcome::Failed, None);
@@ -512,8 +692,11 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                             latency: None,
                         };
                     }
+                    if self.timed() {
+                        return self.evaluate_plan(terms, k, key, now, &plan);
+                    }
                     let resp = evaluated.next().expect("one response per evaluated query");
-                    self.resolve_evaluated(key, now, &plan, resp)
+                    self.resolve_evaluated(key, now, &plan, resp, None)
                 }
             })
             .collect()
@@ -544,21 +727,55 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             drop(group);
             if one.served {
                 plan.served.push(p);
+                plan.completions.push(one.completion);
             } else {
                 plan.missing += 1;
             }
             plan.hedges += one.hedges;
             plan.hedge_extra = plan.hedge_extra.max(one.extra);
+            plan.cancelled += one.cancelled;
+            plan.hedge_work += one.hedge_work;
         }
         plan
     }
 
+    /// Whether gather runs through the timed path (engine-drawn
+    /// completions, optional partial results) instead of the legacy
+    /// df-based latency model.
+    fn timed(&self) -> bool {
+        self.stragglers.is_some() || self.gather_deadline.is_some()
+    }
+
+    /// The drawn service cost of one attempt: the df-based base inflated
+    /// by the straggler model, or plain `ceil(base)` without one.
+    fn drawn_cost(&self, base: f64, p: usize, r: usize, qid: u64) -> SimTime {
+        match &self.stragglers {
+            Some(m) => m.cost(base, p, r, qid),
+            None => base.ceil() as SimTime,
+        }
+    }
+
+    fn fails_during(&self, p: usize, r: usize, lo: SimTime, hi: SimTime) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.fails_during(p, r, lo, hi))
+    }
+
+    /// The live percentile trigger for partition `p`, once enough history
+    /// has accumulated.
+    fn shard_trigger(&self, p: usize, q: f64) -> Option<SimTime> {
+        let hist = &self.shard_latency[p];
+        if hist.count() < MIN_TRIGGER_SAMPLES {
+            return None;
+        }
+        Some((hist.snapshot().percentile(q).ceil() as SimTime).max(1))
+    }
+
     /// Dispatch one query on one **already locked** replica group: pick a
-    /// replica (round-robin), consult the fault schedule for a mid-query
-    /// death, and hedge once on a different live replica if the deadline
-    /// leaves room. Shared by the per-query and batched dispatch passes,
-    /// so both advance each group's round-robin cursor through the exact
-    /// same decision sequence.
+    /// replica (round-robin), draw its service cost, consult the fault
+    /// schedule for a mid-query death, and let the [`HedgePolicy`] decide
+    /// whether a duplicate request launches on a second replica. Shared
+    /// by the per-query and batched dispatch passes, so both advance each
+    /// group's round-robin cursor — and each partition's live latency
+    /// history — through the exact same decision sequence.
     fn dispatch_one(
         &self,
         group: &mut ReplicaGroup,
@@ -569,36 +786,125 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
     ) -> OneDispatch {
         let pu = p as usize;
         let Some(first) = group.dispatch() else {
-            return OneDispatch { served: false, hedges: 0, extra: 0 };
+            return OneDispatch::not_served();
         };
-        let Some(faults) = &self.faults else {
-            return OneDispatch { served: true, hedges: 0, extra: 0 };
-        };
-        let svc = self.broker.service_time(pu, terms).ceil() as SimTime;
-        if !faults.fails_during(pu, first, now, now + svc) {
-            return OneDispatch { served: true, hedges: 0, extra: 0 };
+        // Fast path — exactly the pre-suite behavior: without faults, a
+        // latency model, or a gather deadline, a Never/OnDeath policy can
+        // never hedge, so the dispatch is already decided.
+        if self.faults.is_none()
+            && !self.timed()
+            && matches!(self.policy, HedgePolicy::Never | HedgePolicy::OnDeath)
+        {
+            return OneDispatch::served_at(0);
         }
-        // First replica dies mid-query. Hedge once, on a different
-        // replica, only if attempt + retry fit the deadline.
-        let fits_deadline = self.deadline.is_none_or(|d| 2 * svc <= d);
-        let retry = if fits_deadline { group.dispatch_excluding(first) } else { None };
-        match retry {
-            Some(second) if !faults.fails_during(pu, second, now + svc, now + 2 * svc) => {
-                self.recorder.record(Event::Hedge { qid, now, partition: p, extra_us: svc as f64 });
-                OneDispatch { served: true, hedges: 1, extra: svc }
+        let base = self.broker.service_time(pu, terms);
+        let c1 = self.drawn_cost(base, pu, first, qid);
+        let dead1 = self.fails_during(pu, first, now, now + c1);
+        // When (relative to dispatch) the hedge launches, if at all. A
+        // dead first replica never answers, so time-triggered policies
+        // fire their timer on it regardless of `c1`.
+        let launch = match self.policy {
+            HedgePolicy::Never => None,
+            HedgePolicy::OnDeath => dead1.then_some(c1),
+            HedgePolicy::FixedDelay(t) => (dead1 || c1 > t).then_some(t),
+            HedgePolicy::PercentileTrigger(q) => match self.shard_trigger(pu, q) {
+                Some(t) => (dead1 || c1 > t).then_some(t),
+                // Not enough history yet: hedge on death, like the default.
+                None => dead1.then_some(c1),
+            },
+            HedgePolicy::Tied => Some(0),
+        };
+        let one = self.hedge_or_settle(group, p, base, now, qid, first, c1, dead1, launch);
+        // Record the served completion *after* this query's trigger was
+        // read. Both the loop and batch dispatch passes visit each
+        // partition's queries in query order, so every query observes an
+        // identical history — batch ≡ loop holds under PercentileTrigger.
+        if one.served {
+            self.shard_latency[pu].record(one.completion as f64);
+        }
+        one
+    }
+
+    /// Resolve one dispatched attempt against an optional hedge launch:
+    /// peek the retry replica, budget-check it at its **own** drawn cost,
+    /// then commit the dispatch and settle who serves, who is cancelled,
+    /// and what work was burned.
+    #[allow(clippy::too_many_arguments)]
+    fn hedge_or_settle(
+        &self,
+        group: &mut ReplicaGroup,
+        p: u32,
+        base: f64,
+        now: SimTime,
+        qid: u64,
+        first: usize,
+        c1: SimTime,
+        dead1: bool,
+        launch: Option<SimTime>,
+    ) -> OneDispatch {
+        let pu = p as usize;
+        let settle = |served: bool| {
+            if served {
+                OneDispatch::served_at(c1)
+            } else {
+                OneDispatch::not_served()
             }
-            other => {
-                // The retry (if any) was dispatched but also lost.
-                if other.is_some() {
-                    self.recorder.record(Event::Hedge {
-                        qid,
-                        now,
-                        partition: p,
-                        extra_us: svc as f64,
-                    });
+        };
+        let Some(h) = launch else { return settle(!dead1) };
+        let Some(second) = group.peek_excluding(first) else { return settle(!dead1) };
+        let c2 = self.drawn_cost(base, pu, second, qid);
+        // Budget the hedge at the retry replica's own drawn cost from its
+        // own launch offset. (Historically this check was `2 * svc <= d`,
+        // silently pricing the retry at the *first* replica's cost — under
+        // a straggler model the two genuinely diverge.)
+        if self.deadline.is_some_and(|d| h + c2 > d) {
+            return settle(!dead1);
+        }
+        let dispatched = group.dispatch_excluding(first);
+        debug_assert_eq!(dispatched, Some(second), "peek and dispatch agree on the candidate");
+        self.recorder.record(Event::Hedge { qid, now, partition: p, extra_us: c2 as f64 });
+        let dead2 = self.fails_during(pu, second, now + h, now + h + c2);
+        match (dead1, dead2) {
+            (false, false) => {
+                // Both copies survive: the faster answer serves, the
+                // loser is cancelled, and the work it burned before the
+                // cancellation is the hedging overhead.
+                let (t1, t2) = (c1, h + c2);
+                let hedge_work = if t2 < t1 { t2 } else { t1.saturating_sub(h) };
+                OneDispatch {
+                    served: true,
+                    hedges: 1,
+                    extra: 0,
+                    cancelled: 1,
+                    completion: t1.min(t2),
+                    hedge_work,
                 }
-                OneDispatch { served: false, hedges: u64::from(other.is_some()), extra: 0 }
             }
+            (true, false) => OneDispatch {
+                served: true,
+                hedges: 1,
+                extra: c2,
+                cancelled: 0,
+                completion: h + c2,
+                hedge_work: 0,
+            },
+            (false, true) => OneDispatch {
+                // The hedge died mid-flight; the primary answer stands.
+                served: true,
+                hedges: 1,
+                extra: 0,
+                cancelled: 0,
+                completion: c1,
+                hedge_work: c2,
+            },
+            (true, true) => OneDispatch {
+                served: false,
+                hedges: 1,
+                extra: 0,
+                cancelled: 0,
+                completion: 0,
+                hedge_work: c2,
+            },
         }
     }
 
@@ -628,7 +934,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
     fn evaluate_cold(&self, terms: &[TermId], k: usize, key: u64, now: SimTime) -> EngineResponse {
         let chosen = self.choose(terms);
         let plan = self.dispatch_partitions(&chosen, terms, now, key);
-        self.counters.hedged.fetch_add(plan.hedges, Ordering::Relaxed);
+        self.account_dispatch(&plan);
         if plan.served.is_empty() {
             // Whole backend (for this query) is down, and the cache
             // already missed: nothing to serve.
@@ -636,21 +942,71 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             self.record_outcome(key, now, ObsOutcome::Failed, None);
             return EngineResponse { hits: Vec::new(), served: Served::Failed, latency: None };
         }
-        let resp = self.broker.query_selected_at(terms, k, &plan.served, key, now);
-        self.resolve_evaluated(key, now, &plan, resp)
+        self.evaluate_plan(terms, k, key, now, &plan)
+    }
+
+    /// Evaluate a non-empty dispatch plan through the broker. The legacy
+    /// path (no latency model, no gather deadline) is the pre-suite code
+    /// bit-for-bit; the timed path feeds the engine-drawn per-partition
+    /// completions into a deadline-aware gather.
+    fn evaluate_plan(
+        &self,
+        terms: &[TermId],
+        k: usize,
+        key: u64,
+        now: SimTime,
+        plan: &DispatchPlan,
+    ) -> EngineResponse {
+        if self.timed() {
+            let timing =
+                GatherTiming { completions: &plan.completions, deadline: self.gather_deadline };
+            let (resp, answered) =
+                self.broker.query_selected_timed(terms, k, &plan.served, key, now, timing);
+            self.resolve_evaluated(key, now, plan, resp, Some(answered))
+        } else {
+            let resp = self.broker.query_selected_at(terms, k, &plan.served, key, now);
+            self.resolve_evaluated(key, now, plan, resp, None)
+        }
+    }
+
+    /// Fold one dispatch plan's hedging counters into the engine totals.
+    fn account_dispatch(&self, plan: &DispatchPlan) {
+        self.counters.hedged.fetch_add(plan.hedges, Ordering::Relaxed);
+        self.counters.cancelled.fetch_add(plan.cancelled, Ordering::Relaxed);
+        self.counters.hedge_work_us.fetch_add(plan.hedge_work, Ordering::Relaxed);
     }
 
     /// Shared tail of the cold path: turn a brokered response for `plan`
     /// into the engine response — cache fill, counters, outcome event.
+    /// `answered` is `Some` on the timed path (how many served partitions
+    /// merged before the gather deadline) and `None` on the legacy path.
     fn resolve_evaluated(
         &self,
         key: u64,
         now: SimTime,
         plan: &DispatchPlan,
         resp: BrokeredResponse,
+        answered: Option<usize>,
     ) -> EngineResponse {
+        if let Some(answered) = answered {
+            if answered < plan.served.len() {
+                // Partial coverage: report it exactly, and never cache a
+                // truncated result under the full answer's key.
+                self.counters.partial.fetch_add(1, Ordering::Relaxed);
+                self.record_outcome(key, now, ObsOutcome::Partial, Some(resp.latency));
+                return EngineResponse {
+                    hits: resp.hits,
+                    served: Served::Partial { partitions_answered: answered },
+                    latency: Some(resp.latency),
+                };
+            }
+        }
         self.cache.put(key, resp.hits.clone());
-        let latency = resp.latency + plan.hedge_extra;
+        // The legacy model charges hedge retries as additive latency; the
+        // timed gather already folded hedge-shortened completions in, so
+        // adding `hedge_extra` there would double-charge.
+        let latency =
+            if answered.is_some() { resp.latency } else { resp.latency + plan.hedge_extra };
         let served = if plan.missing == 0 {
             self.counters.full.fetch_add(1, Ordering::Relaxed);
             self.record_outcome(key, now, ObsOutcome::Full, Some(latency));
@@ -682,6 +1038,9 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             stale: self.counters.stale.load(Ordering::Relaxed),
             failed: self.counters.failed.load(Ordering::Relaxed),
             hedged: self.counters.hedged.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            partial: self.counters.partial.load(Ordering::Relaxed),
+            hedge_work_us: self.counters.hedge_work_us.load(Ordering::Relaxed),
         }
     }
 
@@ -956,7 +1315,10 @@ mod tests {
                 Served::Full => P as u64,
                 Served::Degraded { missing } => (P - missing) as u64,
                 Served::Failed => 0,
-                Served::CacheHit | Served::StaleFromCache | Served::Shed => {
+                Served::CacheHit
+                | Served::StaleFromCache
+                | Served::Shed
+                | Served::Partial { .. } => {
                     unreachable!("distinct cold queries on a single-site engine")
                 }
             };
@@ -968,6 +1330,200 @@ mod tests {
             dispatched, evaluated,
             "every partition counted as served must have had a successful dispatch"
         );
+    }
+
+    /// Regression for the hedge-budget bug: the deadline check used
+    /// `2 * svc <= d`, pricing the retry at the *first* replica's cost.
+    /// With a straggler model the replicas diverge, and the budget must
+    /// charge the retry replica's own drawn cost — in both directions.
+    #[test]
+    fn hedge_budget_charges_the_retry_replicas_own_cost() {
+        use crate::straggler::StragglerModel;
+        let (pi, schedule) = setup_mid_query_death();
+        let svc = {
+            let probe = DistributedEngine::new(&pi, LruCache::new(16), 2);
+            probe.broker().service_time(0, &[TermId(1)]).ceil() as SimTime
+        };
+        // Direction 1: first replica cheap (c1 = svc), retry replica 3×
+        // slower. Old budget 2·c1 = 2svc fits d = 3svc and would hedge;
+        // the honest budget c1 + c2 = 4svc does not, so the partition
+        // degrades with no retry dispatched.
+        let slow_retry = Arc::new(StragglerModel::fixed(vec![vec![1.0, 3.0], vec![1.0, 1.0]]));
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 2)
+            .with_faults(Arc::clone(&schedule))
+            .with_deadline(3 * svc)
+            .with_stragglers(slow_retry);
+        let r = e.query_full(&[TermId(1)], 10);
+        assert_eq!(r.served, Served::Degraded { missing: 1 });
+        assert_eq!(e.stats().hedged, 0, "over-budget retry must not be dispatched");
+        assert_eq!(e.dispatch_counts()[0], vec![1, 0], "retry replica untouched");
+        // Direction 2: first replica 2× slow, retry replica 2× fast. The
+        // old budget 2·c1 = 4svc exceeds d = 3svc and would refuse; the
+        // honest budget c1 + c2 = 2svc + ceil(svc/2) fits, so the hedge
+        // serves the partition.
+        let fast_retry = Arc::new(StragglerModel::fixed(vec![vec![2.0, 0.5], vec![1.0, 1.0]]));
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 2)
+            .with_faults(schedule)
+            .with_deadline(3 * svc)
+            .with_stragglers(fast_retry);
+        let r = e.query_full(&[TermId(1)], 10);
+        assert_eq!(r.served, Served::Full, "affordable retry covers the dead replica");
+        assert_eq!(e.stats().hedged, 1);
+        assert_eq!(e.dispatch_counts()[0], vec![1, 1]);
+    }
+
+    #[test]
+    fn explicit_on_death_policy_is_identical_to_the_default() {
+        let (pi, schedule) = setup_mid_query_death();
+        let default =
+            DistributedEngine::new(&pi, LruCache::new(16), 2).with_faults(Arc::clone(&schedule));
+        let explicit = DistributedEngine::new(&pi, LruCache::new(16), 2)
+            .with_faults(schedule)
+            .with_hedge_policy(HedgePolicy::OnDeath);
+        for q in 0..10u32 {
+            let terms = [TermId(q % 5)];
+            let a = default.query_full(&terms, 10);
+            let b = explicit.query_full(&terms, 10);
+            assert_eq!(a.hits, b.hits, "query {q}");
+            assert_eq!(a.served, b.served, "query {q}");
+            assert_eq!(a.latency, b.latency, "query {q}");
+        }
+        assert_eq!(default.stats(), explicit.stats());
+        assert_eq!(default.dispatch_counts(), explicit.dispatch_counts());
+    }
+
+    #[test]
+    fn never_policy_drops_dead_partition_without_hedge() {
+        let (pi, schedule) = setup_mid_query_death();
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 2)
+            .with_faults(schedule)
+            .with_hedge_policy(HedgePolicy::Never);
+        let (_, s) = e.query(&[TermId(1)], 10);
+        assert_eq!(s, Served::Degraded { missing: 1 });
+        assert_eq!(e.stats().hedged, 0);
+        assert_eq!(e.dispatch_counts()[0], vec![1, 0], "no retry dispatched");
+    }
+
+    #[test]
+    fn tied_requests_cancel_the_loser_and_cut_the_tail() {
+        use crate::straggler::StragglerModel;
+        let pi = {
+            let corpus: Corpus = (0..24u32).map(|d| vec![(TermId(d % 5), 2)]).collect();
+            let a = RoundRobinPartitioner.assign(&corpus, 2);
+            PartitionedIndex::build(&corpus, &a, 2)
+        };
+        // Replica 0 of partition 0 is 5× slow; its twin is nominal.
+        let model = Arc::new(StragglerModel::fixed(vec![vec![5.0, 1.0], vec![1.0, 1.0]]));
+        let tied = DistributedEngine::new(&pi, LruCache::new(16), 2)
+            .with_stragglers(Arc::clone(&model))
+            .with_hedge_policy(HedgePolicy::Tied);
+        let never = DistributedEngine::new(&pi, LruCache::new(16), 2)
+            .with_stragglers(model)
+            .with_hedge_policy(HedgePolicy::Never);
+        let t = tied.query_full(&[TermId(1)], 10);
+        let n = never.query_full(&[TermId(1)], 10);
+        assert_eq!(t.served, Served::Full);
+        assert_eq!(t.hits, n.hits, "policy changes latency, never results");
+        assert!(
+            t.latency.unwrap() < n.latency.unwrap(),
+            "tied {} must beat the straggler {}",
+            t.latency.unwrap(),
+            n.latency.unwrap()
+        );
+        let s = tied.stats();
+        assert_eq!(s.hedged, 2, "every partition launched its twin");
+        assert_eq!(s.cancelled, 2, "both losers cancelled");
+        assert!(s.hedge_work_us > 0, "cancelled work is accounted");
+        assert_eq!(never.stats().hedged, 0);
+    }
+
+    #[test]
+    fn fixed_delay_hedges_only_actual_stragglers() {
+        use crate::straggler::StragglerModel;
+        let pi = setup();
+        let svc = {
+            let probe = DistributedEngine::new(&pi, LruCache::new(16), 2);
+            probe.broker().service_time(0, &[TermId(1)]).ceil() as SimTime
+        };
+        // Only partition 0's first replica straggles (4×).
+        let model = Arc::new(StragglerModel::fixed(vec![
+            vec![4.0, 1.0],
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+        ]));
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 2)
+            .with_stragglers(model)
+            .with_hedge_policy(HedgePolicy::FixedDelay(2 * svc));
+        let r = e.query_full(&[TermId(1)], 10);
+        assert_eq!(r.served, Served::Full);
+        let s = e.stats();
+        assert_eq!(s.hedged, 1, "only the straggling partition hedges");
+        assert_eq!(s.cancelled, 1, "the slow original is cancelled");
+        assert_eq!(e.dispatch_counts()[0], vec![1, 1]);
+    }
+
+    #[test]
+    fn percentile_trigger_engages_after_live_history_accumulates() {
+        use crate::straggler::StragglerModel;
+        // One partition, two replicas: replica 0 is 8× slow, so the
+        // round-robin alternates slow-first and fast-first queries.
+        let corpus: Corpus = (0..24u32).map(|d| vec![(TermId(d % 12), 2)]).collect();
+        let a = RoundRobinPartitioner.assign(&corpus, 1);
+        let pi = PartitionedIndex::build(&corpus, &a, 1);
+        let model = Arc::new(StragglerModel::fixed(vec![vec![8.0, 1.0]]));
+        let e = DistributedEngine::new(&pi, LruCache::new(64), 2)
+            .with_stragglers(model)
+            .with_hedge_policy(HedgePolicy::PercentileTrigger(25.0));
+        // Warmup: below MIN_TRIGGER_SAMPLES the policy falls back to
+        // hedge-on-death, and nothing dies here.
+        for q in 0..MIN_TRIGGER_SAMPLES as u32 {
+            e.query(&[TermId(q % 12), TermId(100 + q)], 5);
+        }
+        assert_eq!(e.stats().hedged, 0, "no trigger before history accumulates");
+        // With history in place, the p25 trigger sits near the fast
+        // replica's completion: slow-first queries now hedge onto the
+        // fast twin and cancel the straggler.
+        for q in 0..10u32 {
+            e.query(&[TermId(q % 12), TermId(200 + q)], 5);
+        }
+        let s = e.stats();
+        assert!(s.hedged >= 5, "slow-first queries hedge: {s:?}");
+        assert_eq!(s.cancelled, s.hedged, "no deaths: every hedge cancels a loser");
+    }
+
+    #[test]
+    fn gather_deadline_returns_partial_with_exact_coverage() {
+        use crate::straggler::StragglerModel;
+        let pi = setup();
+        // Partitions 1 and 3 straggle 50×; the deadline admits only the
+        // nominal ones.
+        let model =
+            Arc::new(StragglerModel::fixed(vec![vec![1.0], vec![50.0], vec![1.0], vec![50.0]]));
+        let deadline = 2 * {
+            let probe = DistributedEngine::new(&pi, LruCache::new(16), 1);
+            (0..4)
+                .map(|p| probe.broker().service_time(p, &[TermId(2)]).ceil() as SimTime)
+                .max()
+                .unwrap()
+        };
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 1)
+            .with_stragglers(model)
+            .with_gather_deadline(deadline);
+        let r = e.query_full(&[TermId(2)], 24);
+        assert_eq!(r.served, Served::Partial { partitions_answered: 2 });
+        assert!(r.latency.unwrap() >= deadline, "partial responses release at the deadline");
+        // Round-robin: doc % 4 names the partition; stragglers' docs are
+        // absent from the merge.
+        assert!(r.hits.iter().all(|h| h.doc % 4 == 0 || h.doc % 4 == 2), "{:?}", r.hits);
+        assert!(!r.hits.is_empty());
+        assert_eq!(e.stats().partial, 1);
+        // Partial results are never cached: the same query evaluates
+        // again rather than serving the truncated answer as a hit.
+        let again = e.query_full(&[TermId(2)], 24);
+        assert_eq!(again.served, Served::Partial { partitions_answered: 2 });
+        assert_eq!(e.stats().partial, 2);
+        assert_eq!(e.stats().cache_hits, 0);
     }
 
     /// An LRU whose `get` panics on one key: a client thread dies while

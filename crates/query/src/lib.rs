@@ -42,6 +42,10 @@
 //!   simulated time advances, with hedged retries on mid-query deaths;
 //! * [`scatter`] — a fixed worker pool with deterministic in-order
 //!   gather, the substrate of true parallel scatter-gather;
+//! * [`straggler`] — heavy-tailed per-(partition, replica, query)
+//!   service-time inflation (lognormal body, bounded-Pareto tail) with the
+//!   same label-forked determinism discipline as [`faults`], feeding the
+//!   engine's tail-tolerance policies ([`engine::HedgePolicy`]);
 //! * [`engine`] — the assembled distributed engine: cache in front of a
 //!   selector in front of replicated partitions, with degradation
 //!   accounting. The broker and engine are `Send + Sync` with `&self`
@@ -61,11 +65,14 @@ pub mod replica;
 pub mod routing;
 pub mod scatter;
 pub mod site;
+pub mod straggler;
 
 pub use broker::DocBroker;
 pub use cache::{LfuCache, LruCache, ResultCache, SdcCache, ShardedCache};
 pub use engine::DistributedEngine;
+pub use engine::HedgePolicy;
 pub use faults::FaultSchedule;
 pub use multisite::{MultiSiteConfig, MultiSiteEngine, MultiSiteStats, SiteEngineSpec};
 pub use pipeline::PipelinedTermEngine;
 pub use scatter::ScatterPool;
+pub use straggler::{StragglerModel, TailParams};

@@ -417,7 +417,10 @@ impl<C: ResultCache, R: Recorder + Clone> MultiSiteEngine<C, R> {
             let bucket =
                 if remote { &self.counters.served_remote } else { &self.counters.served_local };
             bucket.fetch_add(1, Ordering::Relaxed);
-            if matches!(r.served, Served::Degraded { .. } | Served::StaleFromCache) {
+            if matches!(
+                r.served,
+                Served::Degraded { .. } | Served::StaleFromCache | Served::Partial { .. }
+            ) {
                 self.counters.degraded.fetch_add(1, Ordering::Relaxed);
             }
             self.counters.wan_hops.fetch_add(u64::from(hops), Ordering::Relaxed);
@@ -428,7 +431,10 @@ impl<C: ResultCache, R: Recorder + Clone> MultiSiteEngine<C, R> {
                 outcome: if remote { SiteOutcome::ServedRemote } else { SiteOutcome::ServedLocal },
                 site: Some(s as u32),
                 hops,
-                degraded: matches!(r.served, Served::Degraded { .. } | Served::StaleFromCache),
+                degraded: matches!(
+                    r.served,
+                    Served::Degraded { .. } | Served::StaleFromCache | Served::Partial { .. }
+                ),
                 added_latency_us: spent + wan,
                 latency_us: Some(spent + total),
             });

@@ -87,6 +87,16 @@ impl ReplicaGroup {
         None
     }
 
+    /// The replica [`Self::dispatch_excluding`] *would* pick, without
+    /// advancing the cursor or charging a dispatch. The hedging policies
+    /// need the candidate's identity first — its drawn service cost decides
+    /// whether the hedge fits the deadline — and only then commit the
+    /// dispatch, so peek and dispatch must agree on the choice.
+    pub fn peek_excluding(&self, avoid: usize) -> Option<usize> {
+        let n = self.alive.len();
+        (0..n).map(|probe| (self.next + probe) % n).find(|&c| c != avoid && self.alive[c])
+    }
+
     /// Queries dispatched per replica.
     pub fn dispatched(&self) -> &[u64] {
         &self.dispatched
@@ -178,8 +188,18 @@ impl PrimaryBackupStore {
         match self.replicas.get(replica) {
             Some(Some(_)) => true,
             Some(None) => {
+                // After a total outage the primary slot is still `None`
+                // (the crash-time fail-over found nobody to promote), so
+                // the "snapshot" is necessarily empty — the acknowledged
+                // state is gone either way. What must not persist is a
+                // primary pointing at a dead slot: re-point it eagerly so
+                // the recovered replica serves immediately instead of
+                // relying on the next put/get to lazily fail over.
                 let snapshot = self.replicas[self.primary].clone().unwrap_or_default();
                 self.replicas[replica] = Some(snapshot);
+                if self.replicas[self.primary].is_none() {
+                    let _ = self.fail_over();
+                }
                 true
             }
             None => false,
@@ -305,6 +325,42 @@ mod tests {
         s.crash(0); // now backup must have everything
         assert_eq!(s.get(5), Some(55));
         assert_eq!(s.get(6), Some(66));
+    }
+
+    #[test]
+    fn recover_after_total_outage_repoints_the_primary() {
+        let mut s = PrimaryBackupStore::new(2);
+        s.put(1, 10);
+        s.crash(0);
+        s.crash(1);
+        s.crash(2); // total outage: fail_over found nobody, primary stale
+        assert_eq!(s.put(1, 11), None);
+        assert!(s.recover(0));
+        // The recovered replica must be the primary *now*, not after the
+        // next put/get happens to trigger a lazy fail-over.
+        assert_eq!(s.primary(), 0, "recovery re-points the primary eagerly");
+        // Pre-crash state was lost with the last replica; service resumes.
+        assert_eq!(s.get(1), None);
+        let ack = s.put(2, 20).expect("recovered replica accepts writes");
+        assert!(ack.seq > 0);
+        assert_eq!(s.get(2), Some(20));
+    }
+
+    #[test]
+    fn peek_excluding_matches_dispatch_excluding() {
+        let mut g = ReplicaGroup::new(3);
+        g.set_alive(1, false);
+        for avoid in [0usize, 1, 2] {
+            for _ in 0..7 {
+                let peeked = g.peek_excluding(avoid);
+                assert_eq!(g.dispatch_excluding(avoid), peeked);
+                g.dispatch(); // shuffle the cursor between probes
+            }
+        }
+        // Peek charges nothing: a fresh group shows zero dispatches.
+        let g = ReplicaGroup::new(2);
+        assert_eq!(g.peek_excluding(0), Some(1));
+        assert_eq!(g.dispatched(), &[0, 0]);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Heavy-tailed per-replica service-time model — the straggler generator.
+//!
+//! The paper observes that in scatter-gather query processing "the slowest
+//! server determines the response time" (Section 5), yet the df-based
+//! [`crate::broker::DocBroker::service_time`] is deterministic per shard:
+//! every replica of a partition costs exactly the same, so the simulated
+//! system cannot exhibit the tail behavior that dominates real capacity
+//! planning. This module layers a multiplicative latency factor on top of
+//! the df-based base cost, drawn per (partition, replica, query) from a
+//! lognormal body with a bounded-Pareto tail mixed in — the standard
+//! empirical shape for service-time stragglers (GC pauses, queueing,
+//! background daemons).
+//!
+//! Determinism discipline mirrors [`crate::faults::FaultSchedule`]: draws
+//! come from a label-forked [`SimRng`], forked once by the packed
+//! `(partition, replica)` label and once by the query id. Every draw is
+//! therefore stateless and order-independent — the same (p, r, qid) triple
+//! yields the same factor no matter how many queries ran before it, which
+//! is what keeps the parallel ≡ sequential and batch ≡ loop equivalence
+//! invariants provable under hedging.
+
+use dwr_sim::dist::{BoundedPareto, LogNormal};
+use dwr_sim::{SimRng, SimTime};
+
+/// Parameters of the drawn straggler distribution.
+///
+/// The multiplicative factor is `body × tail?`, where `body` is lognormal
+/// with mean 1 and coefficient of variation [`TailParams::cv`], and with
+/// probability [`TailParams::tail_prob`] an independent bounded-Pareto
+/// multiplier on `[1, tail_cap]` with exponent [`TailParams::tail_alpha`]
+/// is applied on top.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailParams {
+    /// Coefficient of variation of the lognormal body (mean is fixed at 1).
+    pub cv: f64,
+    /// Probability that a draw lands in the heavy tail.
+    pub tail_prob: f64,
+    /// Pareto exponent of the tail (smaller ⇒ heavier).
+    pub tail_alpha: f64,
+    /// Upper bound of the tail multiplier (physically bounded slowness).
+    pub tail_cap: f64,
+}
+
+impl TailParams {
+    /// A mild tail: occasional 2–10× stragglers, thin body.
+    pub fn mild() -> Self {
+        TailParams { cv: 0.25, tail_prob: 0.01, tail_alpha: 1.8, tail_cap: 10.0 }
+    }
+
+    /// A heavy tail: the regime where hedging policies earn their keep.
+    pub fn heavy() -> Self {
+        TailParams { cv: 0.5, tail_prob: 0.05, tail_alpha: 1.3, tail_cap: 50.0 }
+    }
+
+    /// Load-scaled parameters: at utilization `rho` in `[0, 1]`, both the
+    /// body variance and the tail mass grow with load, the way queueing
+    /// delay inflates service-time variance on a busy server.
+    pub fn at_load(rho: f64) -> Self {
+        let rho = rho.clamp(0.0, 1.0);
+        TailParams {
+            cv: 0.3 + 0.7 * rho,
+            tail_prob: 0.02 + 0.08 * rho,
+            tail_alpha: 1.5 - 0.4 * rho,
+            tail_cap: 10.0 + 90.0 * rho,
+        }
+    }
+}
+
+/// Per-(partition, replica, query) service-time inflation model.
+#[derive(Debug, Clone)]
+pub enum StragglerModel {
+    /// Deterministic label-forked draws from a lognormal/Pareto mixture.
+    Drawn {
+        /// Root seed; forked by `(partition, replica)` then by query id.
+        seed: u64,
+        /// Lognormal body (mean 1, cv from [`TailParams`]).
+        body: LogNormal,
+        /// Probability of applying the tail multiplier.
+        tail_prob: f64,
+        /// Bounded-Pareto tail multiplier on `[1, tail_cap]`.
+        tail: BoundedPareto,
+    },
+    /// Fixed per-(partition, replica) factors — for tests that need exact
+    /// control over which replica is slow. Out-of-range lookups are 1.0.
+    Fixed {
+        /// `factors[partition][replica]`, multiplicative.
+        factors: Vec<Vec<f64>>,
+    },
+}
+
+impl StragglerModel {
+    /// Drawn model from tail parameters, seeded like a fault schedule.
+    pub fn drawn(seed: u64, params: TailParams) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&params.tail_prob),
+            "tail_prob must be a probability, got {}",
+            params.tail_prob
+        );
+        StragglerModel::Drawn {
+            seed,
+            body: LogNormal::from_mean_cv(1.0, params.cv),
+            tail_prob: params.tail_prob,
+            tail: BoundedPareto::new(1.0, params.tail_cap.max(1.0 + 1e-9), params.tail_alpha),
+        }
+    }
+
+    /// Fixed per-(partition, replica) factors.
+    pub fn fixed(factors: Vec<Vec<f64>>) -> Self {
+        for row in &factors {
+            for &f in row {
+                assert!(f.is_finite() && f > 0.0, "straggler factor must be positive, got {f}");
+            }
+        }
+        StragglerModel::Fixed { factors }
+    }
+
+    /// The multiplicative slowdown for query `qid` on `(partition, replica)`.
+    ///
+    /// Stateless: forks a fresh RNG per call with the same packed label
+    /// scheme as `FaultSchedule::generate` (`(p << 24) | r`), then by `qid`,
+    /// so the value depends only on the triple — never on draw order.
+    pub fn factor(&self, partition: usize, replica: usize, qid: u64) -> f64 {
+        match self {
+            StragglerModel::Drawn { seed, body, tail_prob, tail } => {
+                let label = ((partition as u64) << 24) | replica as u64;
+                let mut rng = SimRng::new(*seed).fork(label).fork(qid);
+                let mut f = body.sample(&mut rng);
+                if rng.f64() < *tail_prob {
+                    f *= tail.sample(&mut rng);
+                }
+                f
+            }
+            StragglerModel::Fixed { factors } => {
+                factors.get(partition).and_then(|row| row.get(replica)).copied().unwrap_or(1.0)
+            }
+        }
+    }
+
+    /// The drawn service cost: `base` microseconds inflated by
+    /// [`Self::factor`], rounded up to a whole simulated microsecond and
+    /// never below 1 (a served query always takes time).
+    pub fn cost(&self, base: f64, partition: usize, replica: usize, qid: u64) -> SimTime {
+        let inflated = (base * self.factor(partition, replica, qid)).ceil();
+        (inflated as SimTime).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_order_independent() {
+        let m = StragglerModel::drawn(42, TailParams::heavy());
+        let a = m.factor(3, 1, 777);
+        // Interleave unrelated draws; the triple's value must not move.
+        for q in 0..50 {
+            m.factor(0, 0, q);
+            m.factor(7, 2, q * 13);
+        }
+        assert_eq!(m.factor(3, 1, 777).to_bits(), a.to_bits());
+    }
+
+    #[test]
+    fn replicas_of_one_partition_genuinely_diverge() {
+        let m = StragglerModel::drawn(7, TailParams::heavy());
+        let diverging = (0..200u64).filter(|&q| m.factor(0, 0, q) != m.factor(0, 1, q)).count();
+        assert!(diverging > 190, "replica draws should be independent, {diverging}/200 differ");
+    }
+
+    #[test]
+    fn queries_diverge_on_one_replica() {
+        let m = StragglerModel::drawn(7, TailParams::mild());
+        let diverging = (1..200u64).filter(|&q| m.factor(2, 0, q) != m.factor(2, 0, 0)).count();
+        assert!(diverging > 190, "per-query draws should vary, {diverging}/199 differ");
+    }
+
+    #[test]
+    fn body_mean_is_near_one_and_tail_is_heavy() {
+        let mild = StragglerModel::drawn(11, TailParams::mild());
+        let heavy = StragglerModel::drawn(11, TailParams::heavy());
+        let n = 20_000u64;
+        let mean: f64 = (0..n).map(|q| mild.factor(0, 0, q)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mild mean ≈ 1, got {mean}");
+        let p999 = |m: &StragglerModel| {
+            let mut v: Vec<f64> = (0..n).map(|q| m.factor(0, 0, q)).collect();
+            v.sort_unstable_by(f64::total_cmp);
+            v[(n as usize * 999) / 1000]
+        };
+        let (mild_tail, heavy_tail) = (p999(&mild), p999(&heavy));
+        assert!(
+            heavy_tail > 2.0 * mild_tail,
+            "heavy p999 {heavy_tail} should dwarf mild p999 {mild_tail}"
+        );
+    }
+
+    #[test]
+    fn fixed_model_looks_up_and_defaults_to_unity() {
+        let m = StragglerModel::fixed(vec![vec![1.0, 3.0], vec![0.5]]);
+        assert_eq!(m.factor(0, 1, 99), 3.0);
+        assert_eq!(m.factor(1, 0, 0), 0.5);
+        assert_eq!(m.factor(1, 7, 0), 1.0, "out-of-range replica is neutral");
+        assert_eq!(m.factor(9, 0, 0), 1.0, "out-of-range partition is neutral");
+    }
+
+    #[test]
+    fn cost_rounds_up_and_never_hits_zero() {
+        let m = StragglerModel::fixed(vec![vec![0.001]]);
+        assert_eq!(m.cost(100.0, 0, 0, 1), 1, "floor at one microsecond");
+        let m = StragglerModel::fixed(vec![vec![2.5]]);
+        assert_eq!(m.cost(100.1, 0, 0, 1), 251, "ceil of 250.25");
+    }
+
+    #[test]
+    fn load_scaled_params_grow_with_rho() {
+        let lo = TailParams::at_load(0.2);
+        let hi = TailParams::at_load(0.95);
+        assert!(hi.cv > lo.cv && hi.tail_prob > lo.tail_prob);
+        assert!(hi.tail_alpha < lo.tail_alpha, "heavier tail under load");
+        assert!(hi.tail_cap > lo.tail_cap);
+    }
+}

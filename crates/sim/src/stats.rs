@@ -127,7 +127,9 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.data.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            // Total order: a stray NaN (e.g. 0/0 from an empty-window
+            // rate) sorts to the end instead of panicking mid-report.
+            self.data.sort_unstable_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -458,7 +460,7 @@ impl Imbalance {
         let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
         // Gini via the sorted formula.
         let mut sorted = loads.to_vec();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN load"));
+        sorted.sort_unstable_by(f64::total_cmp);
         let gini = if sum > 0.0 {
             let weighted: f64 = sorted
                 .iter()
@@ -525,6 +527,21 @@ mod tests {
         s.push(42.0);
         assert_eq!(s.median(), 42.0);
         assert_eq!(s.percentile(99.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_survives_nan_samples() {
+        // Regression: the sort used `partial_cmp().expect("NaN sample")`,
+        // so one NaN (e.g. a 0/0 rate) panicked the whole report. With
+        // `total_cmp`, NaNs sort to the end and finite percentiles stay
+        // meaningful.
+        let mut s = Samples::new();
+        for x in [3.0, f64::NAN, 1.0, 2.0] {
+            s.push(x);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert!((s.median() - 2.5).abs() < 1e-9, "finite samples interpolate normally");
+        assert!(s.max().is_nan(), "the NaN is visible at the top, not hidden");
     }
 
     #[test]

@@ -76,6 +76,7 @@ fn single_thread_chaos(
                 assert!(missing >= 1 && missing < partitions.max(2), "missing={missing}");
             }
             Served::Shed => unreachable!("a single-site engine never sheds"),
+            Served::Partial { .. } => unreachable!("no gather deadline configured"),
             Served::CacheHit | Served::Full | Served::StaleFromCache => {}
         }
     }

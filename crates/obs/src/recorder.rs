@@ -233,6 +233,30 @@ pub enum Event {
         /// Sim-clock instant.
         now: SimTime,
     },
+    /// An online repartition split committed: the parent partition closed
+    /// and its children became active in a new epoch. Carries no query
+    /// key — splits are index-tier events, like the crawl family.
+    RepartSplit {
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Partition that was subdivided (now closed).
+        parent: u32,
+        /// Children created by the split.
+        children: u32,
+        /// Live epoch after the publish.
+        epoch: u64,
+    },
+    /// An online repartition split aborted before publish (a crash-
+    /// before-publish fate, or no live replica to build the children):
+    /// the parent epoch stayed live, nothing changed for readers.
+    RepartAbort {
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Partition whose split was abandoned.
+        parent: u32,
+        /// Epoch that stayed live.
+        epoch: u64,
+    },
 }
 
 /// An observability sink for serving-path [`Event`]s.
@@ -296,30 +320,61 @@ pub struct ObsConfig {
     /// Register crawl-tier instruments (`crawl.*`). Off for serving-only
     /// stacks so their snapshots are unperturbed.
     pub crawl: bool,
+    /// Register online-repartition instruments (`repart.*`). Off for
+    /// static-layout stacks so their snapshots are unperturbed.
+    pub repart: bool,
 }
 
 impl ObsConfig {
     /// Config for one single-site engine with `partitions` shards.
     pub fn single_site(partitions: usize) -> Self {
-        ObsConfig { partitions, sites: 0, span_sample: 997, span_capacity: 64, crawl: false }
+        ObsConfig {
+            partitions,
+            sites: 0,
+            span_sample: 997,
+            span_capacity: 64,
+            crawl: false,
+            repart: false,
+        }
     }
 
     /// Config for a site tier: `sites` engines of `partitions` shards.
     pub fn multi_site(partitions: usize, sites: usize) -> Self {
         assert!(sites > 0);
-        ObsConfig { partitions, sites, span_sample: 997, span_capacity: 64, crawl: false }
+        ObsConfig {
+            partitions,
+            sites,
+            span_sample: 997,
+            span_capacity: 64,
+            crawl: false,
+            repart: false,
+        }
     }
 
     /// Config for a crawl tier: no serving instruments beyond the
     /// always-present engine set, plus the `crawl.*` fault counters.
     /// Crawl events carry no query key, so span tracing is disabled.
     pub fn crawl_tier() -> Self {
-        ObsConfig { partitions: 0, sites: 0, span_sample: 0, span_capacity: 0, crawl: true }
+        ObsConfig {
+            partitions: 0,
+            sites: 0,
+            span_sample: 0,
+            span_capacity: 0,
+            crawl: true,
+            repart: false,
+        }
     }
 
     /// Override the span sampling rate (1 = every query, 0 = none).
     pub fn sample(mut self, every: u64) -> Self {
         self.span_sample = every;
+        self
+    }
+
+    /// Register the `repart.*` instruments (size `partitions` to the
+    /// live index's *capacity* so post-split shard ids stay in range).
+    pub fn with_repart(mut self) -> Self {
+        self.repart = true;
         self
     }
 }
@@ -362,6 +417,19 @@ struct CrawlInstruments {
     refetches: Arc<Counter>,
 }
 
+/// Online-repartition instruments, present only when
+/// [`ObsConfig::repart`] is set. Counter names mirror the
+/// `RepartStats` fields so offline stats and live instruments can be
+/// cross-checked exactly (`exp_repart` pins this).
+#[derive(Debug)]
+struct RepartInstruments {
+    splits: Arc<Counter>,
+    aborts: Arc<Counter>,
+    children: Arc<Counter>,
+    /// Live epoch as a gauge (set, not added).
+    epoch: Arc<Gauge>,
+}
+
 /// The live recorder: lock-free instruments in a [`Registry`] plus a
 /// sampled [`SpanRecorder`]. Share one per serving stack behind an
 /// `Arc` (a site tier's engines must all hold the same instance so the
@@ -399,6 +467,7 @@ pub struct ObsRecorder {
     shard_queries: Vec<Arc<Counter>>,
     site: Option<SiteInstruments>,
     crawl: Option<CrawlInstruments>,
+    repart: Option<RepartInstruments>,
 }
 
 impl ObsRecorder {
@@ -439,6 +508,12 @@ impl ObsRecorder {
             handoff_urls: registry.counter("crawl.handoff_urls"),
             refetches: registry.counter("crawl.refetches"),
         });
+        let repart = cfg.repart.then(|| RepartInstruments {
+            splits: registry.counter("repart.splits"),
+            aborts: registry.counter("repart.aborts"),
+            children: registry.counter("repart.children"),
+            epoch: registry.gauge("repart.epoch"),
+        });
         ObsRecorder {
             spans: SpanRecorder::new(cfg.span_sample, cfg.span_capacity),
             multi_site: site.is_some(),
@@ -465,6 +540,7 @@ impl ObsRecorder {
             shard_queries,
             site,
             crawl,
+            repart,
             registry,
         }
     }
@@ -661,6 +737,19 @@ impl Recorder for ObsRecorder {
                     c.refetches.inc();
                 }
             }
+            // Repart events carry no query key either: counters only.
+            Event::RepartSplit { now: _, parent: _, children, epoch } => {
+                if let Some(r) = &self.repart {
+                    r.splits.inc();
+                    r.children.add(u64::from(children));
+                    r.epoch.set(epoch as f64);
+                }
+            }
+            Event::RepartAbort { .. } => {
+                if let Some(r) = &self.repart {
+                    r.aborts.inc();
+                }
+            }
         }
     }
 }
@@ -768,6 +857,25 @@ mod tests {
         let serving = ObsRecorder::new(ObsConfig::single_site(1));
         serving.record(Event::CrawlCrash { agent: 0, now: 0, lost_inflight: 9 });
         assert!(serving.snapshot().counter("crawl.crashes").is_none());
+    }
+
+    #[test]
+    fn repart_events_land_in_repart_instruments_only_when_enabled() {
+        let rec = ObsRecorder::new(ObsConfig::single_site(4).with_repart());
+        rec.record(Event::RepartSplit { now: 5, parent: 0, children: 2, epoch: 1 });
+        rec.record(Event::RepartAbort { now: 9, parent: 1, epoch: 1 });
+        rec.record(Event::RepartSplit { now: 12, parent: 1, children: 2, epoch: 2 });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("repart.splits"), Some(2));
+        assert_eq!(snap.counter("repart.aborts"), Some(1));
+        assert_eq!(snap.counter("repart.children"), Some(4));
+        assert_eq!(snap.gauge("repart.epoch"), Some(2.0));
+        assert!(rec.spans().is_empty(), "repart events never open spans");
+
+        // A static-layout recorder ignores repart events entirely.
+        let fixed = ObsRecorder::new(ObsConfig::single_site(4));
+        fixed.record(Event::RepartSplit { now: 0, parent: 0, children: 2, epoch: 1 });
+        assert!(fixed.snapshot().counter("repart.splits").is_none());
     }
 
     #[test]

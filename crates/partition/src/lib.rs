@@ -23,17 +23,25 @@
 //! * [`stats`] — the two-round global-statistics broker protocol
 //!   (Section 4, external factors);
 //! * [`quality`] — partition quality metrics: balance, recall@partitions,
-//!   never-recalled fraction.
+//!   never-recalled fraction;
+//! * [`repart`] — online repartitioning: the epoch-stamped
+//!   [`repart::PartitionMap`], crash-safe [`repart::RepartIndex`] splits
+//!   published by one atomic swap (pippin discipline: subdivide, never
+//!   mutate), corpus-wide split-invariant [`repart::CorpusStats`], and
+//!   label-forked [`repart::SplitSchedule`]s for deterministic split
+//!   storms under live traffic.
 
 pub mod build;
 pub mod doc;
 pub mod parted;
 pub mod quality;
+pub mod repart;
 pub mod select;
 pub mod stats;
 pub mod term;
 
 pub use doc::DocPartitioner;
 pub use parted::{corpus_from_web, Corpus, PartitionedIndex};
+pub use repart::{CorpusStats, RepartIndex, SplitFate, SplitSchedule};
 pub use select::CollectionSelector;
 pub use term::TermPartitioner;

@@ -15,10 +15,12 @@
 //! `k + 2` reference-count bumps, never a postings copy. Everything is
 //! immutable after `build`, hence `Send + Sync` for free.
 
+use crate::repart::{PartStatus, PartitionMap, SplitError, SPLIT_FANOUT};
 use dwr_text::index::{build_index, InvertedIndex};
 use dwr_text::{DocId, TermId};
 use dwr_webgraph::content::ContentModel;
 use dwr_webgraph::SyntheticWeb;
+use std::fmt;
 use std::sync::Arc;
 
 /// A corpus: per-document sorted `(term, tf)` vectors, indexed by global
@@ -64,26 +66,97 @@ impl IndexShard {
     }
 }
 
-/// A document-partitioned index: `Arc`-owned shards plus shared id maps.
+/// Why [`PartitionedIndex::try_build`] refused its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// `assignment.len() != corpus.len()`.
+    ArityMismatch {
+        /// Documents in the corpus.
+        docs: usize,
+        /// Entries in the assignment vector.
+        assignments: usize,
+    },
+    /// `k == 0`: a zero-partition index cannot hold any document and
+    /// breaks downstream per-partition accounting.
+    ZeroPartitions,
+    /// A document was assigned to a partition `>= k`.
+    PartOutOfRange {
+        /// The offending document.
+        doc: usize,
+        /// Its assigned partition.
+        part: u32,
+        /// The partition count.
+        k: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ArityMismatch { docs, assignments } => {
+                write!(f, "assignment arity mismatch: {docs} docs, {assignments} assignments")
+            }
+            BuildError::ZeroPartitions => write!(f, "cannot build a zero-partition index"),
+            BuildError::PartOutOfRange { doc, part, k } => {
+                write!(f, "partition id out of range: doc {doc} assigned to {part} with k={k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A document-partitioned index: `Arc`-owned shards plus shared id maps
+/// and the epoch-stamped [`PartitionMap`] describing which shard slots
+/// are active.
+///
+/// Fresh builds are epoch 0 with every partition active;
+/// [`Self::with_split`] derives the next epoch. Closed slots keep their
+/// shards (stale readers may still hold them) but are excluded from
+/// [`Self::active_parts`], which is the set brokers scatter over.
 #[derive(Debug, Clone)]
 pub struct PartitionedIndex {
     shards: Vec<Arc<IndexShard>>,
-    /// `assignment[global_doc]` = partition.
+    /// `assignment[global_doc]` = partition (always an *active* one).
     assignment: Arc<[u32]>,
     /// `local_of[global_doc]` = doc id within its partition.
     local_of: Arc<[DocId]>,
+    /// Epoch-stamped lifecycle metadata, one entry per shard slot.
+    map: Arc<PartitionMap>,
 }
 
 impl PartitionedIndex {
     /// Build `k` partition indexes from a corpus and an assignment vector.
     ///
     /// # Panics
-    /// Panics if `assignment.len() != corpus.len()` or any partition id is
-    /// `>= k`.
+    /// Panics if `assignment.len() != corpus.len()`, `k == 0`, or any
+    /// partition id is `>= k`. Use [`Self::try_build`] for a
+    /// non-panicking variant.
     pub fn build(corpus: &Corpus, assignment: &[u32], k: usize) -> Self {
-        assert_eq!(corpus.len(), assignment.len(), "assignment arity mismatch");
-        assert!(k > 0);
-        assert!(assignment.iter().all(|&p| (p as usize) < k), "partition id out of range");
+        match Self::try_build(corpus, assignment, k) {
+            Ok(pi) => pi,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`Self::build`], returning degenerate inputs as a
+    /// [`BuildError`] instead of panicking. `k` larger than the corpus
+    /// is fine (trailing partitions are empty); an empty corpus with
+    /// `k >= 1` is fine (every partition is empty).
+    pub fn try_build(corpus: &Corpus, assignment: &[u32], k: usize) -> Result<Self, BuildError> {
+        if corpus.len() != assignment.len() {
+            return Err(BuildError::ArityMismatch {
+                docs: corpus.len(),
+                assignments: assignment.len(),
+            });
+        }
+        if k == 0 {
+            return Err(BuildError::ZeroPartitions);
+        }
+        if let Some((doc, &part)) = assignment.iter().enumerate().find(|&(_, &p)| (p as usize) >= k)
+        {
+            return Err(BuildError::PartOutOfRange { doc, part, k });
+        }
         let mut global_of: Vec<Vec<u32>> = vec![Vec::new(); k];
         let mut local_of = vec![DocId(0); corpus.len()];
         for (doc, &p) in assignment.iter().enumerate() {
@@ -97,7 +170,65 @@ impl PartitionedIndex {
                 Arc::new(IndexShard { index: build_index(&sub), global_of: globals })
             })
             .collect();
-        PartitionedIndex { shards, assignment: assignment.into(), local_of: local_of.into() }
+        let sizes: Vec<usize> = shards.iter().map(|s| s.num_docs()).collect();
+        Ok(PartitionedIndex {
+            shards,
+            assignment: assignment.into(),
+            local_of: local_of.into(),
+            map: Arc::new(PartitionMap::initial(&sizes)),
+        })
+    }
+
+    /// Derive the next-epoch index: `parent` closed, its documents
+    /// subdivided into [`SPLIT_FANOUT`] fresh child shards appended at
+    /// the end. `self` is untouched (pippin rule: subdivide, never
+    /// mutate) — stale readers keep a consistent epoch.
+    ///
+    /// The parent's documents interleave round-robin over the children
+    /// in local order, so each child inherits the parent's topical mix
+    /// and sizes differ by at most one document.
+    ///
+    /// `corpus` must be the corpus this index was built from.
+    pub fn with_split(&self, corpus: &Corpus, parent: u32) -> Result<Self, SplitError> {
+        assert_eq!(corpus.len(), self.num_docs(), "corpus arity mismatch");
+        let pu = parent as usize;
+        if pu >= self.shards.len() {
+            return Err(SplitError::OutOfRange(parent));
+        }
+        if !self.map.is_active(parent) {
+            return Err(SplitError::NotActive(parent));
+        }
+        let parent_shard = &self.shards[pu];
+        let n = parent_shard.num_docs();
+        if n < SPLIT_FANOUT {
+            return Err(SplitError::TooSmall { part: parent, docs: n });
+        }
+        let base = self.shards.len() as u32;
+        let mut child_globals: Vec<Vec<u32>> =
+            (0..SPLIT_FANOUT).map(|_| Vec::with_capacity(n / SPLIT_FANOUT + 1)).collect();
+        for local in 0..n {
+            child_globals[local % SPLIT_FANOUT].push(parent_shard.to_global(DocId(local as u32)));
+        }
+        let mut assignment: Vec<u32> = self.assignment.to_vec();
+        let mut local_of: Vec<DocId> = self.local_of.to_vec();
+        let mut shards = self.shards.clone();
+        let mut child_sizes = Vec::with_capacity(SPLIT_FANOUT);
+        for (c, globals) in child_globals.into_iter().enumerate() {
+            let id = base + c as u32;
+            for (local, &g) in globals.iter().enumerate() {
+                assignment[g as usize] = id;
+                local_of[g as usize] = DocId(local as u32);
+            }
+            child_sizes.push(globals.len());
+            let sub: Corpus = globals.iter().map(|&g| corpus[g as usize].clone()).collect();
+            shards.push(Arc::new(IndexShard { index: build_index(&sub), global_of: globals }));
+        }
+        Ok(PartitionedIndex {
+            shards,
+            assignment: assignment.into(),
+            local_of: local_of.into(),
+            map: Arc::new(self.map.with_split(parent, &child_sizes)),
+        })
     }
 
     /// Number of partitions.
@@ -147,8 +278,119 @@ impl PartitionedIndex {
     }
 
     /// Sum of posting-list df of `term` over all partitions (= global df).
+    ///
+    /// Closed parents and their active children would double-count, so
+    /// the sum runs over active partitions only; on an epoch-0 index
+    /// that is all of them.
     pub fn global_df(&self, term: TermId) -> u64 {
-        self.shards.iter().map(|s| u64::from(s.index.df(term))).sum()
+        self.active_parts()
+            .into_iter()
+            .map(|p| u64::from(self.shards[p as usize].index.df(term)))
+            .sum()
+    }
+
+    /// The epoch-stamped partition lifecycle map.
+    pub fn map(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// Map epoch: number of splits applied since the initial build.
+    pub fn epoch(&self) -> u64 {
+        self.map.epoch()
+    }
+
+    /// Active partition ids in ascending order — the set that exactly
+    /// partitions the document space at this epoch, and therefore the
+    /// set a broker must scatter over for exactly-once results.
+    pub fn active_parts(&self) -> Vec<u32> {
+        self.map.active()
+    }
+
+    /// Whether shard slot `p` exists and is active (out-of-range ids
+    /// are inactive, not a panic).
+    pub fn is_active(&self, p: u32) -> bool {
+        self.map.is_active(p)
+    }
+
+    /// The global-doc → partition assignment vector.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Structural self-check of the exactly-once invariant: every
+    /// document lives in exactly one *active* partition, id mappings
+    /// round-trip, entry sizes match shards, and closed entries point
+    /// at younger children that point back. `Err` carries the first
+    /// violation found.
+    pub fn validate_epoch(&self) -> Result<(), String> {
+        let map = &self.map;
+        if map.len() != self.shards.len() {
+            return Err(format!(
+                "map has {} entries, index {} shards",
+                map.len(),
+                self.shards.len()
+            ));
+        }
+        if self.shards.is_empty() {
+            return Err("zero-partition index".into());
+        }
+        let mut per_part = vec![0usize; self.shards.len()];
+        for g in 0..self.num_docs() as u32 {
+            let (p, local) = self.to_local(g);
+            if !map.is_active(p) {
+                return Err(format!("doc {g} assigned to non-active partition {p}"));
+            }
+            if self.shards[p as usize].to_global(local) != g {
+                return Err(format!("doc {g} id mapping does not round-trip via partition {p}"));
+            }
+            per_part[p as usize] += 1;
+        }
+        for e in map.entries() {
+            let shard_docs = self.shards[e.id as usize].num_docs();
+            match &e.status {
+                PartStatus::Active => {
+                    if e.docs != shard_docs {
+                        return Err(format!(
+                            "active entry {} records {} docs, shard holds {shard_docs}",
+                            e.id, e.docs
+                        ));
+                    }
+                    if per_part[e.id as usize] != shard_docs {
+                        return Err(format!(
+                            "partition {}: {} docs assigned, shard holds {shard_docs}",
+                            e.id, per_part[e.id as usize]
+                        ));
+                    }
+                }
+                PartStatus::Closed { children } => {
+                    if children.len() != SPLIT_FANOUT {
+                        return Err(format!(
+                            "closed entry {} has {} children",
+                            e.id,
+                            children.len()
+                        ));
+                    }
+                    for &c in children {
+                        let child = map
+                            .entry(c)
+                            .ok_or_else(|| format!("entry {} names missing child {c}", e.id))?;
+                        if child.parent != Some(e.id) {
+                            return Err(format!(
+                                "child {c} does not point back at parent {}",
+                                e.id
+                            ));
+                        }
+                        if child.epoch <= e.epoch {
+                            return Err(format!(
+                                "child {c} epoch {} not younger than parent epoch {}",
+                                child.epoch, e.epoch
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -211,5 +453,57 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn rejects_wrong_assignment_len() {
         PartitionedIndex::build(&corpus(), &[0, 0], 2);
+    }
+
+    #[test]
+    fn try_build_reports_degenerate_inputs_gracefully() {
+        let c = corpus();
+        assert!(matches!(
+            PartitionedIndex::try_build(&c, &[0, 0], 2),
+            Err(BuildError::ArityMismatch { docs: 5, assignments: 2 })
+        ));
+        assert!(matches!(
+            PartitionedIndex::try_build(&c, &[0; 5], 0),
+            Err(BuildError::ZeroPartitions)
+        ));
+        assert!(matches!(
+            PartitionedIndex::try_build(&c, &[0, 0, 0, 0, 9], 3),
+            Err(BuildError::PartOutOfRange { doc: 4, part: 9, k: 3 })
+        ));
+        // k > #docs and an empty corpus are fine, not errors.
+        let wide = PartitionedIndex::try_build(&c, &[0, 1, 2, 3, 4], 9).expect("k > docs ok");
+        assert_eq!(wide.sizes().iter().sum::<usize>(), 5);
+        let empty = PartitionedIndex::try_build(&Vec::new(), &[], 2).expect("empty corpus ok");
+        assert_eq!(empty.num_docs(), 0);
+        assert_eq!(empty.active_parts(), vec![0, 1]);
+        empty.validate_epoch().expect("empty index valid");
+    }
+
+    #[test]
+    fn fresh_build_is_epoch_zero_with_all_parts_active() {
+        let pi = PartitionedIndex::build(&corpus(), &[0, 1, 0, 1, 2], 3);
+        assert_eq!(pi.epoch(), 0);
+        assert_eq!(pi.active_parts(), vec![0, 1, 2]);
+        assert!(pi.is_active(2) && !pi.is_active(3));
+        pi.validate_epoch().expect("fresh build valid");
+    }
+
+    #[test]
+    fn with_split_subdivides_without_mutating_parent_epoch() {
+        let c = corpus();
+        let pi = PartitionedIndex::build(&c, &[0, 0, 0, 1, 1], 2);
+        let next = pi.with_split(&c, 0).expect("split");
+        assert_eq!(next.epoch(), 1);
+        assert_eq!(next.num_partitions(), 4);
+        assert_eq!(next.active_parts(), vec![1, 2, 3]);
+        next.validate_epoch().expect("split valid");
+        // Every doc reachable exactly once via active partitions, and
+        // postings agree with the parent: same global df.
+        assert_eq!(next.global_df(TermId(1)), pi.global_df(TermId(1)));
+        // The parent index is untouched.
+        assert_eq!(pi.epoch(), 0);
+        assert_eq!(pi.active_parts(), vec![0, 1]);
+        // A closed partition cannot be re-split.
+        assert!(matches!(next.with_split(&c, 0), Err(SplitError::NotActive(0))));
     }
 }

@@ -21,10 +21,25 @@
 //! the same gather loop, which walks partitions **in partition order**
 //! — so merged hits, busy-time accounting, and the simulated latency
 //! model are bit-for-bit identical whichever path evaluated the shards.
+//!
+//! # Live (splittable) indexes
+//!
+//! A broker built with [`DocBroker::live`] serves a
+//! [`RepartIndex`] that may split partitions while queries are in
+//! flight. Every query takes **one** epoch-consistent snapshot at
+//! admission and threads it through scatter and gather, so a query
+//! racing a split sees either the parent epoch or the child epoch in
+//! full — never a mixture — and therefore answers every document
+//! exactly once. Scoring uses the corpus-wide [`CorpusStats`] (splits
+//! never change the corpus), making results bit-identical to a static
+//! oracle at any epoch. Accounting slots (`busy`, `part_sites`) are
+//! provisioned to the repart *capacity* up front, so the fixed-width
+//! atomic ledgers survive any number of splits.
 
-use crate::scatter::ScatterPool;
+use crate::scatter::{task_label, ScatterPool};
 use dwr_obs::{Event, NoopRecorder, Recorder};
 use dwr_partition::parted::{IndexShard, PartitionedIndex};
+use dwr_partition::repart::{CorpusStats, RepartIndex};
 use dwr_partition::select::CollectionSelector;
 use dwr_sim::net::{SiteId, Topology};
 use dwr_sim::SimTime;
@@ -32,6 +47,7 @@ use dwr_text::score::Bm25;
 use dwr_text::search::{search_or_with, EvalStats, EvalStrategy};
 use dwr_text::topk::TopK;
 use dwr_text::TermId;
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -108,7 +124,16 @@ pub struct BatchQuery<'a> {
 /// uninstrumented brokers are exactly the pre-instrumentation code.
 #[derive(Debug)]
 pub struct DocBroker<R: Recorder = NoopRecorder> {
+    /// The static index (epoch-0 snapshot for live brokers; query paths
+    /// on a live broker always re-snapshot from `live`).
     index: PartitionedIndex,
+    /// The live, splittable index, when this broker serves one.
+    live: Option<Arc<RepartIndex>>,
+    /// Corpus-wide scoring statistics. Set on live brokers (scores must
+    /// be invariant across epochs) and on static oracles built to match
+    /// them ([`Self::with_global_stats`]); `None` scores with local
+    /// per-shard statistics, the classic one-round protocol.
+    global_stats: Option<Arc<CorpusStats>>,
     topo: Topology,
     broker_site: SiteId,
     /// Site of each partition server.
@@ -165,20 +190,25 @@ impl ScanCounters {
 type ShardResult = (Vec<(u32, f32)>, EvalStats);
 
 /// Evaluate one shard: local top-k, mapped to global doc ids, plus the
-/// work counters the evaluator accumulated.
+/// work counters the evaluator accumulated. With `stats` the shard
+/// scores against corpus-wide statistics (epoch-invariant, the live
+/// path); without, against its own local statistics (the classic
+/// one-round protocol).
 fn evaluate_shard(
     shard: &IndexShard,
     terms: &[TermId],
     k: usize,
     bm25: &Bm25,
     eval: EvalStrategy,
+    stats: Option<&CorpusStats>,
 ) -> ShardResult {
     let idx = shard.index();
     let mut ev = EvalStats::default();
-    let hits = search_or_with(eval, idx, terms, k, bm25, idx, &mut ev)
-        .into_iter()
-        .map(|h| (shard.to_global(h.doc), h.score))
-        .collect();
+    let local = match stats {
+        Some(gs) => search_or_with(eval, idx, terms, k, bm25, gs, &mut ev),
+        None => search_or_with(eval, idx, terms, k, bm25, idx, &mut ev),
+    };
+    let hits = local.into_iter().map(|h| (shard.to_global(h.doc), h.score)).collect();
     (hits, ev)
 }
 
@@ -188,16 +218,25 @@ impl DocBroker {
     /// The broker keeps its own (cheap, `Arc`-backed) clone of the
     /// partitioned index, so it owns everything it needs to serve
     /// queries and carries no borrow of the build-side structures.
+    /// # Panics
+    /// Panics on a zero-partition index (its gather would divide by
+    /// zero when normalizing busy load) or when `part_sites` does not
+    /// name a site per partition. `PartitionedIndex::try_build` already
+    /// refuses to construct a zero-partition index, so this guard is
+    /// the broker restating its own invariant.
     pub fn new(
         index: &PartitionedIndex,
         topo: Topology,
         broker_site: SiteId,
         part_sites: Vec<SiteId>,
     ) -> Self {
-        assert_eq!(part_sites.len(), index.num_partitions());
+        assert!(index.num_partitions() > 0, "zero-partition index");
+        assert_eq!(part_sites.len(), index.num_partitions(), "one site per partition");
         let busy = (0..index.num_partitions()).map(|_| AtomicU64::new(0)).collect();
         DocBroker {
             index: index.clone(),
+            live: None,
+            global_stats: None,
             topo,
             broker_site,
             part_sites,
@@ -216,6 +255,34 @@ impl DocBroker {
         let sites = vec![SiteId(0); index.num_partitions()];
         Self::new(index, Topology::single_site(), SiteId(0), sites)
     }
+
+    /// A single-site broker over a **live, splittable** index. Every
+    /// query snapshots the current epoch at admission; accounting slots
+    /// are provisioned to `repart.capacity()` so the fixed-width atomic
+    /// ledgers survive any number of splits. Scoring uses the corpus-
+    /// wide statistics, which splits never change — results stay
+    /// bit-identical to a static oracle at any epoch (pair the oracle
+    /// with [`Self::with_global_stats`]).
+    pub fn live(repart: &Arc<RepartIndex>) -> Self {
+        let capacity = repart.capacity();
+        let snapshot = repart.snapshot();
+        let busy = (0..capacity).map(|_| AtomicU64::new(0)).collect();
+        DocBroker {
+            index: snapshot,
+            live: Some(Arc::clone(repart)),
+            global_stats: Some(repart.corpus_stats()),
+            topo: Topology::single_site(),
+            broker_site: SiteId(0),
+            part_sites: vec![SiteId(0); capacity],
+            bm25: Bm25::default(),
+            eval: EvalStrategy::default(),
+            busy,
+            queries: AtomicU64::new(0),
+            scan: ScanCounters::default(),
+            pool: None,
+            recorder: NoopRecorder,
+        }
+    }
 }
 
 impl<R: Recorder> DocBroker<R> {
@@ -225,6 +292,8 @@ impl<R: Recorder> DocBroker<R> {
     pub fn with_recorder<R2: Recorder>(self, recorder: R2) -> DocBroker<R2> {
         DocBroker {
             index: self.index,
+            live: self.live,
+            global_stats: self.global_stats,
             topo: self.topo,
             broker_site: self.broker_site,
             part_sites: self.part_sites,
@@ -282,17 +351,61 @@ impl<R: Recorder> DocBroker<R> {
         self.pool.is_some()
     }
 
+    /// Score shards against corpus-wide statistics instead of each
+    /// shard's local ones. This is how a *static oracle* is built to
+    /// match a live broker bit-for-bit: both score every document with
+    /// the same epoch-invariant statistics, so partition layout cannot
+    /// leak into scores.
+    pub fn with_global_stats(mut self, stats: Arc<CorpusStats>) -> Self {
+        self.global_stats = Some(stats);
+        self
+    }
+
+    /// The epoch-consistent index for one query: the current live
+    /// snapshot, or the static index. One short lock on the live path;
+    /// a cheap `Arc` clone either way.
+    pub fn snapshot(&self) -> PartitionedIndex {
+        match &self.live {
+            Some(r) => r.snapshot(),
+            None => self.index.clone(),
+        }
+    }
+
+    /// The live index behind this broker, if any.
+    pub fn live_index(&self) -> Option<&Arc<RepartIndex>> {
+        self.live.as_ref()
+    }
+
+    /// Provisioned accounting slots (= capacity for live brokers,
+    /// partition count for static ones).
+    pub fn slots(&self) -> usize {
+        self.busy.len()
+    }
+
     /// The service time partition `p` spends on `terms`: posting volume
-    /// touched plus fixed overhead.
+    /// touched plus fixed overhead. Live brokers snapshot the current
+    /// epoch; engines holding a per-query snapshot should prefer
+    /// [`Self::service_time_in`].
     pub fn service_time(&self, p: usize, terms: &[TermId]) -> f64 {
-        let postings: u64 = terms.iter().map(|&t| u64::from(self.index.part(p).df(t))).sum();
+        match &self.live {
+            Some(r) => self.service_time_in(&r.snapshot(), p, terms),
+            None => self.service_time_in(&self.index, p, terms),
+        }
+    }
+
+    /// As [`Self::service_time`], against an explicit epoch snapshot.
+    pub fn service_time_in(&self, snap: &PartitionedIndex, p: usize, terms: &[TermId]) -> f64 {
+        let postings: u64 = terms.iter().map(|&t| u64::from(snap.part(p).df(t))).sum();
         US_PER_QUERY_FIXED + postings as f64 * US_PER_POSTING
     }
 
-    /// Evaluate a query over all partitions.
+    /// Evaluate a query over all *active* partitions of the current
+    /// epoch (all partitions, on a static index).
     pub fn query(&self, terms: &[TermId], k: usize) -> BrokeredResponse {
-        let all: Vec<u32> = (0..self.index.num_partitions() as u32).collect();
-        self.query_selected(terms, k, &all)
+        let snap = self.snapshot();
+        let all = snap.active_parts();
+        let qid = if self.recorder.is_live() { crate::engine::query_key(terms) } else { 0 };
+        self.query_selected_at_in(&snap, terms, k, &all, qid, 0)
     }
 
     /// Evaluate a query over the top-`m` partitions of `selector`.
@@ -311,15 +424,37 @@ impl<R: Recorder> DocBroker<R> {
     /// pair (runs inline or on a pool worker).
     fn shard_task(
         &self,
+        snap: &PartitionedIndex,
         p: u32,
         terms: &Arc<[TermId]>,
         k: usize,
     ) -> impl FnOnce() -> ShardResult + Send + 'static {
-        let shard = self.index.shard(p as usize);
+        let shard = snap.shard(p as usize);
         let terms = Arc::clone(terms);
         let bm25 = self.bm25;
         let eval = self.eval;
-        move || evaluate_shard(&shard, &terms, k, &bm25, eval)
+        let gs = self.global_stats.clone();
+        move || evaluate_shard(&shard, &terms, k, &bm25, eval, gs.as_deref())
+    }
+
+    /// Drop partition ids that are out of range, inactive at this
+    /// epoch, or duplicated — any of which would panic the scatter or
+    /// silently double-merge a document — preserving the order of what
+    /// survives. Borrows when the input is already clean (the engine
+    /// path always is), so the hot path allocates nothing.
+    fn sanitize_parts<'a>(snap: &PartitionedIndex, parts: &'a [u32]) -> Cow<'a, [u32]> {
+        let valid = |p: u32| snap.is_active(p);
+        let dirty = parts.iter().enumerate().any(|(i, &p)| !valid(p) || parts[..i].contains(&p));
+        if !dirty {
+            return Cow::Borrowed(parts);
+        }
+        let mut out: Vec<u32> = Vec::with_capacity(parts.len());
+        for &p in parts {
+            if valid(p) && !out.contains(&p) {
+                out.push(p);
+            }
+        }
+        Cow::Owned(out)
     }
 
     /// Scatter: per-partition result lists, in `parts` order. Runs on
@@ -327,9 +462,12 @@ impl<R: Recorder> DocBroker<R> {
     /// is indexed by task, so the gather phase is order-independent of
     /// completion. Both branches emit the same single
     /// [`Event::ScatterDispatch`] (identical payload), keeping the
-    /// sequential and parallel event streams indistinguishable.
+    /// sequential and parallel event streams indistinguishable. Pool
+    /// tasks carry an `(epoch, partition)` label so a panicking shard
+    /// evaluation names the exact map snapshot that dispatched it.
     fn scatter(
         &self,
+        snap: &PartitionedIndex,
         terms: &[TermId],
         k: usize,
         parts: &[u32],
@@ -339,9 +477,17 @@ impl<R: Recorder> DocBroker<R> {
         match &self.pool {
             Some(pool) if parts.len() > 1 => {
                 let shared_terms: Arc<[TermId]> = terms.into();
-                let tasks: Vec<_> =
-                    parts.iter().map(|&p| self.shard_task(p, &shared_terms, k)).collect();
-                pool.scatter_recorded(tasks, &self.recorder, qid, now)
+                let epoch = snap.epoch();
+                let tasks: Vec<(u64, _)> = parts
+                    .iter()
+                    .map(|&p| (task_label(epoch, p), self.shard_task(snap, p, &shared_terms, k)))
+                    .collect();
+                self.recorder.record(Event::ScatterDispatch {
+                    qid,
+                    now,
+                    partitions: parts.len() as u32,
+                });
+                pool.scatter_labeled(tasks)
             }
             _ => {
                 self.recorder.record(Event::ScatterDispatch {
@@ -353,11 +499,12 @@ impl<R: Recorder> DocBroker<R> {
                     .iter()
                     .map(|&p| {
                         evaluate_shard(
-                            &self.index.shard(p as usize),
+                            &snap.shard(p as usize),
                             terms,
                             k,
                             &self.bm25,
                             self.eval,
+                            self.global_stats.as_deref(),
                         )
                     })
                     .collect()
@@ -384,9 +531,33 @@ impl<R: Recorder> DocBroker<R> {
         qid: u64,
         now: SimTime,
     ) -> BrokeredResponse {
+        let snap = self.snapshot();
+        self.query_selected_at_in(&snap, terms, k, parts, qid, now)
+    }
+
+    /// As [`Self::query_selected_at`], against an explicit epoch
+    /// snapshot — the engine path, which takes one snapshot per query
+    /// at admission and threads it through dispatch and evaluation so
+    /// the whole query observes a single epoch.
+    ///
+    /// Degenerate inputs are served gracefully, never panicked on:
+    /// `k == 0` answers an empty result without touching any shard, and
+    /// out-of-range / inactive / duplicate partition ids are dropped
+    /// (`partitions_used` reports the partitions actually consulted).
+    pub fn query_selected_at_in(
+        &self,
+        snap: &PartitionedIndex,
+        terms: &[TermId],
+        k: usize,
+        parts: &[u32],
+        qid: u64,
+        now: SimTime,
+    ) -> BrokeredResponse {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let per_part = self.scatter(terms, k, parts, qid, now);
-        self.gather(terms, k, parts, qid, now, per_part)
+        let parts: Cow<'_, [u32]> =
+            if k == 0 { Cow::Owned(Vec::new()) } else { Self::sanitize_parts(snap, parts) };
+        let per_part = self.scatter(snap, terms, k, &parts, qid, now);
+        self.gather(snap, terms, k, &parts, qid, now, per_part)
     }
 
     /// As [`Self::query_selected_at`], with engine-supplied per-partition
@@ -403,9 +574,58 @@ impl<R: Recorder> DocBroker<R> {
         now: SimTime,
         timing: GatherTiming<'_>,
     ) -> (BrokeredResponse, usize) {
+        let snap = self.snapshot();
+        self.query_selected_timed_in(&snap, terms, k, parts, qid, now, timing)
+    }
+
+    /// As [`Self::query_selected_timed`], against an explicit epoch
+    /// snapshot. Degenerate inputs sanitize like
+    /// [`Self::query_selected_at_in`]; each dropped partition id takes
+    /// its completion entry with it so the two stay parallel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_selected_timed_in(
+        &self,
+        snap: &PartitionedIndex,
+        terms: &[TermId],
+        k: usize,
+        parts: &[u32],
+        qid: u64,
+        now: SimTime,
+        timing: GatherTiming<'_>,
+    ) -> (BrokeredResponse, usize) {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let per_part = self.scatter(terms, k, parts, qid, now);
-        self.gather_with(terms, k, parts, qid, now, per_part, Some(timing))
+        assert_eq!(timing.completions.len(), parts.len(), "one completion per queried partition");
+        let (parts, completions): (Cow<'_, [u32]>, Cow<'_, [SimTime]>) = if k == 0 {
+            (Cow::Owned(Vec::new()), Cow::Owned(Vec::new()))
+        } else {
+            match Self::sanitize_parts(snap, parts) {
+                Cow::Borrowed(p) => (Cow::Borrowed(p), Cow::Borrowed(timing.completions)),
+                Cow::Owned(clean) => {
+                    // Re-filter completions with the same predicate so
+                    // the two vectors stay index-parallel.
+                    let mut keep = Vec::with_capacity(clean.len());
+                    let mut seen: Vec<u32> = Vec::with_capacity(clean.len());
+                    for (i, &p) in parts.iter().enumerate() {
+                        if snap.is_active(p) && !seen.contains(&p) {
+                            seen.push(p);
+                            keep.push(timing.completions[i]);
+                        }
+                    }
+                    (Cow::Owned(clean), Cow::Owned(keep))
+                }
+            }
+        };
+        let per_part = self.scatter(snap, terms, k, &parts, qid, now);
+        self.gather_with(
+            snap,
+            terms,
+            k,
+            &parts,
+            qid,
+            now,
+            per_part,
+            Some(GatherTiming { completions: &completions, deadline: timing.deadline }),
+        )
     }
 
     /// Gather in partition order: deterministic merge and latency
@@ -413,8 +633,10 @@ impl<R: Recorder> DocBroker<R> {
     /// emitted here (not by workers), so their order is deterministic
     /// too. Also folds each shard's measured evaluator work into the
     /// broker-wide [`ScanCounters`].
+    #[allow(clippy::too_many_arguments)]
     fn gather(
         &self,
+        snap: &PartitionedIndex,
         terms: &[TermId],
         k: usize,
         parts: &[u32],
@@ -422,7 +644,7 @@ impl<R: Recorder> DocBroker<R> {
         now: SimTime,
         per_part: Vec<ShardResult>,
     ) -> BrokeredResponse {
-        self.gather_with(terms, k, parts, qid, now, per_part, None).0
+        self.gather_with(snap, terms, k, parts, qid, now, per_part, None).0
     }
 
     /// The one gather loop behind both the legacy and the timed paths.
@@ -437,6 +659,7 @@ impl<R: Recorder> DocBroker<R> {
     #[allow(clippy::too_many_arguments)]
     fn gather_with(
         &self,
+        snap: &PartitionedIndex,
         terms: &[TermId],
         k: usize,
         parts: &[u32],
@@ -448,13 +671,15 @@ impl<R: Recorder> DocBroker<R> {
         if let Some(t) = &timing {
             assert_eq!(t.completions.len(), parts.len(), "one completion per queried partition");
         }
+        // `k == 0` callers arrive with `parts` already emptied, so the
+        // max(1) floor (TopK rejects capacity 0) never admits a hit.
         let mut top = TopK::new(k.max(1));
         let mut slowest: SimTime = 0;
         let mut merged_hits = 0u64;
         let mut answered = 0usize;
         for (i, &p) in parts.iter().enumerate() {
             let pu = p as usize;
-            let service = self.service_time(pu, terms);
+            let service = self.service_time_in(snap, pu, terms);
             self.add_busy(pu, service);
             self.recorder.record(Event::ShardService {
                 qid,
@@ -514,29 +739,60 @@ impl<R: Recorder> DocBroker<R> {
         batch: &[BatchQuery<'_>],
         now: SimTime,
     ) -> Vec<BrokeredResponse> {
+        let snap = self.snapshot();
+        self.query_selected_batch_in(&snap, batch, now)
+    }
+
+    /// As [`Self::query_selected_batch`], against an explicit epoch
+    /// snapshot: the whole batch is admitted under one snapshot, so a
+    /// split landing mid-batch cannot straddle two epochs within it.
+    /// Per-query degenerate inputs sanitize exactly as in
+    /// [`Self::query_selected_at_in`].
+    pub fn query_selected_batch_in(
+        &self,
+        snap: &PartitionedIndex,
+        batch: &[BatchQuery<'_>],
+        now: SimTime,
+    ) -> Vec<BrokeredResponse> {
+        let sane: Vec<Cow<'_, [u32]>> = batch
+            .iter()
+            .map(|q| {
+                if q.k == 0 {
+                    Cow::Owned(Vec::new())
+                } else {
+                    Self::sanitize_parts(snap, &q.parts)
+                }
+            })
+            .collect();
         let evaluated: Vec<Vec<ShardResult>> = match &self.pool {
-            Some(pool) if batch.iter().map(|q| q.parts.len()).sum::<usize>() > 1 => {
+            Some(pool) if sane.iter().map(|p| p.len()).sum::<usize>() > 1 => {
                 let groups: Vec<Vec<_>> = batch
                     .iter()
-                    .map(|q| {
+                    .zip(&sane)
+                    .map(|(q, parts)| {
                         let shared_terms: Arc<[TermId]> = q.terms.into();
-                        q.parts.iter().map(|&p| self.shard_task(p, &shared_terms, q.k)).collect()
+                        parts
+                            .iter()
+                            .map(|&p| self.shard_task(snap, p, &shared_terms, q.k))
+                            .collect()
                     })
                     .collect();
                 pool.scatter_batch(groups)
             }
             _ => batch
                 .iter()
-                .map(|q| {
-                    q.parts
+                .zip(&sane)
+                .map(|(q, parts)| {
+                    parts
                         .iter()
                         .map(|&p| {
                             evaluate_shard(
-                                &self.index.shard(p as usize),
+                                &snap.shard(p as usize),
                                 q.terms,
                                 q.k,
                                 &self.bm25,
                                 self.eval,
+                                self.global_stats.as_deref(),
                             )
                         })
                         .collect()
@@ -545,23 +801,26 @@ impl<R: Recorder> DocBroker<R> {
         };
         batch
             .iter()
+            .zip(&sane)
             .zip(evaluated)
-            .map(|(q, per_part)| {
+            .map(|((q, parts), per_part)| {
                 self.queries.fetch_add(1, Ordering::Relaxed);
                 self.recorder.record(Event::ScatterDispatch {
                     qid: q.qid,
                     now,
-                    partitions: q.parts.len() as u32,
+                    partitions: parts.len() as u32,
                 });
-                self.gather(q.terms, q.k, &q.parts, q.qid, now, per_part)
+                self.gather(snap, q.terms, q.k, parts, q.qid, now, per_part)
             })
             .collect()
     }
 
-    /// Batch convenience over all partitions (standalone-broker path:
-    /// sim clock at 0, query keys computed only when someone listens).
+    /// Batch convenience over all active partitions (standalone-broker
+    /// path: sim clock at 0, query keys computed only when someone
+    /// listens).
     pub fn query_batch(&self, queries: &[Vec<TermId>], k: usize) -> Vec<BrokeredResponse> {
-        let all: Vec<u32> = (0..self.index.num_partitions() as u32).collect();
+        let snap = self.snapshot();
+        let all = snap.active_parts();
         let batch: Vec<BatchQuery<'_>> = queries
             .iter()
             .map(|terms| BatchQuery {
@@ -571,7 +830,7 @@ impl<R: Recorder> DocBroker<R> {
                 qid: if self.recorder.is_live() { crate::engine::query_key(terms) } else { 0 },
             })
             .collect();
-        self.query_selected_batch(&batch, 0)
+        self.query_selected_batch_in(&snap, &batch, 0)
     }
 
     fn add_busy(&self, p: usize, amount: f64) {
@@ -595,6 +854,12 @@ impl<R: Recorder> DocBroker<R> {
     /// at 1.0).
     pub fn busy_load_normalized(&self) -> Vec<f64> {
         let busy = self.busy_time();
+        if busy.is_empty() {
+            // Unreachable through the constructors (a zero-partition
+            // index is rejected), but a division by zero here would
+            // poison every downstream load statistic with NaN.
+            return Vec::new();
+        }
         let mean = busy.iter().sum::<f64>() / busy.len() as f64;
         if mean <= 0.0 {
             return vec![0.0; busy.len()];
@@ -844,6 +1109,111 @@ mod tests {
         assert!(b.busy_time().iter().all(|&t| t > 0.0), "{:?}", b.busy_time());
         // A partial response is released at the deadline, not before.
         assert!(partial.latency >= 1_000);
+    }
+
+    #[test]
+    fn k_zero_answers_empty_without_touching_shards() {
+        let (_, pi) = parted(4);
+        let broker = DocBroker::single_site(&pi);
+        let r = broker.query(&[TermId(1)], 0);
+        assert!(r.hits.is_empty(), "k=0 must not smuggle a hit through the TopK floor");
+        assert_eq!(r.partitions_used, 0);
+        assert_eq!(r.latency, 0);
+        assert!(broker.busy_time().iter().all(|&b| b == 0.0), "no shard consulted");
+        assert_eq!(broker.queries_processed(), 1, "the query itself is still counted");
+        // Same through the explicit-selection and timed paths.
+        let r = broker.query_selected(&[TermId(1)], 0, &[0, 1]);
+        assert!(r.hits.is_empty() && r.partitions_used == 0);
+        let (r, answered) = broker.query_selected_timed(
+            &[TermId(1)],
+            0,
+            &[0, 1],
+            0,
+            0,
+            GatherTiming { completions: &[100, 100], deadline: Some(1_000) },
+        );
+        assert!(r.hits.is_empty() && answered == 0);
+    }
+
+    #[test]
+    fn degenerate_part_lists_are_sanitized_not_panicked() {
+        let (_, pi) = parted(4);
+        let broker = DocBroker::single_site(&pi);
+        let terms = [TermId(1), TermId(100)];
+        let clean = broker.query_selected(&terms, 10, &[0, 1, 2, 3]);
+        // Out-of-range ids are dropped, not a panic.
+        let oob = broker.query_selected(&terms, 10, &[0, 99, 1, 2, 7, 3]);
+        assert_eq!(oob.hits, clean.hits);
+        assert_eq!(oob.partitions_used, 4, "only real partitions counted");
+        // Duplicates collapse: no document answered twice, busy charged once.
+        let fresh = DocBroker::single_site(&pi);
+        let dup = fresh.query_selected(&terms, 10, &[2, 2, 2]);
+        let once = DocBroker::single_site(&pi).query_selected(&terms, 10, &[2]);
+        assert_eq!(dup.hits, once.hits);
+        assert_eq!(dup.partitions_used, 1);
+        assert_eq!(fresh.busy_time()[2], broker_busy_once(&pi, &terms));
+        // k > #docs is simply a deep request.
+        let deep = broker.query_selected(&terms, 10_000, &[0, 1, 2, 3]);
+        assert!(deep.hits.len() <= 40);
+        // Empty part list answers empty.
+        let none = broker.query_selected(&terms, 10, &[]);
+        assert!(none.hits.is_empty() && none.partitions_used == 0);
+    }
+
+    fn broker_busy_once(pi: &PartitionedIndex, terms: &[TermId]) -> f64 {
+        let b = DocBroker::single_site(pi);
+        b.query_selected(terms, 10, &[2]);
+        b.busy_time()[2]
+    }
+
+    #[test]
+    fn timed_gather_sanitizes_parts_and_completions_together() {
+        let (_, pi) = parted(4);
+        let broker = DocBroker::single_site(&pi);
+        let terms = [TermId(1), TermId(100)];
+        // Partition 9 does not exist; its (late) completion must vanish
+        // with it instead of being attributed to a real partition.
+        let (r, answered) = broker.query_selected_timed(
+            &terms,
+            10,
+            &[0, 9, 1],
+            0,
+            0,
+            GatherTiming { completions: &[100, 9_999_999, 100], deadline: Some(1_000) },
+        );
+        assert_eq!(answered, 2, "both real partitions answer in time");
+        assert_eq!(r.partitions_used, 2);
+    }
+
+    #[test]
+    fn live_broker_matches_static_oracle_at_every_epoch() {
+        use dwr_partition::repart::{RepartIndex, SplitFate};
+        let c = corpus();
+        let a = RoundRobinPartitioner.assign(&c, 4);
+        let repart = Arc::new(RepartIndex::build(c, &a, 4, 16));
+        let live = DocBroker::live(&repart);
+        assert_eq!(live.slots(), 16);
+        for round in 0..3 {
+            // Static oracle over the *current* epoch, scoring with the
+            // same corpus-wide statistics.
+            let oracle =
+                DocBroker::single_site(&live.snapshot()).with_global_stats(repart.corpus_stats());
+            for q in 0..30u32 {
+                let terms = [TermId(q % 7), TermId(100 + q % 5)];
+                let l = live.query(&terms, 10);
+                let o = oracle.query(&terms, 10);
+                assert_eq!(l.hits, o.hits, "round {round} query {q}");
+            }
+            let target = repart.split_target().expect("splittable");
+            repart.split(target, SplitFate::Commit).expect("split");
+        }
+        // After splits, the live broker scatters over active parts only:
+        // every doc exactly once.
+        let all: Vec<u32> = live.query(&[TermId(0)], 40).hits.iter().map(|h| h.doc).collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "no document answered twice");
     }
 
     #[test]

@@ -64,6 +64,7 @@ use crate::replica::ReplicaGroup;
 use crate::straggler::StragglerModel;
 use dwr_obs::{Event, Histogram, NoopRecorder, Outcome as ObsOutcome, Recorder};
 use dwr_partition::parted::PartitionedIndex;
+use dwr_partition::repart::{RepartIndex, SplitFate, SplitSchedule};
 use dwr_partition::select::CollectionSelector;
 use dwr_sim::SimTime;
 use dwr_text::search::EvalStrategy;
@@ -291,6 +292,14 @@ pub struct DistributedEngine<C: ResultCache, R: Recorder = NoopRecorder> {
     shard_latency: Vec<Histogram>,
     /// The engine's simulated clock (µs), advanced by `advance_to`.
     clock: AtomicU64,
+    /// The live (splittable) index behind the broker, when the engine
+    /// was built with [`Self::new_live`]. Each query serves against one
+    /// epoch-consistent snapshot taken at admission, so a split landing
+    /// mid-query changes nothing for queries already in flight.
+    repart: Option<Arc<RepartIndex>>,
+    /// Deterministic split storm applied by [`Self::advance_to`]; the
+    /// cursor makes each scheduled split fire exactly once.
+    splits: Option<(Arc<SplitSchedule>, Mutex<usize>)>,
     /// Observability sink (cloned into the broker so both emit to the
     /// same instruments).
     recorder: R,
@@ -327,6 +336,36 @@ impl<C: ResultCache> DistributedEngine<C> {
             gather_deadline: None,
             shard_latency: (0..index.num_partitions()).map(|_| Histogram::new()).collect(),
             clock: AtomicU64::new(0),
+            repart: None,
+            splits: None,
+            recorder: NoopRecorder,
+        }
+    }
+
+    /// Create an engine over a **live** (splittable) index with
+    /// `replicas` per partition slot. Replica groups and latency
+    /// instruments are provisioned up to [`RepartIndex::capacity`] so
+    /// child partitions born from later splits dispatch onto replica
+    /// groups that already exist — a split never resizes engine state.
+    pub fn new_live(repart: &Arc<RepartIndex>, cache: C, replicas: usize) -> Self {
+        let capacity = repart.capacity();
+        let groups = (0..capacity).map(|_| Mutex::new(ReplicaGroup::new(replicas))).collect();
+        DistributedEngine {
+            broker: DocBroker::live(repart),
+            cache: ShardedCache::single(cache),
+            groups,
+            counters: Counters::default(),
+            selection_width: None,
+            selector: None,
+            faults: None,
+            deadline: None,
+            policy: HedgePolicy::default(),
+            stragglers: None,
+            gather_deadline: None,
+            shard_latency: (0..capacity).map(|_| Histogram::new()).collect(),
+            clock: AtomicU64::new(0),
+            repart: Some(Arc::clone(repart)),
+            splits: None,
             recorder: NoopRecorder,
         }
     }
@@ -354,6 +393,8 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             gather_deadline: self.gather_deadline,
             shard_latency: self.shard_latency,
             clock: self.clock,
+            repart: self.repart,
+            splits: self.splits,
             recorder,
         }
     }
@@ -371,9 +412,36 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         m: usize,
     ) -> Self {
         assert!(m >= 1);
+        assert!(
+            self.repart.is_none(),
+            "collection selection requires a static partition layout \
+             (selectors rank the partitions they were built from; a live \
+             index retires those ids as it splits)"
+        );
         self.selector = Some(selector);
         self.selection_width = Some(m);
         self
+    }
+
+    /// Attach a deterministic split storm: [`Self::advance_to`] fires
+    /// every scheduled split whose instant has been reached, exactly
+    /// once, against the live index. Each split picks the currently
+    /// largest active partition; a split whose parent's replica group
+    /// has no live replica at that instant aborts cleanly instead of
+    /// committing (the builder node is down), and splits the live index
+    /// refuses (capacity, too few docs) are skipped silently.
+    pub fn with_splits(mut self, schedule: Arc<SplitSchedule>) -> Self {
+        assert!(
+            self.repart.is_some(),
+            "split schedules require a live index (DistributedEngine::new_live)"
+        );
+        self.splits = Some((schedule, Mutex::new(0)));
+        self
+    }
+
+    /// The live index behind this engine, if any.
+    pub fn repart(&self) -> Option<&Arc<RepartIndex>> {
+        self.repart.as_ref()
     }
 
     /// Evaluate each query's partitions concurrently on a pool of
@@ -469,11 +537,13 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         self.clock.load(Ordering::Relaxed)
     }
 
-    /// Advance the simulated clock to `t` and apply the fault schedule's
+    /// Advance the simulated clock to `t`, fire any scheduled splits
+    /// whose instant has been reached, and apply the fault schedule's
     /// outage state to every replica group. Idempotent; callable from any
     /// thread while other threads serve queries.
     pub fn advance_to(&self, t: SimTime) {
         self.clock.store(t, Ordering::Relaxed);
+        self.fire_due_splits(t);
         let Some(faults) = &self.faults else { return };
         for (p, group) in self.groups.iter().enumerate() {
             let replicas = faults.num_replicas(p);
@@ -486,6 +556,60 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                 g.set_alive(r, !faults.is_down(p, r, t));
             }
         }
+    }
+
+    /// Fire every scheduled split due at or before `t`, exactly once
+    /// (the cursor advances under its own lock, so concurrent
+    /// `advance_to` calls race safely). The injected crash fate comes
+    /// from the schedule, downgraded to a clean abort when the parent's
+    /// replica group has no live replica at the split instant — a split
+    /// needs a live builder.
+    fn fire_due_splits(&self, t: SimTime) {
+        let (Some(repart), Some((schedule, cursor))) = (&self.repart, &self.splits) else {
+            return;
+        };
+        let mut cur = lock_recovering(cursor);
+        while let Some(ev) = schedule.events().get(*cur) {
+            if ev.at > t {
+                break;
+            }
+            *cur += 1;
+            let Some(parent) = repart.split_target() else { continue };
+            let fate = if self.group_has_live_replica(parent, ev.at) {
+                ev.fate
+            } else {
+                SplitFate::CrashBeforePublish
+            };
+            match repart.split(parent, fate) {
+                Ok(report) if report.committed => self.recorder.record(Event::RepartSplit {
+                    now: ev.at,
+                    parent,
+                    children: report.children.len() as u32,
+                    epoch: report.epoch_after,
+                }),
+                Ok(report) => self.recorder.record(Event::RepartAbort {
+                    now: ev.at,
+                    parent,
+                    epoch: report.epoch_before,
+                }),
+                // Refused (capacity / too few docs): nothing happened,
+                // so nothing is counted — `repart.*` instruments stay in
+                // lockstep with `RepartIndex::repart_stats`.
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Whether any replica of partition `p`'s group is live at `at`
+    /// according to the fault schedule (no schedule = always live).
+    fn group_has_live_replica(&self, p: u32, at: SimTime) -> bool {
+        let Some(faults) = &self.faults else { return true };
+        let pu = p as usize;
+        let replicas = faults.num_replicas(pu);
+        if replicas == 0 {
+            return true;
+        }
+        (0..replicas).any(|r| !faults.is_down(pu, r, at))
     }
 
     /// Mark one replica of one partition down or up. Returns `false`
@@ -502,11 +626,14 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         self.groups.iter().map(|g| lock_recovering(g).dispatched().to_vec()).collect()
     }
 
-    /// The partitions a query would address (before availability).
-    fn choose(&self, terms: &[TermId]) -> Vec<u32> {
+    /// The partitions a query would address (before availability): the
+    /// selector's top-`m`, or every partition *active in the query's
+    /// snapshot* — on a static index that is `0..num_partitions`, on a
+    /// live one it is the current epoch's leaves.
+    fn choose(&self, snap: &PartitionedIndex, terms: &[TermId]) -> Vec<u32> {
         match (&self.selector, self.selection_width) {
             (Some(sel), Some(m)) => sel.rank(terms).into_iter().take(m).map(|(p, _)| p).collect(),
-            _ => (0..self.groups.len() as u32).collect(),
+            _ => snap.active_parts(),
         }
     }
 
@@ -558,6 +685,21 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
     /// semantics).
     pub fn query_batch(&self, queries: &[Vec<TermId>], k: usize) -> Vec<EngineResponse> {
         let now = self.now();
+        if k == 0 {
+            // Same short-circuit as the loop form, per query in order.
+            return queries
+                .iter()
+                .map(|terms| {
+                    let key = query_key(terms);
+                    self.recorder.record(Event::QueryStart { qid: key, now });
+                    self.answer_k_zero(key, now)
+                })
+                .collect();
+        }
+        // One epoch-consistent snapshot for the whole batch (the loop
+        // form takes one per query; with no split between queries the
+        // two views are identical).
+        let snap = self.broker.snapshot();
         enum Slot {
             /// Resolved at admission (fresh cache hit).
             Done(EngineResponse),
@@ -591,7 +733,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                 continue;
             }
             pending.insert(key);
-            slots.push(Slot::Cold { key, chosen: self.choose(terms) });
+            slots.push(Slot::Cold { key, chosen: self.choose(&snap, terms) });
         }
         // --- Dispatch, partition-outer: one lock acquisition per replica
         // group for the whole batch. Within a group, queries dispatch in
@@ -622,7 +764,8 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             let mut group = lock_recovering(&self.groups[pu]);
             for &(ci, pos) in interested {
                 let Slot::Cold { key, .. } = slots[cold[ci]] else { unreachable!() };
-                let one = self.dispatch_one(&mut group, pu as u32, &queries[cold[ci]], now, key);
+                let one =
+                    self.dispatch_one(&snap, &mut group, pu as u32, &queries[cold[ci]], now, key);
                 let (served, plan) = &mut staged[ci];
                 if one.served {
                     served.push((pos, pu as u32, one.completion));
@@ -662,7 +805,8 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                 })
                 .collect()
         };
-        let mut evaluated = self.broker.query_selected_batch(&broker_batch, now).into_iter();
+        let mut evaluated =
+            self.broker.query_selected_batch_in(&snap, &broker_batch, now).into_iter();
         // --- Resolution, in query order.
         let mut plans = plans.into_iter();
         slots
@@ -678,7 +822,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                     }
                     // Evicted while the batch was in flight: fall back to
                     // the ordinary cold path (the documented divergence).
-                    None => self.evaluate_cold(terms, k, key, now),
+                    None => self.evaluate_cold(&snap, terms, k, key, now),
                 },
                 Slot::Cold { key, .. } => {
                     let plan = plans.next().expect("one plan per cold query");
@@ -693,7 +837,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                         };
                     }
                     if self.timed() {
-                        return self.evaluate_plan(terms, k, key, now, &plan);
+                        return self.evaluate_plan(&snap, terms, k, key, now, &plan);
                     }
                     let resp = evaluated.next().expect("one response per evaluated query");
                     self.resolve_evaluated(key, now, &plan, resp, None)
@@ -710,6 +854,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
     /// hedges once on another live replica (if the deadline leaves room).
     fn dispatch_partitions(
         &self,
+        snap: &PartitionedIndex,
         chosen: &[u32],
         terms: &[TermId],
         now: SimTime,
@@ -723,7 +868,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                 continue;
             };
             let mut group = lock_recovering(group);
-            let one = self.dispatch_one(&mut group, p, terms, now, qid);
+            let one = self.dispatch_one(snap, &mut group, p, terms, now, qid);
             drop(group);
             if one.served {
                 plan.served.push(p);
@@ -776,8 +921,10 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
     /// by the per-query and batched dispatch passes, so both advance each
     /// group's round-robin cursor — and each partition's live latency
     /// history — through the exact same decision sequence.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_one(
         &self,
+        snap: &PartitionedIndex,
         group: &mut ReplicaGroup,
         p: u32,
         terms: &[TermId],
@@ -797,7 +944,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         {
             return OneDispatch::served_at(0);
         }
-        let base = self.broker.service_time(pu, terms);
+        let base = self.broker.service_time_in(snap, pu, terms);
         let c1 = self.drawn_cost(base, pu, first, qid);
         let dead1 = self.fails_during(pu, first, now, now + c1);
         // When (relative to dispatch) the hedge launches, if at all. A
@@ -916,8 +1063,15 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         let now = self.now();
         let key = query_key(terms);
         self.recorder.record(Event::QueryStart { qid: key, now });
+        if k == 0 {
+            return self.answer_k_zero(key, now);
+        }
+        // The query's epoch-consistent view: one snapshot at admission,
+        // threaded through choose, dispatch, and evaluation, so a split
+        // committing mid-query cannot tear the partition set.
+        let snap = self.broker.snapshot();
         if let Some(hit) = self.cache.get_recorded(key, &self.recorder, now) {
-            if stale_ok && !self.choose(terms).iter().any(|&p| self.group_available(p)) {
+            if stale_ok && !self.choose(&snap, terms).iter().any(|&p| self.group_available(p)) {
                 self.counters.stale.fetch_add(1, Ordering::Relaxed);
                 self.record_outcome(key, now, ObsOutcome::StaleFromCache, None);
                 return EngineResponse { hits: hit, served: Served::StaleFromCache, latency: None };
@@ -926,14 +1080,31 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             self.record_outcome(key, now, ObsOutcome::CacheHit, None);
             return EngineResponse { hits: hit, served: Served::CacheHit, latency: None };
         }
-        self.evaluate_cold(terms, k, key, now)
+        self.evaluate_cold(&snap, terms, k, key, now)
+    }
+
+    /// A `k = 0` query asks for nothing: answer it empty and `Full`
+    /// without touching cache or backend, on every serving path alike
+    /// (the timed gather would otherwise report zero-of-n coverage as
+    /// `Partial`).
+    fn answer_k_zero(&self, key: u64, now: SimTime) -> EngineResponse {
+        self.counters.full.fetch_add(1, Ordering::Relaxed);
+        self.record_outcome(key, now, ObsOutcome::Full, Some(0));
+        EngineResponse { hits: Vec::new(), served: Served::Full, latency: Some(0) }
     }
 
     /// The cold path behind a cache miss: one choose-and-dispatch pass,
     /// scatter-gather evaluation, cache fill, and outcome accounting.
-    fn evaluate_cold(&self, terms: &[TermId], k: usize, key: u64, now: SimTime) -> EngineResponse {
-        let chosen = self.choose(terms);
-        let plan = self.dispatch_partitions(&chosen, terms, now, key);
+    fn evaluate_cold(
+        &self,
+        snap: &PartitionedIndex,
+        terms: &[TermId],
+        k: usize,
+        key: u64,
+        now: SimTime,
+    ) -> EngineResponse {
+        let chosen = self.choose(snap, terms);
+        let plan = self.dispatch_partitions(snap, &chosen, terms, now, key);
         self.account_dispatch(&plan);
         if plan.served.is_empty() {
             // Whole backend (for this query) is down, and the cache
@@ -942,7 +1113,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             self.record_outcome(key, now, ObsOutcome::Failed, None);
             return EngineResponse { hits: Vec::new(), served: Served::Failed, latency: None };
         }
-        self.evaluate_plan(terms, k, key, now, &plan)
+        self.evaluate_plan(snap, terms, k, key, now, &plan)
     }
 
     /// Evaluate a non-empty dispatch plan through the broker. The legacy
@@ -951,6 +1122,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
     /// completions into a deadline-aware gather.
     fn evaluate_plan(
         &self,
+        snap: &PartitionedIndex,
         terms: &[TermId],
         k: usize,
         key: u64,
@@ -961,10 +1133,10 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             let timing =
                 GatherTiming { completions: &plan.completions, deadline: self.gather_deadline };
             let (resp, answered) =
-                self.broker.query_selected_timed(terms, k, &plan.served, key, now, timing);
+                self.broker.query_selected_timed_in(snap, terms, k, &plan.served, key, now, timing);
             self.resolve_evaluated(key, now, plan, resp, Some(answered))
         } else {
-            let resp = self.broker.query_selected_at(terms, k, &plan.served, key, now);
+            let resp = self.broker.query_selected_at_in(snap, terms, k, &plan.served, key, now);
             self.resolve_evaluated(key, now, plan, resp, None)
         }
     }
@@ -1676,5 +1848,91 @@ mod tests {
             assert_eq!(a.latency, b.latency, "query {q}");
         }
         assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn k_zero_serves_empty_and_full_on_every_path() {
+        let pi = setup();
+        let e = DistributedEngine::new(&pi, LruCache::new(16), 2);
+        let r = e.query_full(&[TermId(1)], 0);
+        assert!(r.hits.is_empty());
+        assert_eq!(r.served, Served::Full);
+        assert_eq!(r.latency, Some(0));
+        // Timed path: the deadline gather must not report Partial.
+        let timed = DistributedEngine::new(&pi, LruCache::new(16), 2).with_gather_deadline(1);
+        let rt = timed.query_full(&[TermId(1)], 0);
+        assert_eq!(rt.served, Served::Full);
+        // Batch ≡ loop.
+        let batch = e.query_batch(&[vec![TermId(2)], vec![TermId(3)]], 0);
+        assert!(batch.iter().all(|r| r.hits.is_empty() && r.served == Served::Full));
+        assert_eq!(e.stats().full, 3);
+    }
+
+    fn live_setup(parts: u32, capacity: usize) -> Arc<dwr_partition::repart::RepartIndex> {
+        let corpus: Corpus =
+            (0..24u32).map(|d| vec![(TermId(d % 5), 2), (TermId(50 + d % 3), 1)]).collect();
+        let a = RoundRobinPartitioner.assign(&corpus, parts as usize);
+        Arc::new(dwr_partition::repart::RepartIndex::build(corpus, &a, parts as usize, capacity))
+    }
+
+    #[test]
+    fn live_engine_fires_scheduled_splits_exactly_once() {
+        use dwr_partition::repart::{SplitEvent, SplitFate, SplitSchedule};
+        let repart = live_setup(2, 8);
+        let schedule = SplitSchedule::from_events(
+            vec![
+                SplitEvent { at: 10, fate: SplitFate::Commit },
+                SplitEvent { at: 20, fate: SplitFate::CrashBeforePublish },
+                SplitEvent { at: 30, fate: SplitFate::CrashAfterPublish },
+            ],
+            100,
+        );
+        let e = DistributedEngine::new_live(&repart, LruCache::new(16), 2)
+            .with_splits(Arc::new(schedule));
+        assert_eq!(repart.epoch(), 0);
+        e.advance_to(15);
+        e.advance_to(15); // idempotent: the cursor already passed t=10
+        assert_eq!(repart.epoch(), 1, "commit fired once");
+        e.advance_to(25);
+        assert_eq!(repart.epoch(), 1, "crash-before-publish aborted");
+        e.advance_to(99);
+        assert_eq!(repart.epoch(), 2, "crash-after-publish rolled forward");
+        let stats = repart.repart_stats();
+        assert_eq!(stats.splits_committed, 2);
+        assert_eq!(stats.splits_aborted, 1);
+        repart.validate().expect("map never torn");
+    }
+
+    #[test]
+    fn live_engine_serves_identically_across_a_split() {
+        let repart = live_setup(2, 8);
+        let e = DistributedEngine::new_live(&repart, LruCache::new(1), 2);
+        let terms = [TermId(1), TermId(51)];
+        let before = e.query_full(&terms, 24);
+        assert_eq!(before.served, Served::Full);
+        repart.split(0, dwr_partition::repart::SplitFate::Commit).unwrap();
+        // Evict the cached entry so the post-split query re-evaluates
+        // against the new epoch's snapshot.
+        e.query_full(&[TermId(2)], 1);
+        let after = e.query_full(&terms, 24);
+        assert_eq!(after.served, Served::Full);
+        assert_eq!(before.hits, after.hits, "split-invariant scoring: same docs, same scores");
+    }
+
+    #[test]
+    #[should_panic(expected = "static partition layout")]
+    fn selection_rejects_live_index() {
+        let repart = live_setup(2, 8);
+        let sel = dwr_partition::select::CoriSelector::from_partitions(&repart.snapshot());
+        let _ = DistributedEngine::new_live(&repart, LruCache::new(16), 1)
+            .with_selection(Arc::new(sel), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "require a live index")]
+    fn splits_require_live_index() {
+        let pi = setup();
+        let schedule = dwr_partition::repart::SplitSchedule::generate(1, 100, 7);
+        let _ = DistributedEngine::new(&pi, LruCache::new(16), 1).with_splits(Arc::new(schedule));
     }
 }

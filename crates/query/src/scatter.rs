@@ -197,6 +197,67 @@ impl ScatterPool {
         out
     }
 
+    /// As [`Self::scatter`], with a caller-supplied label attached to
+    /// each task. A panicking task is re-raised on the caller with its
+    /// label in the panic message, so a crash inside a shard evaluation
+    /// racing a repartition identifies exactly which (epoch, partition)
+    /// was being served — see [`task_label`].
+    ///
+    /// # Panics
+    /// Panics if a task panics, with `scatter task [label …]` prefixed
+    /// to the original message.
+    pub fn scatter_labeled<T, F>(&self, tasks: Vec<(u64, F)>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let labels: Vec<u64> = tasks.iter().map(|&(label, _)| label).collect();
+        let n = tasks.len();
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        {
+            let mut state =
+                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (i, (_, task)) in tasks.into_iter().enumerate() {
+                let tx = tx.clone();
+                state.queue.push_back(Box::new(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                    let _ = tx.send((i, result));
+                }));
+            }
+        }
+        drop(tx);
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            self.shared.work_ready.notify_one();
+        } else {
+            self.shared.work_ready.notify_all();
+        }
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, result) = rx.recv().expect("scatter worker disappeared");
+            match result {
+                Ok(v) => slots[i] = Some(v),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    let label = labels[i];
+                    panic!(
+                        "scatter task [label {label:#018x}: epoch {}, partition {}] \
+                         panicked: {msg}",
+                        label >> 32,
+                        label & 0xffff_ffff,
+                    );
+                }
+            }
+        }
+        slots.into_iter().map(|s| s.expect("every task reported")).collect()
+    }
+
     /// As [`Self::scatter`], announcing the dispatch to `recorder` first
     /// (one [`Event::ScatterDispatch`] per batch, emitted from the
     /// coordinating thread *before* any worker runs, so the event stream
@@ -216,6 +277,14 @@ impl ScatterPool {
         recorder.record(Event::ScatterDispatch { qid, now, partitions: tasks.len() as u32 });
         self.scatter(tasks)
     }
+}
+
+/// The scatter-task label for a shard evaluation: epoch in the high 32
+/// bits, partition id in the low 32. Labels make a panic during a
+/// query-vs-split race attributable to the exact map snapshot that
+/// dispatched the work.
+pub fn task_label(epoch: u64, partition: u32) -> u64 {
+    (epoch << 32) | u64::from(partition)
 }
 
 impl Drop for ScatterPool {
@@ -482,6 +551,38 @@ mod tests {
         let ok: fn() -> u32 = || 1;
         let bad: fn() -> u32 = || panic!("batch boom");
         pool.scatter_batch(vec![vec![ok], vec![bad]]);
+    }
+
+    #[test]
+    fn scatter_labeled_preserves_task_order() {
+        let pool = ScatterPool::new(4);
+        let tasks: Vec<(u64, _)> = (0..16usize)
+            .map(|i| {
+                (task_label(3, i as u32), move || {
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        ((16 - i) % 4) as u64 * 40,
+                    ));
+                    i * 7
+                })
+            })
+            .collect();
+        assert_eq!(pool.scatter_labeled(tasks), (0..16).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch 5, partition 2")]
+    fn scatter_labeled_panic_names_epoch_and_partition() {
+        let pool = ScatterPool::new(2);
+        let ok: fn() -> u32 = || 1;
+        let bad: fn() -> u32 = || panic!("shard blew up");
+        pool.scatter_labeled(vec![(task_label(5, 0), ok), (task_label(5, 2), bad)]);
+    }
+
+    #[test]
+    fn task_label_packs_epoch_and_partition() {
+        assert_eq!(task_label(0, 0), 0);
+        assert_eq!(task_label(1, 3), (1 << 32) | 3);
+        assert_eq!(task_label(u32::MAX as u64, u32::MAX), u64::MAX);
     }
 
     #[test]

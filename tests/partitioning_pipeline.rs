@@ -3,6 +3,8 @@
 
 use distributed_web_retrieval::partition::doc::{DocPartitioner, RandomPartitioner};
 use distributed_web_retrieval::partition::parted::{corpus_from_web, PartitionedIndex};
+use distributed_web_retrieval::partition::quality::{global_top_k, size_balance};
+use distributed_web_retrieval::partition::repart::{RepartIndex, SplitFate};
 use distributed_web_retrieval::partition::select::CoriSelector;
 use distributed_web_retrieval::partition::stats::{
     query_global_stats, query_local_stats, result_overlap,
@@ -14,6 +16,7 @@ use distributed_web_retrieval::query::broker::DocBroker;
 use distributed_web_retrieval::query::pipeline::PipelinedTermEngine;
 use distributed_web_retrieval::querylog::model::QueryModel;
 use distributed_web_retrieval::sim::net::{SiteId, Topology};
+use distributed_web_retrieval::sim::stats::Imbalance;
 use distributed_web_retrieval::sim::SimRng;
 use distributed_web_retrieval::text::index::build_index;
 use distributed_web_retrieval::text::score::Bm25;
@@ -130,6 +133,58 @@ fn local_stats_rankings_are_close_on_random_partitions() {
     }
     let mean = total / s.queries.len() as f64;
     assert!(mean > 0.8, "mean overlap {mean}");
+}
+
+#[test]
+fn post_split_children_inherit_parent_quality() {
+    let s = setup();
+    let assignment = RandomPartitioner { seed: SEED }.assign(&s.corpus, K);
+    let before = PartitionedIndex::build(&s.corpus, &assignment, K);
+    let pre_balance = size_balance(&before);
+
+    let repart = RepartIndex::build(s.corpus.clone(), &assignment, K, K + 2);
+    let parent = repart.split_target().expect("a splittable partition exists");
+    let report = repart.split(parent, SplitFate::Commit).expect("capacity provisioned");
+    let after = repart.snapshot();
+    after.validate_epoch().expect("exactly-once invariant holds post-split");
+    let children = &report.children;
+
+    // Balance over the *active* layout. A split of the largest
+    // partition into near-equal halves (the pippin discipline) cannot
+    // raise the max, and only shifts the mean by the +1-partition
+    // factor; the max/mean ratio is therefore bounded by exactly that.
+    let sizes = after.sizes();
+    let (c0, c1) = (sizes[children[0] as usize], sizes[children[1] as usize]);
+    assert_eq!(c0 + c1, report.docs_split, "children partition the parent's documents");
+    assert!(c0.abs_diff(c1) <= 1, "children are near-equal halves: {c0} vs {c1}");
+    let active_sizes: Vec<f64> =
+        after.active_parts().iter().map(|&p| sizes[p as usize] as f64).collect();
+    let post_balance = Imbalance::of(&active_sizes);
+    let mean_shift = (K as f64 + 1.0) / K as f64;
+    assert!(
+        post_balance.max_over_mean <= pre_balance.max_over_mean * mean_shift + 1e-9,
+        "balance degraded beyond the mean shift: {} -> {}",
+        pre_balance.max_over_mean,
+        post_balance.max_over_mean
+    );
+
+    // Recall@partitions is inherited exactly: a global-top-k doc lived
+    // in the parent iff it now lives in one of its children, so any
+    // selection that swaps the parent for its children sees identical
+    // recall (ε = 0), query by query.
+    for q in &s.queries {
+        let topk = global_top_k(&s.corpus, q, 10);
+        let in_parent = topk.iter().filter(|&&d| before.partition_of(d) == parent).count();
+        let in_children =
+            topk.iter().filter(|&&d| children.contains(&after.partition_of(d))).count();
+        assert_eq!(in_parent, in_children, "recall moved across the split for {q:?}");
+        // Untouched partitions keep their documents verbatim.
+        for &d in &topk {
+            if before.partition_of(d) != parent {
+                assert_eq!(before.partition_of(d), after.partition_of(d));
+            }
+        }
+    }
 }
 
 #[test]

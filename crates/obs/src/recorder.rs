@@ -41,6 +41,10 @@ pub enum Outcome {
     /// Returned partial top-k at the gather deadline (some dispatched
     /// partitions answered too late to merge).
     Partial,
+    /// Evaluated on a routed subset of the active partitions: every
+    /// contacted partition answered, but the router deliberately skipped
+    /// the rest, so recall is bounded by the selector, not proven.
+    Routed,
 }
 
 /// How the site tier resolved a query (mirror of the
@@ -257,6 +261,46 @@ pub enum Event {
         /// Epoch that stayed live.
         epoch: u64,
     },
+    /// A shard router resolved one cold query: how many shards it
+    /// contacted out of the epoch's active set, how often the fallback
+    /// cascade broadened the contact set, and how full the returned
+    /// top-k was (a cheap online recall proxy — lost shards surface as
+    /// missing hits).
+    RouteServed {
+        /// Query key.
+        qid: u64,
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Distinct shards the router contacted for this query.
+        contacted: u32,
+        /// Active partitions in the query's epoch snapshot.
+        active: u32,
+        /// Fallback-cascade rounds beyond the initial top-*t* contact.
+        broadenings: u32,
+        /// Hits returned.
+        hits: u32,
+        /// Hits requested.
+        k: u32,
+    },
+    /// A router built (or inherited) the selector profile for one epoch
+    /// of the live index. Carries no query key — profiles are index-tier
+    /// state, like the repart family.
+    RouteProfile {
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Epoch the profile snapshot serves.
+        epoch: u64,
+        /// Profile generation (bumped by drift retrains).
+        generation: u64,
+    },
+    /// The drift detector refreshed the router's training profiles: all
+    /// epoch snapshots of the previous generation were discarded.
+    RouteRetrain {
+        /// Sim-clock instant.
+        now: SimTime,
+        /// Profile generation now in force.
+        generation: u64,
+    },
 }
 
 /// An observability sink for serving-path [`Event`]s.
@@ -323,6 +367,9 @@ pub struct ObsConfig {
     /// Register online-repartition instruments (`repart.*`). Off for
     /// static-layout stacks so their snapshots are unperturbed.
     pub repart: bool,
+    /// Register shard-routing instruments (`route.*`). Off for
+    /// exhaustive-fan-out stacks so their snapshots are unperturbed.
+    pub route: bool,
 }
 
 impl ObsConfig {
@@ -335,6 +382,7 @@ impl ObsConfig {
             span_capacity: 64,
             crawl: false,
             repart: false,
+            route: false,
         }
     }
 
@@ -348,6 +396,7 @@ impl ObsConfig {
             span_capacity: 64,
             crawl: false,
             repart: false,
+            route: false,
         }
     }
 
@@ -362,6 +411,7 @@ impl ObsConfig {
             span_capacity: 0,
             crawl: true,
             repart: false,
+            route: false,
         }
     }
 
@@ -375,6 +425,13 @@ impl ObsConfig {
     /// live index's *capacity* so post-split shard ids stay in range).
     pub fn with_repart(mut self) -> Self {
         self.repart = true;
+        self
+    }
+
+    /// Register the `route.*` instruments (shard-routing counters and
+    /// histograms).
+    pub fn with_route(mut self) -> Self {
+        self.route = true;
         self
     }
 }
@@ -430,6 +487,23 @@ struct RepartInstruments {
     epoch: Arc<Gauge>,
 }
 
+/// Shard-routing instruments, present only when [`ObsConfig::route`] is
+/// set. Counter names mirror the `RouterStats` fields so offline stats
+/// and live instruments can be cross-checked exactly (`exp_selective`
+/// pins this).
+#[derive(Debug)]
+struct RouteInstruments {
+    queries: Arc<Counter>,
+    shards_contacted: Arc<Counter>,
+    broadenings: Arc<Counter>,
+    covered: Arc<Counter>,
+    profiles: Arc<Counter>,
+    retrains: Arc<Counter>,
+    contacted_hist: Arc<Histogram>,
+    recall_proxy: Arc<Histogram>,
+    generation: Arc<Gauge>,
+}
+
 /// The live recorder: lock-free instruments in a [`Registry`] plus a
 /// sampled [`SpanRecorder`]. Share one per serving stack behind an
 /// `Arc` (a site tier's engines must all hold the same instance so the
@@ -451,6 +525,7 @@ pub struct ObsRecorder {
     out_failed: Arc<Counter>,
     out_shed: Arc<Counter>,
     out_partial: Arc<Counter>,
+    out_routed: Arc<Counter>,
     hedges: Arc<Counter>,
     latency_us: Arc<Histogram>,
     hedge_extra_us: Arc<Histogram>,
@@ -468,6 +543,7 @@ pub struct ObsRecorder {
     site: Option<SiteInstruments>,
     crawl: Option<CrawlInstruments>,
     repart: Option<RepartInstruments>,
+    route: Option<RouteInstruments>,
 }
 
 impl ObsRecorder {
@@ -514,6 +590,17 @@ impl ObsRecorder {
             children: registry.counter("repart.children"),
             epoch: registry.gauge("repart.epoch"),
         });
+        let route = cfg.route.then(|| RouteInstruments {
+            queries: registry.counter("route.queries"),
+            shards_contacted: registry.counter("route.shards_contacted"),
+            broadenings: registry.counter("route.broadenings"),
+            covered: registry.counter("route.covered"),
+            profiles: registry.counter("route.profiles"),
+            retrains: registry.counter("route.retrains"),
+            contacted_hist: registry.histogram("route.contacted"),
+            recall_proxy: registry.histogram("route.recall_proxy_pct"),
+            generation: registry.gauge("route.generation"),
+        });
         ObsRecorder {
             spans: SpanRecorder::new(cfg.span_sample, cfg.span_capacity),
             multi_site: site.is_some(),
@@ -527,6 +614,7 @@ impl ObsRecorder {
             out_failed: registry.counter("engine.served.failed"),
             out_shed: registry.counter("engine.served.shed"),
             out_partial: registry.counter("engine.served.partial"),
+            out_routed: registry.counter("engine.served.routed"),
             hedges: registry.counter("engine.hedges"),
             latency_us: registry.histogram("engine.latency_us"),
             hedge_extra_us: registry.histogram("engine.hedge_extra_us"),
@@ -541,6 +629,7 @@ impl ObsRecorder {
             site,
             crawl,
             repart,
+            route,
             registry,
         }
     }
@@ -639,6 +728,7 @@ impl Recorder for ObsRecorder {
                     Outcome::Failed => self.out_failed.inc(),
                     Outcome::Shed => self.out_shed.inc(),
                     Outcome::Partial => self.out_partial.inc(),
+                    Outcome::Routed => self.out_routed.inc(),
                 }
                 if let Some(l) = latency_us {
                     self.latency_us.record(l as f64);
@@ -748,6 +838,35 @@ impl Recorder for ObsRecorder {
             Event::RepartAbort { .. } => {
                 if let Some(r) = &self.repart {
                     r.aborts.inc();
+                }
+            }
+            // Route events are counters/histograms only: the routed
+            // query's span is already traced by the ordinary serving
+            // events, and profile/retrain events carry no query key.
+            Event::RouteServed { qid: _, now: _, contacted, active, broadenings, hits, k } => {
+                if let Some(r) = &self.route {
+                    r.queries.inc();
+                    r.shards_contacted.add(u64::from(contacted));
+                    r.broadenings.add(u64::from(broadenings));
+                    if contacted >= active {
+                        r.covered.inc();
+                    }
+                    r.contacted_hist.record(f64::from(contacted));
+                    if k > 0 {
+                        r.recall_proxy.record(100.0 * f64::from(hits) / f64::from(k));
+                    }
+                }
+            }
+            Event::RouteProfile { now: _, epoch: _, generation } => {
+                if let Some(r) = &self.route {
+                    r.profiles.inc();
+                    r.generation.set(generation as f64);
+                }
+            }
+            Event::RouteRetrain { now: _, generation } => {
+                if let Some(r) = &self.route {
+                    r.retrains.inc();
+                    r.generation.set(generation as f64);
                 }
             }
         }
@@ -876,6 +995,49 @@ mod tests {
         let fixed = ObsRecorder::new(ObsConfig::single_site(4));
         fixed.record(Event::RepartSplit { now: 0, parent: 0, children: 2, epoch: 1 });
         assert!(fixed.snapshot().counter("repart.splits").is_none());
+    }
+
+    #[test]
+    fn route_events_land_in_route_instruments_only_when_enabled() {
+        let rec = ObsRecorder::new(ObsConfig::single_site(4).with_route());
+        rec.record(Event::RouteProfile { now: 1, epoch: 0, generation: 0 });
+        rec.record(Event::RouteServed {
+            qid: 7,
+            now: 2,
+            contacted: 2,
+            active: 4,
+            broadenings: 1,
+            hits: 9,
+            k: 10,
+        });
+        rec.record(Event::RouteServed {
+            qid: 8,
+            now: 3,
+            contacted: 4,
+            active: 4,
+            broadenings: 0,
+            hits: 10,
+            k: 10,
+        });
+        rec.record(Event::RouteRetrain { now: 4, generation: 1 });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("route.queries"), Some(2));
+        assert_eq!(snap.counter("route.shards_contacted"), Some(6));
+        assert_eq!(snap.counter("route.broadenings"), Some(1));
+        assert_eq!(snap.counter("route.covered"), Some(1));
+        assert_eq!(snap.counter("route.profiles"), Some(1));
+        assert_eq!(snap.counter("route.retrains"), Some(1));
+        assert_eq!(snap.gauge("route.generation"), Some(1.0));
+        let hist = snap.histogram("route.contacted").expect("contacted histogram");
+        assert_eq!(hist.count(), 2);
+        let recall = snap.histogram("route.recall_proxy_pct").expect("recall histogram");
+        assert_eq!(recall.count(), 2);
+        assert!(rec.spans().is_empty(), "route events never open spans");
+
+        // A recorder without the route family ignores route events entirely.
+        let fixed = ObsRecorder::new(ObsConfig::single_site(4));
+        fixed.record(Event::RouteRetrain { now: 0, generation: 1 });
+        assert!(fixed.snapshot().counter("route.retrains").is_none());
     }
 
     #[test]

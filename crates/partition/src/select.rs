@@ -87,7 +87,7 @@ impl CollectionSelector for CoriSelector {
                 (c as u32, s)
             })
             .collect();
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        sort_ranked(&mut scores);
         scores
     }
     fn name(&self) -> &'static str {
@@ -95,23 +95,70 @@ impl CollectionSelector for CoriSelector {
     }
 }
 
+/// Order `(partition, score)` pairs best first, ties by lower partition
+/// id. `total_cmp` keeps the sort total even when a degenerate training
+/// log (a NaN query weight, an empty profile) produces NaN scores —
+/// `partial_cmp` would panic the broker on such a query.
+fn sort_ranked(scores: &mut [(u32, f64)]) {
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+}
+
 /// The query-driven selector: partitions are scored by the term profiles
 /// learned from training-query routing (PCAP-style).
-#[derive(Debug)]
+///
+/// A query whose terms appear in **no** trained profile is *cold*: every
+/// partition scores 0.0 and the ranking degenerates to partition-id
+/// order, which routes arbitrarily. [`Self::with_fallback`] delegates
+/// such queries to another selector (typically CORI, whose
+/// collection-internal statistics cover every indexed term) instead of
+/// guessing.
 pub struct QueryDrivenSelector {
     profiles: Vec<HashMap<u32, f64>>,
+    /// Selector consulted for cold queries; `None` keeps the historical
+    /// all-zero ranking.
+    fallback: Option<Box<dyn CollectionSelector + Send + Sync>>,
+}
+
+impl std::fmt::Debug for QueryDrivenSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryDrivenSelector")
+            .field("profiles", &self.profiles.len())
+            .field("fallback", &self.fallback.as_ref().map(|s| s.name()))
+            .finish()
+    }
 }
 
 impl QueryDrivenSelector {
     /// Learn profiles from training results and the assignment they
     /// produced.
     pub fn train(training: &TrainingResults, assignment: &[u32], k: usize) -> Self {
-        QueryDrivenSelector { profiles: partition_term_profiles(training, assignment, k) }
+        QueryDrivenSelector {
+            profiles: partition_term_profiles(training, assignment, k),
+            fallback: None,
+        }
+    }
+
+    /// Delegate cold queries (no term in any trained profile) to
+    /// `fallback` instead of scoring every partition 0.0.
+    pub fn with_fallback(mut self, fallback: Box<dyn CollectionSelector + Send + Sync>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Whether no term of `terms` appears in any trained profile — the
+    /// profiles carry no routing signal for this query.
+    pub fn is_cold(&self, terms: &[TermId]) -> bool {
+        terms.iter().all(|t| self.profiles.iter().all(|prof| !prof.contains_key(&t.0)))
     }
 }
 
 impl CollectionSelector for QueryDrivenSelector {
     fn rank(&self, terms: &[TermId]) -> Vec<(u32, f64)> {
+        if let Some(fb) = &self.fallback {
+            if self.is_cold(terms) {
+                return fb.rank(terms);
+            }
+        }
         let mut scores: Vec<(u32, f64)> = self
             .profiles
             .iter()
@@ -121,7 +168,7 @@ impl CollectionSelector for QueryDrivenSelector {
                 (c as u32, s)
             })
             .collect();
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        sort_ranked(&mut scores);
         scores
     }
     fn name(&self) -> &'static str {
@@ -228,6 +275,65 @@ mod tests {
     #[test]
     fn query_driven_unseen_terms_score_zero() {
         let sel = QueryDrivenSelector::train(&TrainingResults::default(), &[0, 1], 2);
+        let r = sel.rank(&[TermId(5)]);
+        assert!(r.iter().all(|&(_, s)| s == 0.0));
+    }
+
+    /// Regression: a NaN query weight in the training log used to
+    /// propagate into the profiles and panic the `partial_cmp` sort on
+    /// the serving path. `total_cmp` keeps the ranking total — no panic,
+    /// deterministic output, every partition still present.
+    #[test]
+    fn query_driven_nan_scores_rank_without_panicking() {
+        let training = TrainingResults {
+            queries: vec![
+                (vec![TermId(1)], f64::NAN, vec![0, 1]),
+                (vec![TermId(101)], 1.0, vec![10, 11]),
+            ],
+        };
+        let assignment: Vec<u32> = (0..20).map(|d| u32::from(d >= 10)).collect();
+        let sel = QueryDrivenSelector::train(&training, &assignment, 2);
+        let a = sel.rank(&[TermId(1), TermId(101)]);
+        let b = sel.rank(&[TermId(1), TermId(101)]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(
+            a.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            b.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            "NaN scores must rank deterministically"
+        );
+    }
+
+    #[test]
+    fn cori_degenerate_scores_rank_without_panicking() {
+        let pi = topical_partitions();
+        let cori = CoriSelector::from_partitions(&pi);
+        // Empty queries score 0.0 everywhere; the sort must stay total.
+        let r = cori.rank(&[]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].0, 0, "ties break by lower partition id");
+    }
+
+    #[test]
+    fn query_driven_cold_query_delegates_to_fallback() {
+        let pi = topical_partitions();
+        let training = TrainingResults { queries: vec![(vec![TermId(1)], 1.0, vec![0, 1])] };
+        let assignment: Vec<u32> = (0..20).map(|d| u32::from(d >= 10)).collect();
+        let sel = QueryDrivenSelector::train(&training, &assignment, 2)
+            .with_fallback(Box::new(CoriSelector::from_partitions(&pi)));
+        // Term 101 was never trained on, but CORI's content statistics
+        // know it lives in partition 1: the fallback routes it there.
+        assert!(sel.is_cold(&[TermId(101)]));
+        assert_eq!(sel.rank(&[TermId(101)])[0].0, 1);
+        assert!(sel.rank(&[TermId(101)])[0].1 > 0.0, "CORI scores, not all-zero");
+        // Warm queries still use the trained profiles.
+        assert!(!sel.is_cold(&[TermId(1), TermId(9999)]));
+        assert_eq!(sel.rank(&[TermId(1)])[0].0, 0);
+    }
+
+    #[test]
+    fn query_driven_cold_query_without_fallback_keeps_zero_scores() {
+        let sel = QueryDrivenSelector::train(&TrainingResults::default(), &[0, 1], 2);
+        assert!(sel.is_cold(&[TermId(5)]));
         let r = sel.rank(&[TermId(5)]);
         assert!(r.iter().all(|&(_, s)| s == 0.0));
     }

@@ -61,6 +61,7 @@ use crate::broker::{BatchQuery, BrokeredResponse, DocBroker, GatherTiming, Globa
 use crate::cache::{ResultCache, ShardedCache};
 use crate::faults::FaultSchedule;
 use crate::replica::ReplicaGroup;
+use crate::route::{merge_topk, ShardRouter};
 use crate::straggler::StragglerModel;
 use dwr_obs::{Event, Histogram, NoopRecorder, Outcome as ObsOutcome, Recorder};
 use dwr_partition::parted::PartitionedIndex;
@@ -111,6 +112,19 @@ pub enum Served {
         /// Dispatched partitions whose answers arrived in time to merge.
         partitions_answered: usize,
     },
+    /// Evaluated on a routed subset of the active partitions: every
+    /// contacted partition answered, but the [`crate::route::ShardRouter`]
+    /// deliberately skipped the rest, so recall is bounded by the
+    /// selector rather than proven. `Full` is reserved for answers
+    /// where routing provably lost nothing (every active partition was
+    /// contacted). Routed answers **are** cached: routing is a
+    /// deterministic function of the query and the epoch's profiles, so
+    /// the cached entry equals what re-evaluation would produce.
+    Routed {
+        /// Partitions the router contacted (initial tranche plus any
+        /// broadening rounds).
+        partitions_contacted: usize,
+    },
 }
 
 /// When the engine launches a hedged (duplicate) request on a second
@@ -159,6 +173,10 @@ pub struct EngineStats {
     pub cancelled: u64,
     /// Responses returned partial at the gather deadline.
     pub partial: u64,
+    /// Answers evaluated on a routed subset of the active partitions.
+    pub routed: u64,
+    /// Fallback-cascade broadening rounds taken by routed queries.
+    pub broadenings: u64,
     /// Simulated µs of work burned on hedges that did not serve the
     /// answer: cancelled losers and hedges that died mid-flight.
     pub hedge_work_us: u64,
@@ -187,6 +205,8 @@ struct Counters {
     hedged: AtomicU64,
     cancelled: AtomicU64,
     partial: AtomicU64,
+    routed: AtomicU64,
+    broadenings: AtomicU64,
     hedge_work_us: AtomicU64,
 }
 
@@ -273,9 +293,10 @@ pub struct DistributedEngine<C: ResultCache, R: Recorder = NoopRecorder> {
     cache: ShardedCache<C>,
     groups: Vec<Mutex<ReplicaGroup>>,
     counters: Counters,
-    /// Partitions to query per request when a selector is used.
-    selection_width: Option<usize>,
-    selector: Option<Arc<dyn CollectionSelector + Send + Sync>>,
+    /// Routing stage: when present, cold queries contact only the
+    /// router's chosen partitions (with its recall-safe cascade) instead
+    /// of every active partition.
+    router: Option<Arc<ShardRouter>>,
     /// Outage schedule consulted at dispatch time and by `advance_to`.
     faults: Option<Arc<FaultSchedule>>,
     /// Per-query latency budget gating hedged retries.
@@ -327,8 +348,7 @@ impl<C: ResultCache> DistributedEngine<C> {
             cache: ShardedCache::single(cache),
             groups,
             counters: Counters::default(),
-            selection_width: None,
-            selector: None,
+            router: None,
             faults: None,
             deadline: None,
             policy: HedgePolicy::default(),
@@ -355,8 +375,7 @@ impl<C: ResultCache> DistributedEngine<C> {
             cache: ShardedCache::single(cache),
             groups,
             counters: Counters::default(),
-            selection_width: None,
-            selector: None,
+            router: None,
             faults: None,
             deadline: None,
             policy: HedgePolicy::default(),
@@ -384,8 +403,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             cache: self.cache,
             groups: self.groups,
             counters: self.counters,
-            selection_width: self.selection_width,
-            selector: self.selector,
+            router: self.router,
             faults: self.faults,
             deadline: self.deadline,
             policy: self.policy,
@@ -404,10 +422,12 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         &self.recorder
     }
 
-    /// Enable collection selection: only the top-`m` partitions serve each
-    /// query.
+    /// Enable collection selection: only the top-`m` partitions serve
+    /// each query. Sugar for a fixed-source [`ShardRouter`] with no
+    /// fallback cascade; answers on fewer than all partitions report
+    /// [`Served::Routed`] (honest coverage), not `Full`.
     pub fn with_selection(
-        mut self,
+        self,
         selector: Arc<dyn CollectionSelector + Send + Sync>,
         m: usize,
     ) -> Self {
@@ -416,11 +436,29 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             self.repart.is_none(),
             "collection selection requires a static partition layout \
              (selectors rank the partitions they were built from; a live \
-             index retires those ids as it splits)"
+             index retires those ids as it splits). Use with_router with \
+             an epoch-rebuilding source (ShardRouter::cori / \
+             ShardRouter::query_driven) on a live index instead."
         );
-        self.selector = Some(selector);
-        self.selection_width = Some(m);
+        self.with_router(Arc::new(ShardRouter::fixed(selector, m)))
+    }
+
+    /// Attach a routing stage: cold queries contact only the router's
+    /// top-*t* active partitions (per the query's own epoch snapshot),
+    /// broadening recall-safely when the routed answer is deficient.
+    /// Composes with live indexes ([`Self::new_live`]) — the router
+    /// rebuilds selector profiles per epoch — and with hedging,
+    /// deadlines, and stragglers, which apply unchanged on the contacted
+    /// subset. [`Self::advance_to`] drives the router's drift-refresh
+    /// loop when one is configured.
+    pub fn with_router(mut self, router: Arc<ShardRouter>) -> Self {
+        self.router = Some(router);
         self
+    }
+
+    /// The attached routing stage, if any.
+    pub fn router(&self) -> Option<&Arc<ShardRouter>> {
+        self.router.as_ref()
     }
 
     /// Attach a deterministic split storm: [`Self::advance_to`] fires
@@ -544,6 +582,9 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
     pub fn advance_to(&self, t: SimTime) {
         self.clock.store(t, Ordering::Relaxed);
         self.fire_due_splits(t);
+        if let Some(router) = &self.router {
+            router.maybe_refresh(t, &self.recorder);
+        }
         let Some(faults) = &self.faults else { return };
         for (p, group) in self.groups.iter().enumerate() {
             let replicas = faults.num_replicas(p);
@@ -626,14 +667,17 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         self.groups.iter().map(|g| lock_recovering(g).dispatched().to_vec()).collect()
     }
 
-    /// The partitions a query would address (before availability): the
-    /// selector's top-`m`, or every partition *active in the query's
-    /// snapshot* — on a static index that is `0..num_partitions`, on a
-    /// live one it is the current epoch's leaves.
-    fn choose(&self, snap: &PartitionedIndex, terms: &[TermId]) -> Vec<u32> {
-        match (&self.selector, self.selection_width) {
-            (Some(sel), Some(m)) => sel.rank(terms).into_iter().take(m).map(|(p, _)| p).collect(),
-            _ => snap.active_parts(),
+    /// The partitions a query *could* address (before availability): the
+    /// router's reachable set (initial tranche plus every broadening
+    /// step), or every partition *active in the query's snapshot* — on a
+    /// static index that is `0..num_partitions`, on a live one it is the
+    /// current epoch's leaves. Drives the stale-serving decision: the
+    /// backend counts as down for a query only when none of these
+    /// partitions has an available replica group.
+    fn reachable(&self, snap: &PartitionedIndex, terms: &[TermId]) -> Vec<u32> {
+        match &self.router {
+            Some(router) => router.reachable(snap, terms),
+            None => snap.active_parts(),
         }
     }
 
@@ -733,7 +777,32 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
                 continue;
             }
             pending.insert(key);
-            slots.push(Slot::Cold { key, chosen: self.choose(&snap, terms) });
+            let chosen = if self.router.is_some() { Vec::new() } else { snap.active_parts() };
+            slots.push(Slot::Cold { key, chosen });
+        }
+        // --- Routed engines resolve every cold slot per query, in query
+        // order: the cascade's later tranches depend on earlier rounds'
+        // answers, so its dispatches cannot be staged partition-outer up
+        // front. Each group's round-robin cursor therefore sees exactly
+        // the loop form's dispatch sequence — batch ≡ loop holds by
+        // construction (events phase-ordered as documented above).
+        if self.router.is_some() {
+            return slots
+                .into_iter()
+                .zip(queries)
+                .map(|(slot, terms)| match slot {
+                    Slot::Done(r) => r,
+                    Slot::Dup { key } => match self.cache.get_recorded(key, &self.recorder, now) {
+                        Some(hit) => {
+                            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            self.record_outcome(key, now, ObsOutcome::CacheHit, None);
+                            EngineResponse { hits: hit, served: Served::CacheHit, latency: None }
+                        }
+                        None => self.evaluate_cold(&snap, terms, k, key, now),
+                    },
+                    Slot::Cold { key, .. } => self.evaluate_cold(&snap, terms, k, key, now),
+                })
+                .collect();
         }
         // --- Dispatch, partition-outer: one lock acquisition per replica
         // group for the whole batch. Within a group, queries dispatch in
@@ -1071,7 +1140,7 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         // committing mid-query cannot tear the partition set.
         let snap = self.broker.snapshot();
         if let Some(hit) = self.cache.get_recorded(key, &self.recorder, now) {
-            if stale_ok && !self.choose(&snap, terms).iter().any(|&p| self.group_available(p)) {
+            if stale_ok && !self.reachable(&snap, terms).iter().any(|&p| self.group_available(p)) {
                 self.counters.stale.fetch_add(1, Ordering::Relaxed);
                 self.record_outcome(key, now, ObsOutcome::StaleFromCache, None);
                 return EngineResponse { hits: hit, served: Served::StaleFromCache, latency: None };
@@ -1095,6 +1164,8 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
 
     /// The cold path behind a cache miss: one choose-and-dispatch pass,
     /// scatter-gather evaluation, cache fill, and outcome accounting.
+    /// With a router attached, dispatch runs the routed cascade instead
+    /// of fanning out to every active partition.
     fn evaluate_cold(
         &self,
         snap: &PartitionedIndex,
@@ -1103,7 +1174,10 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
         key: u64,
         now: SimTime,
     ) -> EngineResponse {
-        let chosen = self.choose(snap, terms);
+        if let Some(router) = &self.router {
+            return self.evaluate_routed(router, snap, terms, k, key, now);
+        }
+        let chosen = snap.active_parts();
         let plan = self.dispatch_partitions(snap, &chosen, terms, now, key);
         self.account_dispatch(&plan);
         if plan.served.is_empty() {
@@ -1114,6 +1188,124 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             return EngineResponse { hits: Vec::new(), served: Served::Failed, latency: None };
         }
         self.evaluate_plan(snap, terms, k, key, now, &plan)
+    }
+
+    /// The routed cold path: contact the router's tranches in order —
+    /// each through the **same** dispatch pass as the unrouted engine,
+    /// so hedging, deadlines, and stragglers apply unchanged on the
+    /// contacted subset — merging round answers through the broker's
+    /// top-k comparator and broadening while the merged answer is
+    /// deficient. With `width >= active` the plan is one tranche equal
+    /// to `active_parts()` and this degenerates bit-identically to the
+    /// unrouted path (`tests/route_chaos.rs` pins it).
+    ///
+    /// Honest coverage: `Full` only when every active partition was
+    /// contacted; [`Served::Routed`] when the router skipped some and
+    /// every contacted one answered; `Degraded`/`Partial`/`Failed` keep
+    /// their meanings (and their priority) from the unrouted path.
+    /// Cascade rounds are decided at admission time against the query's
+    /// one epoch snapshot; round latencies are charged additively.
+    fn evaluate_routed(
+        &self,
+        router: &ShardRouter,
+        snap: &PartitionedIndex,
+        terms: &[TermId],
+        k: usize,
+        key: u64,
+        now: SimTime,
+    ) -> EngineResponse {
+        let selector = router.profile_for(snap, now, &self.recorder);
+        let decision = router.decide(selector.as_ref(), snap, terms);
+        let mut hits: Vec<GlobalHit> = Vec::new();
+        let mut latency: SimTime = 0;
+        let mut contacted = 0usize;
+        let mut missing = 0usize;
+        let mut served_total = 0usize;
+        let mut answered_total = 0usize;
+        let mut partial = false;
+        let mut broadenings = 0u32;
+        for (round, tranche) in decision.tranches.iter().enumerate() {
+            if round > 0 {
+                if !router.deficient(&hits, k) {
+                    break;
+                }
+                broadenings += 1;
+            }
+            contacted += tranche.len();
+            let plan = self.dispatch_partitions(snap, tranche, terms, now, key);
+            self.account_dispatch(&plan);
+            missing += plan.missing;
+            if plan.served.is_empty() {
+                // An entirely-unavailable tranche merges nothing; the
+                // deficiency check naturally broadens past it.
+                continue;
+            }
+            served_total += plan.served.len();
+            let resp = if self.timed() {
+                let timing =
+                    GatherTiming { completions: &plan.completions, deadline: self.gather_deadline };
+                let (resp, answered) = self.broker.query_selected_timed_in(
+                    snap,
+                    terms,
+                    k,
+                    &plan.served,
+                    key,
+                    now,
+                    timing,
+                );
+                answered_total += answered;
+                partial |= answered < plan.served.len();
+                latency += resp.latency;
+                resp
+            } else {
+                let resp = self.broker.query_selected_at_in(snap, terms, k, &plan.served, key, now);
+                latency += resp.latency + plan.hedge_extra;
+                resp
+            };
+            hits = if hits.is_empty() { resp.hits } else { merge_topk(&hits, &resp.hits, k) };
+        }
+        router.account(contacted, decision.active, broadenings);
+        self.counters.broadenings.fetch_add(u64::from(broadenings), Ordering::Relaxed);
+        self.recorder.record(Event::RouteServed {
+            qid: key,
+            now,
+            contacted: contacted as u32,
+            active: decision.active as u32,
+            broadenings,
+            hits: hits.len() as u32,
+            k: k as u32,
+        });
+        if served_total == 0 {
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            self.record_outcome(key, now, ObsOutcome::Failed, None);
+            return EngineResponse { hits: Vec::new(), served: Served::Failed, latency: None };
+        }
+        if partial {
+            // Same rule as the unrouted timed gather: report coverage
+            // exactly, and never cache a truncated answer.
+            self.counters.partial.fetch_add(1, Ordering::Relaxed);
+            self.record_outcome(key, now, ObsOutcome::Partial, Some(latency));
+            return EngineResponse {
+                hits,
+                served: Served::Partial { partitions_answered: answered_total },
+                latency: Some(latency),
+            };
+        }
+        self.cache.put(key, hits.clone());
+        let served = if missing > 0 {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            self.record_outcome(key, now, ObsOutcome::Degraded, Some(latency));
+            Served::Degraded { missing }
+        } else if contacted < decision.active {
+            self.counters.routed.fetch_add(1, Ordering::Relaxed);
+            self.record_outcome(key, now, ObsOutcome::Routed, Some(latency));
+            Served::Routed { partitions_contacted: contacted }
+        } else {
+            self.counters.full.fetch_add(1, Ordering::Relaxed);
+            self.record_outcome(key, now, ObsOutcome::Full, Some(latency));
+            Served::Full
+        };
+        EngineResponse { hits, served, latency: Some(latency) }
     }
 
     /// Evaluate a non-empty dispatch plan through the broker. The legacy
@@ -1212,6 +1404,8 @@ impl<C: ResultCache, R: Recorder> DistributedEngine<C, R> {
             hedged: self.counters.hedged.load(Ordering::Relaxed),
             cancelled: self.counters.cancelled.load(Ordering::Relaxed),
             partial: self.counters.partial.load(Ordering::Relaxed),
+            routed: self.counters.routed.load(Ordering::Relaxed),
+            broadenings: self.counters.broadenings.load(Ordering::Relaxed),
             hedge_work_us: self.counters.hedge_work_us.load(Ordering::Relaxed),
         }
     }
@@ -1302,9 +1496,15 @@ mod tests {
         let sel = dwr_partition::select::CoriSelector::from_partitions(&pi);
         let e = DistributedEngine::new(&pi, LruCache::new(16), 1).with_selection(Arc::new(sel), 2);
         let (hits, s) = e.query(&[TermId(1)], 24);
-        assert_eq!(s, Served::Full);
+        // Honest coverage: 2 of 4 partitions answered, which is routed
+        // service, not Full — routing may have lost recall.
+        assert_eq!(s, Served::Routed { partitions_contacted: 2 });
         // Only 2 of 4 partitions answered: at most 12 of 24 docs reachable.
         assert!(hits.len() <= 12);
+        assert_eq!(e.stats().routed, 1);
+        // Routed answers are cached: routing is deterministic.
+        let (_, again) = e.query(&[TermId(1)], 24);
+        assert_eq!(again, Served::CacheHit);
     }
 
     #[test]
@@ -1490,7 +1690,8 @@ mod tests {
                 Served::CacheHit
                 | Served::StaleFromCache
                 | Served::Shed
-                | Served::Partial { .. } => {
+                | Served::Partial { .. }
+                | Served::Routed { .. } => {
                     unreachable!("distinct cold queries on a single-site engine")
                 }
             };

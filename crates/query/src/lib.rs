@@ -17,6 +17,11 @@
 //! * [`replica`] — replica groups with failover dispatch, and a
 //!   primary-backup replicated user-profile store for personalization
 //!   state (Section 5's consistency discussion);
+//! * [`route`] — selective search on the serving path: a
+//!   [`route::ShardRouter`] wraps a collection selector, contacts only
+//!   the top-*t* shards per query with a recall-safe broadening cascade,
+//!   snapshots selector statistics per epoch (so routing composes with
+//!   live repartitioning), and retrains profiles on topic drift;
 //! * [`site`] — multi-site routing: geographic (DNS-style) routing,
 //!   load-aware offloading across time zones \[33\], and site-failure
 //!   failover;
@@ -62,6 +67,7 @@ pub mod multisite;
 pub mod personalize;
 pub mod pipeline;
 pub mod replica;
+pub mod route;
 pub mod routing;
 pub mod scatter;
 pub mod site;
@@ -74,5 +80,6 @@ pub use engine::HedgePolicy;
 pub use faults::FaultSchedule;
 pub use multisite::{MultiSiteConfig, MultiSiteEngine, MultiSiteStats, SiteEngineSpec};
 pub use pipeline::PipelinedTermEngine;
+pub use route::{DriftRefresh, RouteSource, RouterStats, ShardRouter};
 pub use scatter::ScatterPool;
 pub use straggler::{StragglerModel, TailParams};

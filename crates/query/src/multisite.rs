@@ -177,6 +177,10 @@ pub struct MultiSiteStats {
     /// Of the served queries, how many came back degraded (missing
     /// partitions at the serving site).
     pub degraded: u64,
+    /// Of the served queries, how many were answered on a routed subset
+    /// of the serving site's partitions ([`Served::Routed`]). Routing is
+    /// deliberate — these are *not* counted as degraded.
+    pub routed: u64,
     /// Shed by admission control: every live site was over its threshold.
     pub shed_overload: u64,
     /// Shed by the WAN budget: deadline or attempt cap exhausted while
@@ -218,6 +222,7 @@ struct Counters {
     served_local: AtomicU64,
     served_remote: AtomicU64,
     degraded: AtomicU64,
+    routed: AtomicU64,
     shed_overload: AtomicU64,
     shed_deadline: AtomicU64,
     failed: AtomicU64,
@@ -423,6 +428,9 @@ impl<C: ResultCache, R: Recorder + Clone> MultiSiteEngine<C, R> {
             ) {
                 self.counters.degraded.fetch_add(1, Ordering::Relaxed);
             }
+            if matches!(r.served, Served::Routed { .. }) {
+                self.counters.routed.fetch_add(1, Ordering::Relaxed);
+            }
             self.counters.wan_hops.fetch_add(u64::from(hops), Ordering::Relaxed);
             self.counters.added_latency_us.fetch_add(spent + wan, Ordering::Relaxed);
             self.recorder.record(Event::SiteOutcome {
@@ -503,6 +511,7 @@ impl<C: ResultCache, R: Recorder + Clone> MultiSiteEngine<C, R> {
             served_local: self.counters.served_local.load(Ordering::Relaxed),
             served_remote: self.counters.served_remote.load(Ordering::Relaxed),
             degraded: self.counters.degraded.load(Ordering::Relaxed),
+            routed: self.counters.routed.load(Ordering::Relaxed),
             shed_overload: self.counters.shed_overload.load(Ordering::Relaxed),
             shed_deadline: self.counters.shed_deadline.load(Ordering::Relaxed),
             failed: self.counters.failed.load(Ordering::Relaxed),
@@ -564,6 +573,30 @@ mod tests {
         let s = e.stats();
         assert_eq!((s.served_local, s.served_remote, s.wan_hops), (1, 0, 0));
         assert_eq!(s.added_latency_us, 0, "no WAN cost for local service");
+    }
+
+    #[test]
+    fn routed_service_is_counted_but_not_degraded() {
+        use crate::route::ShardRouter;
+        use std::sync::Arc;
+        let pi = index();
+        let sites = (0..3)
+            .map(|s| SiteEngineSpec {
+                region: s as u16,
+                capacity_qps: 100.0,
+                engine: DistributedEngine::new(&pi, LruCache::new(16), 1)
+                    .with_router(Arc::new(ShardRouter::cori(2))),
+                outages: Site::always_up(DAY),
+            })
+            .collect();
+        let e = MultiSiteEngine::new(sites, Topology::geo_ring(3), MultiSiteConfig::default());
+        // k=1 is satisfied inside the top-2 tranche, so the answer is
+        // honestly Routed, deliberate — not a degradation.
+        let r = e.query(1, &[TermId(1)], 1);
+        assert_eq!(r.served, Served::Routed { partitions_contacted: 2 });
+        let s = e.stats();
+        assert_eq!((s.routed, s.degraded, s.failed), (1, 0, 0));
+        assert_eq!(s.total(), 1);
     }
 
     #[test]

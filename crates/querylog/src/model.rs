@@ -114,6 +114,24 @@ impl QueryModel {
     pub fn topic_weights(&self) -> &[f64] {
         &self.topic_weights
     }
+
+    /// Draw one query id according to popularity, **restricted to
+    /// `topic`**: draws are rejection-sampled until one lands on the
+    /// topic, preserving the Zipf head/tail structure within it. Feeds
+    /// drifting workloads ([`crate::drift::TopicDrift`] picks the topic,
+    /// this picks the query). Falls back to an unrestricted draw when
+    /// the universe has no query of `topic`.
+    pub fn sample_topical(&self, topic: TopicId, rng: &mut SimRng) -> QueryId {
+        if !self.queries.iter().any(|q| q.topic == topic) {
+            return self.sample(rng);
+        }
+        loop {
+            let id = self.sample(rng);
+            if self.query(id).topic == topic {
+                return id;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +187,19 @@ mod tests {
         let uniform = QueryModel::generate(&c, 5000, 0.0, 0.9, 11);
         let topic0u = (0..5000).filter(|&i| uniform.query(QueryId(i)).topic == TopicId(0)).count();
         assert!((topic0u as f64 / 5000.0 - 1.0 / 8.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sample_topical_stays_on_topic() {
+        let m = QueryModel::generate(&content(), 2000, 0.5, 0.9, 13);
+        let mut rng = SimRng::new(14);
+        for t in 0..4u16 {
+            let id = m.sample_topical(TopicId(t), &mut rng);
+            assert_eq!(m.query(id).topic, TopicId(t));
+        }
+        // An absent topic falls back to an unrestricted draw.
+        let id = m.sample_topical(TopicId(200), &mut rng);
+        assert!(id.0 < 2000);
     }
 
     #[test]

@@ -77,6 +77,7 @@ fn single_thread_chaos(
             }
             Served::Shed => unreachable!("a single-site engine never sheds"),
             Served::Partial { .. } => unreachable!("no gather deadline configured"),
+            Served::Routed { .. } => unreachable!("no router configured"),
             Served::CacheHit | Served::Full | Served::StaleFromCache => {}
         }
     }

@@ -415,6 +415,23 @@ impl ObsConfig {
         }
     }
 
+    /// Config for a whole-system soak: one registry carrying every
+    /// family at once — the serving instruments of `sites` engines over
+    /// `partitions` shard slots (size to the live index's *capacity* so
+    /// post-split ids stay in range), plus the `crawl.*`, `repart.*`,
+    /// and `route.*` tiers. The families are name-disjoint by prefix,
+    /// so composing them shares the always-present engine set and adds
+    /// each optional set exactly once (pinned by
+    /// `full_system_instrument_names_do_not_collide`).
+    pub fn full_system(partitions: usize, sites: usize) -> Self {
+        ObsConfig {
+            crawl: true,
+            repart: true,
+            route: true,
+            ..ObsConfig::multi_site(partitions, sites)
+        }
+    }
+
     /// Override the span sampling rate (1 = every query, 0 = none).
     pub fn sample(mut self, every: u64) -> Self {
         self.span_sample = every;
@@ -1038,6 +1055,30 @@ mod tests {
         let fixed = ObsRecorder::new(ObsConfig::single_site(4));
         fixed.record(Event::RouteRetrain { now: 0, generation: 1 });
         assert!(fixed.snapshot().counter("route.retrains").is_none());
+    }
+
+    #[test]
+    fn full_system_instrument_names_do_not_collide() {
+        use std::collections::BTreeSet;
+        let names = |cfg: ObsConfig| -> BTreeSet<String> {
+            ObsRecorder::new(cfg).snapshot().entries().iter().map(|(n, _)| n.clone()).collect()
+        };
+        let base = names(ObsConfig::single_site(3));
+        let site = &names(ObsConfig::multi_site(3, 2)) - &base;
+        let crawl = &names(ObsConfig::crawl_tier()) - &names(ObsConfig::single_site(0));
+        let repart = &names(ObsConfig::single_site(3).with_repart()) - &base;
+        let route = &names(ObsConfig::single_site(3).with_route()) - &base;
+        assert!(!site.is_empty() && !crawl.is_empty() && !repart.is_empty() && !route.is_empty());
+        // Composing every family shares the always-present engine set
+        // and adds each optional set exactly once: no name appears in
+        // two families, and the union is exactly the full registry.
+        let mut union = base.clone();
+        for family in [&site, &crawl, &repart, &route] {
+            for name in family {
+                assert!(union.insert(name.clone()), "instrument {name:?} collides across tiers");
+            }
+        }
+        assert_eq!(union, names(ObsConfig::full_system(3, 2)));
     }
 
     #[test]

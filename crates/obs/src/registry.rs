@@ -161,6 +161,61 @@ impl Snapshot {
             .map(|i| &self.entries[i].1)
     }
 
+    /// The change from `earlier` to `self`: the interval-report
+    /// primitive, so a long-lived run can print per-window activity
+    /// without ever resetting the live instruments.
+    ///
+    /// Per kind:
+    /// * **counters** subtract (saturating, so a misordered pair yields
+    ///   0 instead of wrapping);
+    /// * **gauges** are levels, not flows — the delta carries the later
+    ///   value unchanged;
+    /// * **histograms** subtract bucket-wise (occupancy, count, and sum
+    ///   are all monotone), while `min`/`max` carry the later summary's
+    ///   cumulative extremes — merging consecutive window deltas
+    ///   therefore reproduces the final cumulative summary exactly
+    ///   (bucket occupancy and count bitwise; `sum` up to float
+    ///   rounding).
+    ///
+    /// Instruments registered after `earlier` was taken appear with
+    /// their full value; `earlier`-only instruments cannot occur (a
+    /// registry never unregisters) and are ignored.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, later)| {
+                let d = match (later, earlier.get(name)) {
+                    (InstrumentSnapshot::Counter(v), Some(InstrumentSnapshot::Counter(e))) => {
+                        InstrumentSnapshot::Counter(v.saturating_sub(*e))
+                    }
+                    (InstrumentSnapshot::Histogram(p), Some(InstrumentSnapshot::Histogram(q))) => {
+                        let buckets: Vec<u64> = p
+                            .buckets()
+                            .iter()
+                            .zip(q.buckets())
+                            .map(|(a, b)| a.saturating_sub(*b))
+                            .collect();
+                        let count = buckets.iter().sum();
+                        InstrumentSnapshot::Histogram(Percentiles::from_parts(
+                            buckets,
+                            count,
+                            p.sum() - q.sum(),
+                            p.min(),
+                            p.max(),
+                        ))
+                    }
+                    // Gauges, newly registered instruments, and
+                    // kind-mismatched pairs (impossible in one registry)
+                    // pass through.
+                    (other, _) => other.clone(),
+                };
+                (name.clone(), d)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
     /// Render as an aligned text table (one instrument per line).
     pub fn to_text(&self) -> String {
         let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
@@ -248,6 +303,74 @@ mod tests {
         let r = Registry::new();
         r.gauge("x");
         r.counter("x");
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms_keeps_gauges() {
+        let r = Registry::new();
+        r.counter("c").add(3);
+        r.gauge("g").set(1.0);
+        r.histogram("h").record(10.0);
+        let s0 = r.snapshot();
+        r.counter("c").add(4);
+        r.gauge("g").set(7.5);
+        r.histogram("h").record(20.0);
+        r.histogram("h").record(30.0);
+        let s1 = r.snapshot();
+        let d = s1.delta(&s0);
+        assert_eq!(d.counter("c"), Some(4));
+        assert_eq!(d.gauge("g"), Some(7.5), "gauges are levels: delta carries the later value");
+        let h = d.histogram("h").expect("histogram present");
+        assert_eq!(h.count(), 2, "only the window's observations");
+        assert!((h.sum() - 50.0).abs() < 1e-9);
+        // Instruments born inside the window report their full value.
+        r.counter("new").add(9);
+        let s2 = r.snapshot();
+        assert_eq!(s2.delta(&s1).counter("new"), Some(9));
+        // A self-delta is all-zero (and gauges keep their level).
+        let z = s2.delta(&s2);
+        assert_eq!(z.counter("c"), Some(0));
+        assert_eq!(z.histogram("h").map(|p| p.count()), Some(0));
+        assert_eq!(z.gauge("g"), Some(7.5));
+    }
+
+    #[test]
+    fn window_deltas_sum_back_to_the_final_snapshot() {
+        let r = Registry::new();
+        let snaps_and_deltas = {
+            let mut snaps = vec![r.snapshot()];
+            for w in 0..4u64 {
+                r.counter("c").add(w + 1);
+                r.gauge("g").set(w as f64);
+                for i in 0..=w {
+                    r.histogram("h").record((1 + i + 10 * w) as f64);
+                }
+                snaps.push(r.snapshot());
+            }
+            let deltas: Vec<Snapshot> =
+                snaps.windows(2).map(|pair| pair[1].delta(&pair[0])).collect();
+            (snaps, deltas)
+        };
+        let (snaps, deltas) = snaps_and_deltas;
+        let fin = snaps.last().unwrap();
+        // Counters: the window deltas sum back to the final value.
+        let c_sum: u64 = deltas.iter().map(|d| d.counter("c").unwrap()).sum();
+        assert_eq!(Some(c_sum), fin.counter("c"));
+        // Histograms: counts and bucket occupancy sum back bitwise;
+        // sums up to float rounding; merging the deltas reproduces the
+        // final cumulative summary including min/max.
+        let mut merged = Percentiles::new();
+        for d in &deltas {
+            merged.merge(d.histogram("h").unwrap());
+        }
+        let final_h = fin.histogram("h").unwrap();
+        assert_eq!(merged.count(), final_h.count());
+        assert_eq!(merged.buckets(), final_h.buckets());
+        assert_eq!(merged.min(), final_h.min());
+        assert_eq!(merged.max(), final_h.max());
+        assert!((merged.sum() - final_h.sum()).abs() < 1e-9);
+        // Gauges: the last window's delta is the final level.
+        assert_eq!(deltas.last().unwrap().gauge("g"), fin.gauge("g"));
     }
 
     #[test]

@@ -22,8 +22,14 @@ pub struct PartitionArrival {
 }
 
 /// Merge the hits available at time `deadline` into a top-k.
+///
+/// `k = 0` asks for no results and returns none (the underlying
+/// accumulator rejects top-0, so it is answered here).
 pub fn results_at(arrivals: &[PartitionArrival], deadline: SimTime, k: usize) -> Vec<GlobalHit> {
-    let mut top = TopK::new(k.max(1));
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut top = TopK::new(k);
     for a in arrivals {
         if a.at <= deadline {
             for h in &a.hits {
@@ -142,5 +148,68 @@ mod tests {
     #[test]
     fn empty_arrivals_are_complete() {
         assert_eq!(completeness_at(&[], 0, 10), 1.0);
+    }
+
+    #[test]
+    fn empty_arrivals_yield_no_results_at_any_deadline() {
+        assert!(results_at(&[], 0, 10).is_empty());
+        assert!(results_at(&[], SimTime::MAX, 10).is_empty());
+        let p = profile(&[], 4, 3);
+        assert_eq!(p.full_at, 0);
+        assert!(p.curve.iter().all(|&(_, c)| c == 1.0));
+    }
+
+    #[test]
+    fn k_zero_returns_nothing_and_is_vacuously_complete() {
+        let a = arrivals();
+        assert!(results_at(&a, SimTime::MAX, 0).is_empty());
+        assert!(results_at(&a, 10, 0).is_empty());
+        // The final top-0 set is empty, so completeness is 1 everywhere.
+        assert_eq!(completeness_at(&a, 0, 0), 1.0);
+        assert_eq!(completeness_at(&a, SimTime::MAX, 0), 1.0);
+    }
+
+    #[test]
+    fn all_arrivals_after_the_deadline_yield_nothing() {
+        let a = arrivals(); // earliest arrival at t = 10
+        assert!(results_at(&a, 9, 10).is_empty());
+        assert_eq!(completeness_at(&a, 9, 4), 0.0);
+    }
+
+    #[test]
+    fn tied_scores_merge_identically_to_the_offline_topk() {
+        // Two partitions carrying interleaved doc ids with heavy score
+        // ties; the incremental merge at the final deadline must equal
+        // the offline oracle over the concatenated hits: score
+        // descending, lower doc id first on ties, cut at k.
+        let a = vec![
+            PartitionArrival {
+                at: 5,
+                hits: vec![
+                    GlobalHit { doc: 8, score: 2.0 },
+                    GlobalHit { doc: 2, score: 2.0 },
+                    GlobalHit { doc: 5, score: 1.0 },
+                ],
+            },
+            PartitionArrival {
+                at: 40,
+                hits: vec![
+                    GlobalHit { doc: 1, score: 2.0 },
+                    GlobalHit { doc: 9, score: 2.0 },
+                    GlobalHit { doc: 3, score: 1.0 },
+                ],
+            },
+        ];
+        for k in 1..=7 {
+            let mut oracle: Vec<GlobalHit> =
+                a.iter().flat_map(|p| p.hits.iter().copied()).collect();
+            oracle.sort_by(|x, y| y.score.partial_cmp(&x.score).unwrap().then(x.doc.cmp(&y.doc)));
+            oracle.truncate(k);
+            assert_eq!(results_at(&a, SimTime::MAX, k), oracle, "k={k}");
+        }
+        // The tie is genuinely exercised: at k = 3 doc 9 (tied at 2.0)
+        // loses to docs 1, 2, 8 on id order.
+        let top3: Vec<u32> = results_at(&a, SimTime::MAX, 3).iter().map(|h| h.doc).collect();
+        assert_eq!(top3, [1, 2, 8]);
     }
 }

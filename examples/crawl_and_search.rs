@@ -10,6 +10,7 @@
 //! ```
 
 use distributed_web_retrieval::crawler::assign::{AgentId, ConsistentHashAssigner};
+use distributed_web_retrieval::crawler::faults::AgentSchedule;
 use distributed_web_retrieval::crawler::sim::{CrawlConfig, DistributedCrawl};
 use distributed_web_retrieval::partition::parted::corpus_from_web;
 use distributed_web_retrieval::sim::SECOND;
@@ -44,7 +45,7 @@ fn main() {
         politeness_delay: SECOND,
         most_cited_seed: 100,
         qos: QosConfig { flaky_fraction: 0.1, flaky_failure_prob: 0.3, ..QosConfig::default() },
-        crash: Some((AgentId(5), 30 * 60 * SECOND)),
+        faults: Some(AgentSchedule::single_crash(8, AgentId(5), 30 * 60 * SECOND)),
         ..CrawlConfig::default()
     };
     let report = DistributedCrawl::new(&web, ConsistentHashAssigner::new(8, 128), cfg, seed).run();

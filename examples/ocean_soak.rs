@@ -1,0 +1,141 @@
+//! Full-system soak: crawl → incremental index → serve, with every tier
+//! churning at once and the end-state invariants checked from the trace.
+//!
+//! ```sh
+//! cargo run --example ocean_soak --release
+//! ```
+//!
+//! One run wires the whole stack together: a churning distributed crawl
+//! feeds epoch-stamped index refreshes; the published index splits
+//! online under live traffic; three serving sites (with outage traces,
+//! replica faults, shard routing, hedging, stragglers, and gather
+//! deadlines) answer a diurnal query stream. A single `dwr-obs`
+//! registry instruments all of it; the interval report below is taken
+//! with `Snapshot::delta` over the per-window snapshots.
+
+use distributed_web_retrieval::obs::Snapshot;
+use distributed_web_retrieval::sim::{HOUR, MINUTE, SECOND};
+use distributed_web_retrieval::soak::{SoakConfig, SoakInvariants, SoakScenario};
+
+fn rate(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        return 0.0;
+    }
+    100.0 * n as f64 / d as f64
+}
+
+fn main() {
+    let cfg = SoakConfig::storm(42);
+    println!(
+        "soaking: {} pages / {} hosts crawled by {} churning agents,",
+        cfg.pages, cfg.hosts, cfg.agents
+    );
+    println!(
+        "  refreshed every {}min into {} shards (+{} online splits),",
+        cfg.refresh_interval / MINUTE,
+        cfg.partitions,
+        cfg.splits
+    );
+    println!(
+        "  served from {} sites for {}h of diurnal traffic...\n",
+        cfg.sites,
+        cfg.serve_horizon / HOUR
+    );
+    let report = SoakScenario::new(cfg).run();
+
+    // --- Crawl tier. ---
+    println!("crawl tier (churned vs churn-free baseline):");
+    println!(
+        "  coverage {:.1}% (baseline {:.1}%), makespan {:.0}s (baseline {:.0}s)",
+        100.0 * report.crawl_coverage,
+        100.0 * report.baseline_coverage,
+        report.crawl_makespan as f64 / SECOND as f64,
+        report.baseline_makespan as f64 / SECOND as f64,
+    );
+    let f = &report.crawl_faults;
+    println!(
+        "  {} crashes, {} recoveries, {} hosts moved, {} URLs handed off, {} refetches",
+        f.crashes, f.recoveries, f.hosts_moved, f.handoff_urls, f.refetches
+    );
+
+    // --- Index tier. ---
+    println!(
+        "\nindex tier ({} docs through {} refreshes):",
+        report.fetched_docs,
+        report.refreshes.len()
+    );
+    println!(
+        "  max freshness lag {:.1}s (bound: the {}s refresh interval)",
+        report.max_freshness_lag() as f64 / SECOND as f64,
+        report.refresh_interval / SECOND,
+    );
+    let r = &report.repart_stats;
+    println!(
+        "  online splits under traffic: {} committed, {} aborted, live epoch {}",
+        r.splits_committed, r.splits_aborted, r.epoch
+    );
+
+    // --- Serve tier, window by window. ---
+    println!("\nserve tier, per {}h window (from Snapshot::delta):", report.windows[0].end / HOUR);
+    println!("  window       queries   full%  routed  remote  degraded  shed+failed");
+    let mut prev: Option<&Snapshot> = None;
+    for w in &report.windows {
+        let d = match prev {
+            Some(p) => w.snapshot.delta(p),
+            None => w.snapshot.clone(),
+        };
+        let served_full = d.counter("engine.served.full").unwrap_or(0)
+            + d.counter("engine.served.cache_hit").unwrap_or(0)
+            + d.counter("engine.served.routed").unwrap_or(0);
+        let site_queries = d.counter("site.attempts").unwrap_or(0);
+        println!(
+            "  {:>2}h-{:>2}h  {:>10}  {:>5.1}  {:>6}  {:>6}  {:>8}  {:>11}",
+            w.start / HOUR,
+            w.end / HOUR,
+            w.queries,
+            rate(served_full, site_queries.max(w.queries)),
+            d.counter("engine.served.routed").unwrap_or(0),
+            d.counter("site.served_remote").unwrap_or(0),
+            d.counter("engine.served.degraded").unwrap_or(0),
+            d.counter("site.shed_overload").unwrap_or(0)
+                + d.counter("site.shed_deadline").unwrap_or(0)
+                + d.counter("site.failed").unwrap_or(0),
+        );
+        prev = Some(&w.snapshot);
+    }
+
+    let s = &report.site_stats;
+    let all_sites = report.engine_stats.len() as u32;
+    let dipped = report.queries.iter().filter(|q| q.live_sites < all_sites).count();
+    println!(
+        "  {} queries arrived during a site outage; {} served remotely over {} WAN hops",
+        dipped, s.served_remote, s.wan_hops
+    );
+
+    let c = report.outcomes();
+    println!("\noutcomes over {} queries:", c.total());
+    println!(
+        "  {} cache-hit, {} full, {} routed, {} degraded, {} stale, {} partial, {} shed, {} failed",
+        c.cache_hit, c.full, c.routed, c.degraded, c.stale, c.partial, c.shed, c.failed
+    );
+    println!(
+        "  => {:.1}% served at full fidelity through the storm",
+        100.0 * report.full_fidelity_fraction()
+    );
+
+    // --- End-state invariants, asserted from the trace. ---
+    let inv = SoakInvariants::check(&report);
+    println!("\nend-state invariants:");
+    println!("  politeness violations across handoffs .... {}", inv.politeness_violations);
+    println!("  queries Failed while >=1 site live ....... {}", inv.failed_while_live);
+    println!("  outcome-bucket accounting gap ............ {}", inv.outcome_gap);
+    println!(
+        "  freshness lag vs bound ................... {:.1}s <= {}s",
+        inv.freshness_max_lag as f64 / SECOND as f64,
+        inv.freshness_bound / SECOND
+    );
+    println!("  exactly-once epoch coverage .............. {}", inv.coverage_exactly_once);
+    println!("  live-vs-offline instrument mismatches .... {}", inv.mismatches.len());
+    inv.assert_clean();
+    println!("\nall soak invariants hold.");
+}

@@ -9,10 +9,12 @@
 pub use dwr_avail as avail;
 pub use dwr_core as core;
 pub use dwr_crawler as crawler;
+pub use dwr_obs as obs;
 pub use dwr_partition as partition;
 pub use dwr_query as query;
 pub use dwr_querylog as querylog;
 pub use dwr_queueing as queueing;
 pub use dwr_sim as sim;
+pub use dwr_soak as soak;
 pub use dwr_text as text;
 pub use dwr_webgraph as webgraph;

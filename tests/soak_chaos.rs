@@ -1,0 +1,135 @@
+//! Full-system soak under simultaneous churn at every tier.
+//!
+//! The single-tier chaos suites (crawl_chaos, repart_chaos, site_chaos,
+//! route_chaos, tail_chaos) each prove one mechanism in isolation; this
+//! suite turns everything on at once — agent churn in the crawl, live
+//! shard splits with crash fates, per-replica faults, whole-site
+//! outages, shard routing, hedging, stragglers, and gather deadlines —
+//! and asserts the end-state invariants from the trace:
+//!
+//! - zero politeness violations across crawler frontier handoffs;
+//! - no `Failed` query while at least one site was live;
+//! - every query in exactly one outcome bucket, and the site tier's
+//!   own counters telling the same story;
+//! - freshness lag bounded by the refresh interval at every refresh;
+//! - exactly-once epoch coverage of the partition map;
+//! - live `crawl.*` / `repart.*` / `route.*` / `site.*` instruments
+//!   equal to the offline stats bitwise.
+//!
+//! Anchors additionally pin the whole run bit-for-bit: a rerun with the
+//! same config reproduces the entire report (every fetch span, query
+//! digest, window snapshot), and a parallel-scatter rerun reproduces
+//! the query trace and all stats.
+
+use distributed_web_retrieval::query::engine::HedgePolicy;
+use distributed_web_retrieval::soak::{SoakConfig, SoakInvariants, SoakScenario};
+use proptest::prelude::*;
+
+/// One fixed-seed anchor: invariants clean, rerun bit-identical,
+/// sequential scatter ≡ parallel scatter.
+fn soak_anchor(seed: u64) {
+    let cfg = SoakConfig::smoke(seed);
+    let report = SoakScenario::new(cfg.clone()).run();
+
+    let inv = SoakInvariants::check(&report);
+    inv.assert_clean();
+
+    // The storm actually stormed: queries arrived and were answered.
+    assert!(!report.queries.is_empty(), "no queries arrived");
+    let outcomes = report.outcomes();
+    assert!(outcomes.full_fidelity() > 0, "nothing served at full fidelity");
+    assert!(report.crawl_coverage > 0.9, "churned crawl lost coverage");
+    assert!(!report.refreshes.is_empty(), "no index refreshes");
+    assert_eq!(
+        report.freshness.curve.last().map(|&(_, c)| c),
+        Some(1.0),
+        "probe query never reached full completeness"
+    );
+
+    // Bit-for-bit determinism: the entire report — fetch spans, refresh
+    // ledger, query digests, window snapshots, final snapshot — is
+    // reproduced by a rerun.
+    let again = SoakScenario::new(cfg.clone()).run();
+    assert_eq!(report, again, "soak rerun diverged");
+
+    // Parallel scatter changes only the thread schedule, never the
+    // results: the query trace and every stats struct are identical.
+    let par = SoakScenario::new(SoakConfig { parallelism: 4, ..cfg }).run();
+    assert_eq!(report.queries, par.queries, "parallel scatter changed query results");
+    assert_eq!(report.site_stats, par.site_stats);
+    assert_eq!(report.engine_stats, par.engine_stats);
+    assert_eq!(report.router_stats, par.router_stats);
+    assert_eq!(report.repart_stats, par.repart_stats);
+    assert_eq!(report.crawl_trace, par.crawl_trace);
+    SoakInvariants::check(&par).assert_clean();
+}
+
+#[test]
+fn soak_fixed_seed_1() {
+    soak_anchor(0x50A6_0001);
+}
+
+#[test]
+fn soak_fixed_seed_2() {
+    soak_anchor(0x50A6_0002);
+}
+
+/// The churn-free arm is also clean and serves everything it answers at
+/// full fidelity more often than not.
+#[test]
+fn soak_calm_baseline_is_clean() {
+    let report = SoakScenario::new(SoakConfig {
+        serve_horizon: distributed_web_retrieval::sim::HOUR * 6,
+        ..SoakConfig::calm(0x50A6_0003)
+    })
+    .run();
+    SoakInvariants::check(&report).assert_clean();
+    assert_eq!(report.repart_stats.epoch, 0, "calm arm must not split");
+    assert!(report.full_fidelity_fraction() > 0.5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Any interleaving of crawl churn, splits, outages, replica
+    /// faults, routing, and hedging preserves every soak invariant, and
+    /// sequential scatter stays equivalent to parallel scatter.
+    #[test]
+    fn soak_invariants_hold_under_arbitrary_churn(
+        seed in any::<u64>(),
+        agents in 2u32..5,
+        sites in 1usize..4,
+        splits in 0usize..4,
+        width_sel in 0usize..3,
+        hedge_sel in 0u8..3,
+        crawl_churn in any::<bool>(),
+        site_outages in any::<bool>(),
+        replica_churn in any::<bool>(),
+    ) {
+        let cfg = SoakConfig {
+            agents,
+            sites,
+            splits,
+            // 0 = exhaustive fan-out, otherwise a routed width.
+            route_width: (width_sel > 0).then_some(width_sel),
+            hedge: match hedge_sel {
+                0 => HedgePolicy::Never,
+                1 => HedgePolicy::OnDeath,
+                _ => HedgePolicy::PercentileTrigger(95.0),
+            },
+            crawl_churn,
+            site_outages,
+            replica_churn,
+            // Keep proptest cases quick: a shorter day than the anchors.
+            serve_horizon: distributed_web_retrieval::sim::HOUR * 3,
+            ..SoakConfig::smoke(seed)
+        };
+        let report = SoakScenario::new(cfg.clone()).run();
+        SoakInvariants::check(&report).assert_clean();
+
+        let par = SoakScenario::new(SoakConfig { parallelism: 3, ..cfg }).run();
+        prop_assert_eq!(&report.queries, &par.queries);
+        prop_assert_eq!(&report.site_stats, &par.site_stats);
+        prop_assert_eq!(&report.repart_stats, &par.repart_stats);
+    }
+}
